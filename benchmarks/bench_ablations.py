@@ -1,0 +1,75 @@
+"""Ablations — the controller's design choices, isolated.
+
+Extension study (DESIGN.md): proactive forecasting vs reactive control,
+the 2 degC hysteresis, TALB's weight target, and grid resolution.
+"""
+
+import pytest
+
+from repro.experiments import ablations, common
+
+
+def test_controller_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_controller_ablation(workload="Web-med", duration=15.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    by_variant = {r["variant"]: r for r in rows}
+    full = by_variant["proactive+hysteresis (paper)"]
+    no_hyst = by_variant["proactive, no hysteresis"]
+
+    # Removing the hysteresis can only increase switching activity.
+    assert no_hyst["setting_switches"] >= full["setting_switches"]
+    # The paper's configuration keeps the target.
+    assert full["peak_temperature"] <= 80.5
+
+
+def test_controller_vs_prior_work(benchmark):
+    """The paper's LUT+ARMA controller vs the [6] stepwise baseline."""
+    rows = benchmark.pedantic(
+        lambda: ablations.run_controller_comparison(duration=15.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    by_key = {(r["workload"], r["controller"]): r for r in rows}
+    for workload in ("Web-med", "gzip"):
+        lut = by_key[(workload, "LUT+ARMA (paper)")]
+        step = by_key[(workload, "stepwise (prior work [6])")]
+        # The paper's controller keeps the guarantee unconditionally.
+        assert lut["peak_temperature"] <= 80.5
+        # The prior-work ladder cannot dominate: wherever it spends
+        # less pump energy than the LUT, it does so by under-cooling
+        # (it reacts after the fact and has no characterized margin).
+        if step["pump_energy"] < lut["pump_energy"] * 0.95:
+            assert (
+                step["peak_temperature"] > lut["peak_temperature"]
+                or step["pct_above_target"] > 0.0
+            )
+
+
+def test_grid_resolution_convergence(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_grid_resolution_ablation(resolutions=(8, 16, 24)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    # The flow-rate ordering (hotter at min flow) holds at every
+    # resolution even though absolute values shift with the grid.
+    for row in rows:
+        assert row["tmax_at_min_flow"] > row["tmax_at_max_flow"]
+
+
+def test_talb_weight_target_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: ablations.run_weight_sensitivity(workload="Web-med", duration=10.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    # All weight targets keep a modest spatial spread under max flow.
+    for row in rows:
+        assert row["mean_spatial_spread"] < 20.0

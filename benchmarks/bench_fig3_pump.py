@@ -1,0 +1,28 @@
+"""Figure 3 — pump power and per-cavity flow rates.
+
+Regenerates both series (2- and 4-layer per-cavity flows, pump power)
+and checks them against the values read off the paper's figure.
+"""
+
+import pytest
+
+from repro.experiments import common, fig3
+
+
+def test_fig3_pump_curves(benchmark):
+    rows = benchmark(fig3.run)
+    print("\n" + common.format_rows(rows))
+
+    flows_2l = [r["per_cavity_2layer_mlmin"] for r in rows]
+    flows_4l = [r["per_cavity_4layer_mlmin"] for r in rows]
+    powers = [r["pump_power_w"] for r in rows]
+
+    # Paper: 2-layer series spans ~208-1042 ml/min, 4-layer 125-625.
+    assert flows_2l[0] == pytest.approx(208.33, rel=1e-3)
+    assert flows_2l[-1] == pytest.approx(1041.67, rel=1e-3)
+    assert flows_4l[0] == pytest.approx(125.0, rel=1e-3)
+    assert flows_4l[-1] == pytest.approx(625.0, rel=1e-3)
+    # Paper: power rises quadratically from ~3.7 W to 21 W.
+    assert powers[0] == pytest.approx(3.72, rel=0.01)
+    assert powers[-1] == pytest.approx(21.0, rel=0.01)
+    assert powers[-1] - powers[-2] > powers[1] - powers[0]

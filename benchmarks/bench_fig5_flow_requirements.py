@@ -1,0 +1,63 @@
+"""Figure 5 — flow rate required to cool a given T_max below 80 degC.
+
+Regenerates the discrete staircase for the 2- and 4-layer systems and
+the continuous minimum-flow curve for the 2-layer system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common, fig5
+
+UTILS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.93)
+
+
+def test_fig5_staircase_2layer(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5.run(2, utilizations=UTILS, include_continuous=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+
+    temps = [r["tmax_at_lowest"] for r in rows]
+    settings = [r["required_setting"] for r in rows]
+    # Paper: the x axis spans roughly 70-90 degC...
+    assert 68.0 < temps[0] < 78.0
+    assert 82.0 < temps[-1] < 92.0
+    # ...and the required flow climbs the whole ladder monotonically.
+    assert settings == sorted(settings)
+    assert settings[0] == 0
+    assert settings[-1] >= 3
+    assert all(r["holds_target"] for r in rows)
+
+
+def test_fig5_staircase_4layer(benchmark):
+    rows4 = benchmark.pedantic(
+        lambda: fig5.run(4, utilizations=(0.0, 0.4, 0.8), include_continuous=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows4))
+    rows2 = fig5.run(2, utilizations=(0.0, 0.4, 0.8), include_continuous=False)
+    # Paper: the 4-layer system needs more flow at the same T_max
+    # (its per-cavity share is lower and heat is stacked deeper).
+    for r2, r4 in zip(rows2, rows4):
+        assert r4["required_setting"] >= r2["required_setting"]
+
+
+def test_fig5_continuous_curve(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig5.run(2, utilizations=(0.3, 0.6, 0.9), include_continuous=True),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    # The continuous minimum (the circles in Figure 5) lies on or below
+    # the discrete staircase, and rises with load.
+    flows = []
+    for row in rows:
+        if np.isfinite(row["continuous_flow_mlmin"]):
+            assert row["continuous_flow_mlmin"] <= row["discrete_flow_mlmin"] * 1.001
+            flows.append(row["continuous_flow_mlmin"])
+    assert flows == sorted(flows)

@@ -1,0 +1,36 @@
+"""Figure 6 — hot spots and energy for all seven policy/cooling combos.
+
+Regenerates the full bar chart: average and hottest-workload hot-spot
+percentages, and chip/pump energy normalized to LB (Air).
+"""
+
+from conftest import SWEEP_DURATION
+
+from repro.experiments import common, fig6
+
+
+def test_fig6_hotspots_and_energy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig6.run(duration=SWEEP_DURATION),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    by_policy = {r["policy"]: r for r in rows}
+
+    # Paper: liquid cooling at any flow eliminates the >85 degC hot
+    # spots the air-cooled system shows.
+    assert by_policy["LB (Air)"]["hotspots_avg_pct"] > 2.0
+    for label in ("LB (Max)", "Mig (Max)", "TALB (Max)", "TALB (Var)"):
+        assert by_policy[label]["hotspots_avg_pct"] == 0.0
+
+    # Paper: variable flow cuts pump energy versus worst-case flow
+    # while chip energy stays essentially flat.
+    var = by_policy["TALB (Var)"]
+    mx = by_policy["TALB (Max)"]
+    assert var["energy_pump"] < 0.85 * mx["energy_pump"]
+    assert abs(var["energy_chip"] - mx["energy_chip"]) < 0.05
+
+    # Energy is normalized to LB (Air) chip energy.
+    assert abs(by_policy["LB (Air)"]["energy_chip"] - 1.0) < 1e-9
+    assert by_policy["LB (Air)"]["energy_pump"] == 0.0

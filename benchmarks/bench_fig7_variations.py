@@ -1,0 +1,40 @@
+"""Figure 7 — thermal variations (spatial gradients, cycles) with DPM.
+
+Regenerates the bar chart of large spatial gradients (>15 degC) and
+large thermal cycles (>20 degC) across all seven combos with DPM on.
+"""
+
+from conftest import SWEEP_DURATION
+
+from repro.experiments import common, fig7
+
+
+def test_fig7_thermal_variations(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig7.run(duration=SWEEP_DURATION),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    by_policy = {r["policy"]: r for r in rows}
+
+    # Paper: "Our weighted load balancing technique (TALB) is able to
+    # minimize both temporal and spatial thermal variations much more
+    # effectively than other policies."
+    assert (
+        by_policy["TALB (Air)"]["spatial_gradients_pct"]
+        < by_policy["LB (Air)"]["spatial_gradients_pct"]
+    )
+    assert (
+        by_policy["TALB (Max)"]["spatial_gradients_pct"]
+        < by_policy["LB (Max)"]["spatial_gradients_pct"]
+    )
+    assert (
+        by_policy["TALB (Air)"]["thermal_cycles_pct"]
+        <= by_policy["LB (Air)"]["thermal_cycles_pct"]
+    )
+    # Liquid cooling itself also suppresses variations vs air.
+    assert (
+        by_policy["LB (Max)"]["spatial_gradients_pct"]
+        < by_policy["LB (Air)"]["spatial_gradients_pct"]
+    )

@@ -1,0 +1,39 @@
+"""The headline claim — cooling/total energy savings vs maximum flow.
+
+"reducing the cooling energy by up to 30 %, and the overall energy by
+up to 12 % in comparison to using the highest coolant flow rate",
+while "the temperature is maintained below the target".
+"""
+
+from conftest import SWEEP_DURATION
+
+from repro.constants import CONTROL
+from repro.experiments import common, headline
+
+
+def test_headline_savings(benchmark):
+    rows = benchmark.pedantic(
+        lambda: headline.run(duration=SWEEP_DURATION),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    by_workload = {r["workload"]: r for r in rows}
+
+    # The 80 degC target holds for every workload (sensor level).
+    for row in rows:
+        assert row["peak_temperature"] <= CONTROL.target_temperature + 0.5
+
+    # Savings are largest for the low-utilization workloads (the
+    # paper's gzip/MPlayer observation) and exceed 30 % there.
+    for light in ("gzip", "MPlayer"):
+        assert by_workload[light]["cooling_savings_pct"] > 30.0
+    assert (
+        by_workload["gzip"]["cooling_savings_pct"]
+        > by_workload["Web-high"]["cooling_savings_pct"]
+    )
+    # High-utilization workloads need near-worst-case flow: little to
+    # save, confirming the controller is load-following, not a fixed
+    # down-clock.
+    assert by_workload["Web-high"]["cooling_savings_pct"] < 10.0
+    assert by_workload["Web-high"]["mean_setting"] > 3.5

@@ -1,0 +1,86 @@
+"""Performance microbenchmarks of the thermal substrate.
+
+These are true pytest-benchmark timings (multiple rounds): network
+assembly, factorization, steady solve, transient step, and a full
+engine control interval. They track the cost claims in DESIGN.md
+(cached factorization per pump setting; triangular solve per step).
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.geometry.stack import CoolingKind, build_stack
+from repro.power.components import PowerModel
+from repro.power.leakage import LeakageModel
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.system import ThermalSystem
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.rc_network import ThermalParams, build_network
+from repro.thermal.solver import SteadyStateSolver, TransientSolver
+
+FLOW = units.ml_per_minute(400.0)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ThermalGrid(build_stack(2), nx=16, ny=16)
+
+
+@pytest.fixture(scope="module")
+def network(grid):
+    return build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+
+
+@pytest.fixture(scope="module")
+def power(grid):
+    return grid.power_vector({(0, f"core{i}"): 3.0 for i in range(8)})
+
+
+def test_bench_network_assembly(benchmark, grid):
+    net = benchmark(
+        lambda: build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+    )
+    assert net.n_nodes == 5 * 16 * 16
+
+
+def test_bench_steady_factorization(benchmark, network):
+    solver = benchmark(lambda: SteadyStateSolver(network))
+    assert solver is not None
+
+
+def test_bench_steady_solve(benchmark, network, power):
+    solver = SteadyStateSolver(network)
+    temps = benchmark(lambda: solver.solve(power))
+    assert np.all(np.isfinite(temps))
+
+
+def test_bench_transient_step(benchmark, network, power):
+    solver = TransientSolver(network, dt=0.1)
+    state = np.full(network.n_nodes, 60.0)
+    out = benchmark(lambda: solver.step(state, power))
+    assert np.all(np.isfinite(out))
+
+
+def test_bench_steady_tmax_with_leakage_loop(benchmark):
+    system = ThermalSystem(2, CoolingKind.LIQUID, nx=16, ny=16)
+    model = PowerModel(system.stack, leakage=LeakageModel())
+    tmax = benchmark(lambda: system.steady_tmax(model, 0.7, setting_index=2))
+    assert 60.0 < tmax < 100.0
+
+
+def test_bench_simulated_second(benchmark):
+    """Wall-clock cost of one simulated second of the full engine."""
+    config = SimulationConfig(
+        benchmark_name="Web-med",
+        policy=PolicyKind.TALB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=1.0,
+    )
+
+    def run_one_second():
+        return Simulator(config).run()
+
+    result = benchmark.pedantic(run_one_second, rounds=3, iterations=1)
+    assert len(result.times) == 10

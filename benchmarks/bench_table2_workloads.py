@@ -1,0 +1,26 @@
+"""Table II — the synthetic workloads match the published statistics."""
+
+import pytest
+
+from repro.experiments import common, table2
+
+
+def test_table2_workload_characteristics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table2.run(duration=90.0),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + common.format_rows(rows))
+    for row in rows:
+        # The generator's offered load matches the "Avg Util" column.
+        assert row["measured_util_pct"] == pytest.approx(
+            row["paper_util_pct"], rel=0.3
+        )
+        # Thread lengths stay in the paper's measured regime.
+        assert 30.0 < row["median_len_ms"] < 250.0
+
+    # Web-high is the most memory-intensive workload (normalization
+    # anchor of the crossbar power model).
+    by_name = {r["benchmark"]: r for r in rows}
+    assert by_name["Web-high"]["memory_intensity"] == 1.0

@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Every figure/table benchmark prints the regenerated rows (run with
+``-s`` to see them) and asserts the paper's qualitative claims, so
+``pytest benchmarks/ --benchmark-only`` is the full evaluation harness.
+"""
+
+#: Simulated seconds per (policy, workload) point in the figure sweeps.
+#: Long enough for stationary statistics, short enough that the whole
+#: suite regenerates in a few minutes.
+SWEEP_DURATION = 10.0

@@ -1,0 +1,151 @@
+"""repro — Energy-efficient variable-flow liquid cooling in 3D stacks.
+
+A from-scratch reproduction of Coskun, Atienza, Rosing, Brunschwiler,
+Michel, "Energy-Efficient Variable-Flow Liquid Cooling in 3D Stacked
+Architectures" (DATE 2010): the interlayer-microchannel thermal model,
+the Laing DDC pump, the ARMA+SPRT proactive flow-rate controller, the
+temperature-aware weighted load balancer (TALB), and the full Section V
+evaluation harness.
+
+Quickstart::
+
+    from repro import SimulationConfig, simulate, CoolingMode, PolicyKind
+
+    config = SimulationConfig(
+        benchmark_name="Web-med",
+        policy=PolicyKind.TALB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=20.0,
+    )
+    result = simulate(config)
+    print(result.peak_temperature(), result.pump_energy())
+"""
+
+from repro.constants import CONTROL, MICROCHANNEL, POWER, STACK
+from repro.control import (
+    ArmaModel,
+    FlowRateController,
+    FlowRateTable,
+    SprtDetector,
+    StepwiseFlowController,
+    TemperatureForecaster,
+)
+from repro.errors import (
+    ConfigurationError,
+    ControlError,
+    GeometryError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    SolverError,
+    WorkloadError,
+)
+from repro.geometry import CoolingKind, Floorplan, Stack3D, build_stack
+from repro.metrics import (
+    EnergyBreakdown,
+    coffin_manson_damage,
+    electromigration_acceleration,
+    hotspot_frequency,
+    normalized_throughput,
+    relative_mttf,
+    spatial_gradient_frequency,
+    thermal_cycle_frequency,
+)
+from repro.microchannel import WATER, ChannelGeometry, Coolant, MicrochannelModel
+from repro.power import DpmPolicy, LeakageModel, PowerModel
+from repro.pump import PumpModel, PumpState, laing_ddc
+from repro.sched import (
+    CoreQueues,
+    LoadBalancer,
+    ReactiveMigration,
+    ThermalWeights,
+    WeightedLoadBalancer,
+)
+from repro.sim import (
+    ControllerKind,
+    CoolingMode,
+    PolicyKind,
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    ThermalSystem,
+    simulate,
+)
+from repro.thermal import (
+    AnalyticUnitCell,
+    SteadyStateSolver,
+    ThermalGrid,
+    ThermalParams,
+    TransientSolver,
+    build_network,
+)
+from repro.workload import TABLE_II, BenchmarkSpec, WorkloadGenerator, benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "MICROCHANNEL",
+    "STACK",
+    "POWER",
+    "CONTROL",
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "ModelError",
+    "SolverError",
+    "ControlError",
+    "WorkloadError",
+    "SchedulingError",
+    "Floorplan",
+    "Stack3D",
+    "CoolingKind",
+    "build_stack",
+    "Coolant",
+    "WATER",
+    "ChannelGeometry",
+    "MicrochannelModel",
+    "ThermalGrid",
+    "ThermalParams",
+    "build_network",
+    "SteadyStateSolver",
+    "TransientSolver",
+    "AnalyticUnitCell",
+    "PumpModel",
+    "PumpState",
+    "laing_ddc",
+    "PowerModel",
+    "LeakageModel",
+    "DpmPolicy",
+    "BenchmarkSpec",
+    "TABLE_II",
+    "benchmark",
+    "WorkloadGenerator",
+    "CoreQueues",
+    "LoadBalancer",
+    "ReactiveMigration",
+    "WeightedLoadBalancer",
+    "ThermalWeights",
+    "ArmaModel",
+    "SprtDetector",
+    "TemperatureForecaster",
+    "FlowRateTable",
+    "FlowRateController",
+    "StepwiseFlowController",
+    "SimulationConfig",
+    "PolicyKind",
+    "CoolingMode",
+    "ControllerKind",
+    "Simulator",
+    "simulate",
+    "SimulationResult",
+    "ThermalSystem",
+    "EnergyBreakdown",
+    "hotspot_frequency",
+    "spatial_gradient_frequency",
+    "thermal_cycle_frequency",
+    "normalized_throughput",
+    "coffin_manson_damage",
+    "electromigration_acceleration",
+    "relative_mttf",
+]

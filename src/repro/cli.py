@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's entry points so the whole evaluation can
+be driven without writing Python:
+
+* ``simulate`` — one configured run, with optional JSON/CSV export;
+* ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
+  — regenerate a table/figure and print its rows;
+* ``calibrate`` — re-derive the documented resistance scales;
+* ``workloads`` — list the Table II benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    common,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    headline,
+    table2,
+)
+from repro.io.serialize import result_summary, save_result, write_timeseries_csv
+from repro.sim.config import (
+    ControllerKind,
+    CoolingMode,
+    PolicyKind,
+    SimulationConfig,
+)
+from repro.sim.engine import simulate
+from repro.workload.benchmarks import TABLE_II
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Energy-efficient variable-flow liquid cooling "
+        "in 3D stacked architectures (DATE 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one simulation")
+    sim.add_argument("--benchmark", default="Web-med", help="Table II workload")
+    sim.add_argument(
+        "--policy",
+        default="TALB",
+        choices=[p.value for p in PolicyKind],
+        help="scheduling policy",
+    )
+    sim.add_argument(
+        "--cooling",
+        default="Var",
+        choices=[c.value for c in CoolingMode],
+        help="Air, Max (worst-case flow), or Var (the controller)",
+    )
+    sim.add_argument(
+        "--controller",
+        default="lut",
+        choices=[c.value for c in ControllerKind],
+        help="variable-flow controller: the paper's LUT or the [6] stepwise baseline",
+    )
+    sim.add_argument("--layers", type=int, default=2, choices=(2, 4))
+    sim.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--dpm", action="store_true", help="enable the 200 ms DPM policy")
+    sim.add_argument(
+        "--trace-csv",
+        metavar="PATH",
+        help="replay an mpstat-style utilization trace (second,"
+        "utilization_pct CSV) instead of the stationary generator; "
+        "the run length becomes the trace length",
+    )
+    sim.add_argument("--save-json", metavar="PATH", help="write the full result as JSON")
+    sim.add_argument("--save-csv", metavar="PATH", help="write the time series as CSV")
+
+    for name, help_text in (
+        ("fig3", "pump power and per-cavity flows"),
+        ("fig6", "hot spots and energy, all policies"),
+        ("fig7", "thermal variations (DPM on)"),
+        ("fig8", "performance and energy"),
+        ("table2", "workload characteristics"),
+        ("headline", "energy savings vs maximum flow"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        if name != "fig3":
+            p.add_argument("--duration", type=float, default=common.DEFAULT_DURATION)
+            p.add_argument("--seed", type=int, default=0)
+
+    f5 = sub.add_parser("fig5", help="flow required to cool a given T_max")
+    f5.add_argument("--layers", type=int, default=2, choices=(2, 4))
+    f5.add_argument(
+        "--continuous",
+        action="store_true",
+        help="also compute the continuous minimum-flow curve (slow)",
+    )
+
+    ab = sub.add_parser("ablations", help="controller design-choice ablations")
+    ab.add_argument("--duration", type=float, default=15.0)
+
+    cal = sub.add_parser("calibrate", help="re-derive the resistance scales")
+    cal.add_argument(
+        "--path",
+        default="liquid",
+        choices=("liquid", "air"),
+        help="which cooling path to calibrate",
+    )
+
+    sub.add_parser("workloads", help="list the Table II benchmarks")
+    return parser
+
+
+def _print_rows(rows: list[dict]) -> None:
+    print(common.format_rows(rows))
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    thread_trace = None
+    duration = args.duration
+    if args.trace_csv:
+        from repro.workload.traces import UtilizationTrace, generate_from_utilization
+
+        n_cores = 8 if args.layers == 2 else 16
+        profile = UtilizationTrace.from_csv(args.trace_csv, n_cores=n_cores)
+        from repro.workload.benchmarks import benchmark as lookup
+
+        thread_trace = generate_from_utilization(
+            profile, lookup(args.benchmark), seed=args.seed
+        )
+        duration = profile.duration
+    config = SimulationConfig(
+        benchmark_name=args.benchmark,
+        policy=PolicyKind(args.policy),
+        cooling=CoolingMode(args.cooling),
+        controller=ControllerKind(args.controller),
+        n_layers=args.layers,
+        duration=duration,
+        seed=args.seed,
+        dpm_enabled=args.dpm,
+    )
+    result = simulate(config, trace=thread_trace)
+    print(f"run: {config.label()} / {config.benchmark_name} / "
+          f"{config.n_layers}-layer / {config.duration:.0f}s")
+    for key, value in result_summary(result).items():
+        print(f"  {key:26s}: {value}")
+    if args.save_json:
+        save_result(result, args.save_json)
+        print(f"  wrote JSON -> {args.save_json}")
+    if args.save_csv:
+        write_timeseries_csv(result, args.save_csv)
+        print(f"  wrote CSV  -> {args.save_csv}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.sim.calibration import calibrate_air_scale, calibrate_liquid_scale
+
+    if args.path == "liquid":
+        scale = calibrate_liquid_scale()
+        print(f"liquid resistance_scale = {scale:.3f}")
+    else:
+        scale = calibrate_air_scale()
+        print(f"air_resistance_scale = {scale:.3f}")
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    print("-- controller variants --")
+    _print_rows(ablations.run_controller_ablation(duration=args.duration))
+    print("\n-- grid resolution --")
+    _print_rows(ablations.run_grid_resolution_ablation())
+    print("\n-- TALB weight target --")
+    _print_rows(ablations.run_weight_sensitivity(duration=args.duration))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "simulate":
+        return _cmd_simulate(args)
+    if command == "fig3":
+        _print_rows(fig3.run())
+        return 0
+    if command == "fig5":
+        _print_rows(
+            fig5.run(n_layers=args.layers, include_continuous=args.continuous)
+        )
+        return 0
+    if command == "fig6":
+        _print_rows(fig6.run(duration=args.duration, seed=args.seed))
+        return 0
+    if command == "fig7":
+        _print_rows(fig7.run(duration=args.duration, seed=args.seed))
+        return 0
+    if command == "fig8":
+        _print_rows(fig8.run(duration=args.duration, seed=args.seed))
+        return 0
+    if command == "table2":
+        _print_rows(table2.run(duration=max(args.duration, 60.0), seed=args.seed))
+        return 0
+    if command == "headline":
+        _print_rows(headline.run(duration=args.duration, seed=args.seed))
+        return 0
+    if command == "ablations":
+        return _cmd_ablations(args)
+    if command == "calibrate":
+        return _cmd_calibrate(args)
+    if command == "workloads":
+        rows = [
+            {
+                "benchmark": spec.name,
+                "util_pct": spec.avg_utilization,
+                "l2_miss_per_100k": spec.total_l2_miss,
+                "memory_intensity": spec.memory_intensity,
+            }
+            for spec in TABLE_II.values()
+        ]
+        _print_rows(rows)
+        return 0
+    raise AssertionError(f"unhandled command {command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

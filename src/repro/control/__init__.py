@@ -1,0 +1,29 @@
+"""The paper's primary contribution: proactive flow-rate control.
+
+* :class:`ArmaModel` — autoregressive moving average forecasting of the
+  maximum temperature (Section IV, after Coskun et al. ICCAD'08);
+* :class:`SprtDetector` — sequential probability ratio test deciding
+  when the predictor has diverged and must be re-fit;
+* :class:`TemperatureForecaster` — orchestrates ARMA + SPRT;
+* :class:`FlowRateTable` — the temperature-indexed look-up table built
+  by offline characterization (Figure 5);
+* :class:`FlowRateController` — picks the minimum pump setting meeting
+  the 80 degC target, with 2 degC down-switch hysteresis.
+"""
+
+from repro.control.arma import ArmaModel
+from repro.control.controller import FlowRateController
+from repro.control.flow_table import CharacterizationResult, FlowRateTable
+from repro.control.forecaster import TemperatureForecaster
+from repro.control.sprt import SprtDetector
+from repro.control.stepwise import StepwiseFlowController
+
+__all__ = [
+    "ArmaModel",
+    "SprtDetector",
+    "TemperatureForecaster",
+    "FlowRateTable",
+    "CharacterizationResult",
+    "FlowRateController",
+    "StepwiseFlowController",
+]

@@ -1,0 +1,133 @@
+"""Maximum-temperature forecasting: ARMA + SPRT-triggered re-fitting.
+
+This is the "Monitor Temperature / Forecast Maximum Temperature" box of
+the paper's Figure 4. The forecaster consumes the per-sample maximum
+temperature (100 ms sampling) and predicts 500 ms ahead (5 steps), so
+the flow-rate controller can command the pump *before* the 250-300 ms
+impeller transition would otherwise cause under-/over-cooling.
+
+"If the trend of the maximum temperature signal changes and the
+predictor cannot forecast accurately, we reconstruct the ARMA
+predictor, and use the existing model until the new one is ready":
+on an SPRT alarm we re-fit from the most recent window; until enough
+history exists the forecaster falls back to persistence (last value).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.constants import CONTROL
+from repro.control.arma import ArmaModel
+from repro.control.sprt import SprtDetector
+from repro.errors import ControlError
+
+
+class TemperatureForecaster:
+    """Proactive maximum-temperature predictor.
+
+    Parameters
+    ----------
+    horizon_steps:
+        Forecast lead in samples (paper: 500 ms / 100 ms = 5).
+    order:
+        ARMA orders (p, q).
+    window:
+        Samples of history used for (re-)fitting.
+    min_history:
+        Samples before the first fit; persistence is used meanwhile.
+    sprt_shift, sprt_alpha, sprt_beta:
+        SPRT configuration (see :class:`SprtDetector`).
+    """
+
+    def __init__(
+        self,
+        horizon_steps: int = int(round(CONTROL.forecast_horizon / CONTROL.sampling_interval)),
+        order: tuple[int, int] = (3, 2),
+        window: int = 120,
+        min_history: int = 40,
+        sprt_shift: float = 3.0,
+        sprt_alpha: float = 0.001,
+        sprt_beta: float = 0.001,
+    ) -> None:
+        if horizon_steps < 1:
+            raise ControlError("horizon must be at least one step")
+        p, q = order
+        if min_history < 4 * (p + q) + 10:
+            raise ControlError("min_history too small for the ARMA order")
+        if window < min_history:
+            raise ControlError("window must be >= min_history")
+        self.horizon_steps = horizon_steps
+        self.order = order
+        self.window = window
+        self.min_history = min_history
+        self._sprt_shift = sprt_shift
+        self._sprt_alpha = sprt_alpha
+        self._sprt_beta = sprt_beta
+        self._history: deque[float] = deque(maxlen=window)
+        self._model: ArmaModel | None = None
+        self._sprt: SprtDetector | None = None
+        self._pending_prediction: float | None = None
+        self.retrain_count = 0
+
+    @property
+    def model(self) -> ArmaModel | None:
+        """The current ARMA model (None until enough history exists)."""
+        return self._model
+
+    def observe(self, value: float) -> None:
+        """Feed one maximum-temperature sample.
+
+        Updates the SPRT with the previous one-step prediction error,
+        re-fits on alarms, and performs the initial fit when enough
+        history has accumulated.
+        """
+        if not np.isfinite(value):
+            raise ControlError("temperature sample must be finite")
+        if self._pending_prediction is not None and self._sprt is not None:
+            residual = value - self._pending_prediction
+            if self._sprt.update(residual):
+                self._refit()
+        self._history.append(float(value))
+        if self._model is None and len(self._history) >= self.min_history:
+            self._refit()
+        if self._model is not None and len(self._history) >= max(*self.order) + 1:
+            series = np.asarray(self._history)
+            self._pending_prediction = self._model.one_step_prediction(series)
+        else:
+            self._pending_prediction = None
+
+    def predict(self) -> float:
+        """Forecast ``horizon_steps`` ahead of the last observation.
+
+        Falls back to the last observed value while no model is fitted
+        (including the very first samples).
+        """
+        if not self._history:
+            raise ControlError("no observations yet")
+        if self._model is None:
+            return self._history[-1]
+        series = np.asarray(self._history)
+        forecast = self._model.forecast(series, self.horizon_steps)
+        # Clamp to a physical band around the recent history; a rogue
+        # unstable fit must not command absurd flow rates.
+        lo = float(series.min()) - 20.0
+        hi = float(series.max()) + 20.0
+        return float(np.clip(forecast, lo, hi))
+
+    def _refit(self) -> None:
+        p, q = self.order
+        try:
+            self._model = ArmaModel.fit(np.asarray(self._history), p=p, q=q)
+        except ControlError:
+            # Not enough (or degenerate) history: keep the old model.
+            return
+        self._sprt = SprtDetector(
+            sigma=self._model.sigma,
+            shift=self._sprt_shift,
+            alpha=self._sprt_alpha,
+            beta=self._sprt_beta,
+        )
+        self.retrain_count += 1

@@ -1,0 +1,77 @@
+"""The prior-work reactive flow controller (the paper's [6] baseline).
+
+Related work (Section II): "Prior liquid cooling work in [6] ...
+investigates the benefits of variable flow using a policy to
+increment/decrement the flow rate based on temperature measurements,
+without considering energy consumption."
+
+This module implements that predecessor policy so the paper's
+contribution can be measured against it: a purely reactive bang-bang
+ladder that steps the pump one setting up when the measured maximum
+temperature crosses an upper band and one setting down when it falls
+below a lower band. It has no forecast (it eats the full 250-300 ms
+pump transition), no characterized look-up table (one fixed band for
+all workloads), and no energy awareness (the bands are thermal only).
+"""
+
+from __future__ import annotations
+
+from repro.constants import CONTROL
+from repro.errors import ControlError
+from repro.pump.laing_ddc import PumpState
+
+
+class StepwiseFlowController:
+    """Increment/decrement flow control on measured temperature.
+
+    Parameters
+    ----------
+    pump_state:
+        Runtime pump state (owns the transition delay).
+    upper_band:
+        Measured T_max above this steps the pump one setting up, degC.
+    lower_band:
+        Measured T_max below this steps one setting down, degC.
+    settle_intervals:
+        Control intervals to wait after a step before stepping again
+        (the reactive policy must not re-trigger while the previous
+        transition is still propagating).
+    """
+
+    def __init__(
+        self,
+        pump_state: PumpState,
+        upper_band: float = CONTROL.target_temperature - 2.0,
+        lower_band: float = CONTROL.target_temperature - 8.0,
+        settle_intervals: int = 4,
+    ) -> None:
+        if lower_band >= upper_band:
+            raise ControlError("lower band must be below the upper band")
+        if settle_intervals < 1:
+            raise ControlError("settle_intervals must be >= 1")
+        self.pump_state = pump_state
+        self.upper_band = upper_band
+        self.lower_band = lower_band
+        self.settle_intervals = settle_intervals
+        self._cooldown = 0
+        self.upshift_count = 0
+        self.downshift_count = 0
+
+    def update(self, measured_tmax: float, now: float) -> int:
+        """One control step on the *measured* (not forecast) T_max."""
+        self.pump_state.advance(now)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return self.pump_state.commanded_index
+
+        commanded = self.pump_state.commanded_index
+        n_settings = self.pump_state.pump.n_settings
+        if measured_tmax > self.upper_band and commanded < n_settings - 1:
+            self.pump_state.command(commanded + 1, now)
+            self.upshift_count += 1
+            self._cooldown = self.settle_intervals
+        elif measured_tmax < self.lower_band and commanded > 0:
+            self.pump_state.command(commanded - 1, now)
+            self.downshift_count += 1
+            self._cooldown = self.settle_intervals
+        return self.pump_state.commanded_index

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch one type to handle any library failure distinctly from
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class GeometryError(ReproError):
+    """A floorplan or stack description is geometrically invalid."""
+
+
+class ModelError(ReproError):
+    """A physical model was evaluated outside its domain of validity."""
+
+
+class SolverError(ReproError):
+    """The thermal solver failed to assemble or solve the network."""
+
+
+class ControlError(ReproError):
+    """A controller component (ARMA, SPRT, LUT) was misused or failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload description or trace is invalid."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling operation was invalid (unknown core, bad queue op)."""

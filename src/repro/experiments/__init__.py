@@ -1,0 +1,38 @@
+"""Experiment harnesses regenerating every table and figure.
+
+Each module exposes a ``run(...)`` returning plain dicts/lists (rows in
+the same layout as the paper's table/figure) and a ``format_rows``
+helper for printing. The pytest-benchmark suite in ``benchmarks/``
+calls these, so ``pytest benchmarks/ --benchmark-only`` regenerates the
+whole evaluation.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    common,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fourlayer,
+    headline,
+    report,
+    sweeps,
+    table2,
+)
+
+__all__ = [
+    "common",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table2",
+    "headline",
+    "ablations",
+    "fourlayer",
+    "sweeps",
+    "report",
+]

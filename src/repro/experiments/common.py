@@ -1,0 +1,118 @@
+"""Shared experiment infrastructure: the policy matrix and run cache.
+
+Figure 6's seven policy/cooling combinations, the eight Table II
+workloads, and a memoized runner so Figures 6-8 (which share the same
+underlying sweep) only simulate each point once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.workload.benchmarks import TABLE_II
+
+#: Figure 6's policy/cooling combinations, in the paper's bar order.
+POLICY_MATRIX: tuple[tuple[PolicyKind, CoolingMode], ...] = (
+    (PolicyKind.LB, CoolingMode.AIR),
+    (PolicyKind.MIGRATION, CoolingMode.AIR),
+    (PolicyKind.TALB, CoolingMode.AIR),
+    (PolicyKind.LB, CoolingMode.LIQUID_MAX),
+    (PolicyKind.MIGRATION, CoolingMode.LIQUID_MAX),
+    (PolicyKind.TALB, CoolingMode.LIQUID_MAX),
+    (PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE),
+)
+
+#: Figure 8's reduced comparison set, in the paper's bar order.
+FIG8_MATRIX: tuple[tuple[PolicyKind, CoolingMode], ...] = (
+    (PolicyKind.LB, CoolingMode.AIR),
+    (PolicyKind.MIGRATION, CoolingMode.AIR),
+    (PolicyKind.TALB, CoolingMode.AIR),
+    (PolicyKind.LB, CoolingMode.LIQUID_MAX),
+    (PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE),
+)
+
+#: All Table II workloads, in table order.
+ALL_WORKLOADS: tuple[str, ...] = tuple(TABLE_II)
+
+#: Default simulated seconds per (policy, workload) point. Short enough
+#: for the benchmark suite, long enough for stationary statistics.
+DEFAULT_DURATION = 20.0
+
+_run_cache: dict[tuple, SimulationResult] = {}
+
+
+def combo_label(policy: PolicyKind, cooling: CoolingMode) -> str:
+    """Figure-style label, e.g. ``"TALB (Var)"``."""
+    return f"{policy.value} ({cooling.value})"
+
+
+def run_point(
+    policy: PolicyKind,
+    cooling: CoolingMode,
+    workload: str,
+    duration: float = DEFAULT_DURATION,
+    dpm: bool = False,
+    n_layers: int = 2,
+    seed: int = 0,
+) -> SimulationResult:
+    """Simulate one (policy, cooling, workload) point, memoized."""
+    key = (policy, cooling, workload, duration, dpm, n_layers, seed)
+    if key not in _run_cache:
+        config = SimulationConfig(
+            benchmark_name=workload,
+            policy=policy,
+            cooling=cooling,
+            n_layers=n_layers,
+            duration=duration,
+            dpm_enabled=dpm,
+            seed=seed,
+        )
+        _run_cache[key] = simulate(config)
+    return _run_cache[key]
+
+
+def run_matrix(
+    combos: Iterable[tuple[PolicyKind, CoolingMode]] = POLICY_MATRIX,
+    workloads: Iterable[str] = ALL_WORKLOADS,
+    duration: float = DEFAULT_DURATION,
+    dpm: bool = False,
+    n_layers: int = 2,
+    seed: int = 0,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Simulate a full (combo x workload) sweep; keys are (label, workload)."""
+    out: dict[tuple[str, str], SimulationResult] = {}
+    for policy, cooling in combos:
+        for workload in workloads:
+            out[(combo_label(policy, cooling), workload)] = run_point(
+                policy, cooling, workload, duration, dpm, n_layers, seed
+            )
+    return out
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (for tests that vary global state)."""
+    _run_cache.clear()
+
+
+def format_rows(rows: list[dict], columns: Optional[list[str]] = None) -> str:
+    """Render result rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0])
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,34 @@
+"""Figure 3 — pump power and per-cavity flow rates vs pump setting.
+
+"Power consumption and flow rates of the pump (based on [14]). Per
+cavity flow rates reflect 50 % efficiency assumption." One row per pump
+setting with the total flow (l/h), the per-cavity flows of the 2- and
+4-layer stacks (ml/min), and the electrical power (W).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.pump.laing_ddc import laing_ddc
+
+
+def run() -> list[dict]:
+    """Regenerate Figure 3's series."""
+    pump2 = laing_ddc(n_cavities=3)  # 2-layer stack: 3 cavities.
+    pump4 = laing_ddc(n_cavities=5)  # 4-layer stack: 5 cavities.
+    rows = []
+    for setting2, setting4 in zip(pump2.settings, pump4.settings):
+        rows.append(
+            {
+                "setting": setting2.index,
+                "pump_flow_lh": units.to_litres_per_hour(setting2.pump_flow),
+                "per_cavity_2layer_mlmin": units.to_ml_per_minute(
+                    setting2.per_cavity_flow
+                ),
+                "per_cavity_4layer_mlmin": units.to_ml_per_minute(
+                    setting4.per_cavity_flow
+                ),
+                "pump_power_w": setting2.power,
+            }
+        )
+    return rows

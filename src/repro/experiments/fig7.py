@@ -1,0 +1,48 @@
+"""Figure 7 — thermal variations with DPM enabled.
+
+"Figure 7 shows the average and maximum frequency of spatial and
+temporal variations in temperature ... In the experiments in Figure 7,
+we run DPM in addition to the thermal management policy." Spatial
+gradients are counted when the unit-to-unit spread exceeds 15 degC;
+thermal cycles when a per-core swing exceeds 20 degC (sliding window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import common
+from repro.metrics.thermal_metrics import (
+    spatial_gradient_frequency,
+    thermal_cycle_frequency,
+)
+
+
+def run(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = common.ALL_WORKLOADS,
+    seed: int = 0,
+) -> list[dict]:
+    """Regenerate Figure 7's bars (DPM on)."""
+    results = common.run_matrix(
+        combos=common.POLICY_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        dpm=True,
+        seed=seed,
+    )
+    rows = []
+    for policy, cooling in common.POLICY_MATRIX:
+        label = common.combo_label(policy, cooling)
+        gradients = [
+            spatial_gradient_frequency(results[(label, w)]) for w in workloads
+        ]
+        cycles = [thermal_cycle_frequency(results[(label, w)]) for w in workloads]
+        rows.append(
+            {
+                "policy": label,
+                "spatial_gradients_pct": float(np.mean(gradients)),
+                "thermal_cycles_pct": float(np.mean(cycles)),
+            }
+        )
+    return rows

@@ -1,0 +1,60 @@
+"""Figure 8 — performance and energy across cooling configurations.
+
+"Figure 8 compares the policies in terms of energy and performance,
+both for the air and liquid cooling systems." Energy bars (pump + chip)
+are normalized to LB (Air) chip energy; performance is throughput
+normalized to LB (Air). The paper's observations to reproduce: thread
+migration loses throughput under air cooling (temperature-triggered
+migrations), liquid cooling at maximum flow removes that overhead, and
+TALB (Var) saves energy "without any effect on the performance".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import common
+from repro.metrics.energy import EnergyBreakdown
+
+
+def run(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = common.ALL_WORKLOADS,
+    seed: int = 0,
+) -> list[dict]:
+    """Regenerate Figure 8's bars."""
+    results = common.run_matrix(
+        combos=common.FIG8_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        dpm=False,
+        seed=seed,
+    )
+    baseline_label = common.combo_label(*common.FIG8_MATRIX[0])  # LB (Air)
+    baseline_chip = float(
+        np.mean([results[(baseline_label, w)].chip_energy() for w in workloads])
+    )
+    baseline_throughput = float(
+        np.mean([results[(baseline_label, w)].throughput() for w in workloads])
+    )
+    baseline = EnergyBreakdown(chip=baseline_chip, pump=0.0)
+
+    rows = []
+    for policy, cooling in common.FIG8_MATRIX:
+        label = common.combo_label(policy, cooling)
+        chip = float(np.mean([results[(label, w)].chip_energy() for w in workloads]))
+        pump = float(np.mean([results[(label, w)].pump_energy() for w in workloads]))
+        throughput = float(
+            np.mean([results[(label, w)].throughput() for w in workloads])
+        )
+        normalized = EnergyBreakdown(chip=chip, pump=pump).normalized(baseline)
+        rows.append(
+            {
+                "policy": label,
+                "energy_chip": normalized.chip,
+                "energy_pump": normalized.pump,
+                "energy_total": normalized.chip + normalized.pump,
+                "performance": throughput / baseline_throughput,
+            }
+        )
+    return rows

@@ -1,0 +1,22 @@
+"""Chip geometry: floorplans (Figure 1) and 3D stack descriptions."""
+
+from repro.geometry.floorplan import (
+    Floorplan,
+    Unit,
+    UnitKind,
+    t1_cache_layer,
+    t1_core_layer,
+)
+from repro.geometry.stack import CoolingKind, Die, Stack3D, build_stack
+
+__all__ = [
+    "Floorplan",
+    "Unit",
+    "UnitKind",
+    "t1_core_layer",
+    "t1_cache_layer",
+    "CoolingKind",
+    "Die",
+    "Stack3D",
+    "build_stack",
+]

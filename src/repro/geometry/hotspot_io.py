@@ -1,0 +1,90 @@
+"""HotSpot floorplan (.flp) interoperability.
+
+The paper builds on HotSpot v4.2 and its floorplan format; this module
+reads and writes that format so our floorplans can be cross-checked
+against HotSpot itself (or floorplans from other HotSpot-based work can
+be simulated here).
+
+The `.flp` format is line-oriented::
+
+    # comment
+    <unit-name>\t<width>\t<height>\t<left-x>\t<bottom-y>
+
+with all dimensions in metres (HotSpot convention).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GeometryError
+from repro.geometry.floorplan import Floorplan, Unit, UnitKind
+
+
+def _kind_from_name(name: str) -> UnitKind:
+    """Infer the unit kind from a HotSpot unit name.
+
+    HotSpot floorplans carry no type column; the common convention in
+    published T1/Alpha floorplans names cores ``core*``/``cpu*``,
+    caches ``l2*``/``cache*``, and the crossbar ``xbar*``/``ccx*``.
+    Everything else is treated as MISC.
+    """
+    lowered = name.lower()
+    if lowered.startswith(("core", "cpu", "sparc")):
+        return UnitKind.CORE
+    if lowered.startswith(("l2", "cache", "l3")):
+        return UnitKind.L2
+    if lowered.startswith(("xbar", "ccx", "crossbar")):
+        return UnitKind.CROSSBAR
+    return UnitKind.MISC
+
+
+def write_flp(floorplan: Floorplan, path: Union[str, Path]) -> None:
+    """Write a floorplan in HotSpot .flp format."""
+    path = Path(path)
+    lines = [
+        f"# Floorplan {floorplan.name}: "
+        f"{floorplan.width:.6e} x {floorplan.height:.6e} m",
+        "# <unit-name>\t<width>\t<height>\t<left-x>\t<bottom-y>",
+    ]
+    for unit in floorplan:
+        # Full precision: coarser formats can round adjacent blocks
+        # into sub-nanometre overlaps that fail re-validation on read.
+        lines.append(
+            f"{unit.name}\t{unit.width:.12e}\t{unit.height:.12e}"
+            f"\t{unit.x:.12e}\t{unit.y:.12e}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_flp(path: Union[str, Path], name: str | None = None) -> Floorplan:
+    """Read a HotSpot .flp floorplan.
+
+    The die outline is the bounding box of the units; unit kinds are
+    inferred from names (see :func:`_kind_from_name`). Raises
+    :class:`GeometryError` on malformed lines or non-tiling floorplans
+    (the same validation our native floorplans get).
+    """
+    path = Path(path)
+    units: list[Unit] = []
+    for line_no, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) < 5:
+            raise GeometryError(
+                f"{path.name}:{line_no}: expected 5 fields, got {len(fields)}"
+            )
+        unit_name = fields[0]
+        try:
+            width, height, x, y = (float(v) for v in fields[1:5])
+        except ValueError as exc:
+            raise GeometryError(f"{path.name}:{line_no}: bad number: {exc}")
+        units.append(Unit(unit_name, _kind_from_name(unit_name), x, y, width, height))
+    if not units:
+        raise GeometryError(f"{path.name}: no units found")
+    outline_w = max(u.x2 for u in units)
+    outline_h = max(u.y2 for u in units)
+    return Floorplan(name or path.stem, outline_w, outline_h, units)

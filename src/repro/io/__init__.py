@@ -1,0 +1,15 @@
+"""Result and trace serialization (JSON summaries, CSV time series)."""
+
+from repro.io.serialize import (
+    load_result,
+    result_summary,
+    save_result,
+    write_timeseries_csv,
+)
+
+__all__ = [
+    "result_summary",
+    "save_result",
+    "load_result",
+    "write_timeseries_csv",
+]

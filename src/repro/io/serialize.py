@@ -1,0 +1,146 @@
+"""Serialization of simulation results.
+
+Three forms, matching how results get consumed:
+
+* :func:`result_summary` — the scalar digest (energies, peaks,
+  hot-spot percentages) as a plain dict, for tables and dashboards;
+* :func:`save_result` / :func:`load_result` — lossless JSON round-trip
+  of the full time series, for archiving runs and offline analysis;
+* :func:`write_timeseries_csv` — the per-interval series as CSV, for
+  spreadsheets/plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.constants import CONTROL
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+_FORMAT_VERSION = 1
+
+
+def result_summary(result: SimulationResult) -> dict:
+    """Scalar digest of a run (JSON-serializable)."""
+    return {
+        "duration_s": result.duration,
+        "intervals": len(result.times),
+        "peak_temperature_sensor": result.peak_temperature(),
+        "peak_temperature_cell": float(result.tmax_cell.max())
+        if len(result.tmax_cell)
+        else float("nan"),
+        "hotspot_pct": 100.0 * result.time_above(CONTROL.hotspot_threshold),
+        "above_target_pct": 100.0 * result.time_above(CONTROL.target_temperature),
+        "chip_energy_j": result.chip_energy(),
+        "pump_energy_j": result.pump_energy(),
+        "total_energy_j": result.total_energy(),
+        "throughput_tps": result.throughput(),
+        "completed_threads": result.total_completed(),
+        "mean_sojourn_s": _nan_to_none(result.mean_sojourn_time()),
+        "mean_flow_setting": _nan_to_none(result.mean_flow_setting()),
+        "arma_retrains": result.retrain_count,
+    }
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write the full result (summary + time series) as JSON."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "summary": result_summary(result),
+        "core_names": result.core_names,
+        "unit_names": result.unit_names,
+        "retrain_count": result.retrain_count,
+        "sojourn_sum": result.sojourn_sum,
+        "sojourn_count": result.sojourn_count,
+        "series": {
+            "times": result.times.tolist(),
+            "tmax": result.tmax.tolist(),
+            "tmax_cell": result.tmax_cell.tolist(),
+            "core_temperatures": result.core_temperatures.tolist(),
+            "unit_temperatures": result.unit_temperatures.tolist(),
+            "chip_power": result.chip_power.tolist(),
+            "pump_power": result.pump_power.tolist(),
+            "flow_setting": result.flow_setting.tolist(),
+            "completed_threads": result.completed_threads.tolist(),
+            "forecast_tmax": _nan_safe(result.forecast_tmax),
+            "migrations": result.migrations.tolist(),
+        },
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Read a result written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported result format version {version!r}"
+        )
+    series = payload["series"]
+    return SimulationResult(
+        times=np.asarray(series["times"], dtype=float),
+        tmax=np.asarray(series["tmax"], dtype=float),
+        tmax_cell=np.asarray(series["tmax_cell"], dtype=float),
+        core_temperatures=np.asarray(series["core_temperatures"], dtype=float),
+        unit_temperatures=np.asarray(series["unit_temperatures"], dtype=float),
+        unit_names=list(payload["unit_names"]),
+        core_names=list(payload["core_names"]),
+        chip_power=np.asarray(series["chip_power"], dtype=float),
+        pump_power=np.asarray(series["pump_power"], dtype=float),
+        flow_setting=np.asarray(series["flow_setting"], dtype=int),
+        completed_threads=np.asarray(series["completed_threads"], dtype=int),
+        forecast_tmax=_from_nan_safe(series["forecast_tmax"]),
+        migrations=np.asarray(series["migrations"], dtype=int),
+        retrain_count=int(payload["retrain_count"]),
+        sojourn_sum=float(payload.get("sojourn_sum", 0.0)),
+        sojourn_count=int(payload.get("sojourn_count", 0)),
+    )
+
+
+def write_timeseries_csv(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write the per-interval series as CSV (one row per interval)."""
+    header = (
+        ["time_s", "tmax", "tmax_cell", "chip_power_w", "pump_power_w",
+         "flow_setting", "completed", "forecast_tmax", "migrations"]
+        + [f"T[{name}]" for name in result.core_names]
+    )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for k in range(len(result.times)):
+            row = [
+                f"{result.times[k]:.3f}",
+                f"{result.tmax[k]:.4f}",
+                f"{result.tmax_cell[k]:.4f}",
+                f"{result.chip_power[k]:.4f}",
+                f"{result.pump_power[k]:.4f}",
+                int(result.flow_setting[k]),
+                int(result.completed_threads[k]),
+                "" if np.isnan(result.forecast_tmax[k])
+                else f"{result.forecast_tmax[k]:.4f}",
+                int(result.migrations[k]),
+            ]
+            row += [f"{t:.4f}" for t in result.core_temperatures[k]]
+            writer.writerow(row)
+
+
+def _nan_safe(values: np.ndarray) -> list:
+    """JSON has no NaN: encode as None."""
+    return [None if np.isnan(v) else float(v) for v in values]
+
+
+def _from_nan_safe(values: list) -> np.ndarray:
+    return np.asarray(
+        [np.nan if v is None else float(v) for v in values], dtype=float
+    )
+
+
+def _nan_to_none(value: float):
+    return None if np.isnan(value) else value

@@ -1,0 +1,28 @@
+"""Evaluation metrics for Figures 6-8, plus reliability proxies."""
+
+from repro.metrics.energy import EnergyBreakdown
+from repro.metrics.performance import normalized_sojourn, normalized_throughput
+from repro.metrics.reliability import (
+    coffin_manson_damage,
+    electromigration_acceleration,
+    relative_mttf,
+)
+from repro.metrics.thermal_metrics import (
+    count_thermal_cycles,
+    hotspot_frequency,
+    spatial_gradient_frequency,
+    thermal_cycle_frequency,
+)
+
+__all__ = [
+    "hotspot_frequency",
+    "spatial_gradient_frequency",
+    "thermal_cycle_frequency",
+    "count_thermal_cycles",
+    "EnergyBreakdown",
+    "normalized_throughput",
+    "normalized_sojourn",
+    "coffin_manson_damage",
+    "electromigration_acceleration",
+    "relative_mttf",
+]

@@ -1,0 +1,57 @@
+"""Energy accounting (Figures 6 and 8).
+
+The figures normalize chip and pump energy "with respect to the load
+balancing policy on a system with air cooling"; fan energy of the air
+system is explicitly out of scope in the paper and therefore here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Chip/pump/total energy of one run, with normalization helpers."""
+
+    chip: float
+    pump: float
+
+    @property
+    def total(self) -> float:
+        """Chip + pump energy, J."""
+        return self.chip + self.pump
+
+    @classmethod
+    def from_result(cls, result: SimulationResult) -> "EnergyBreakdown":
+        """Extract the breakdown from a simulation result."""
+        return cls(chip=result.chip_energy(), pump=result.pump_energy())
+
+    def normalized(self, baseline: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Both components normalized to a baseline's *chip* energy.
+
+        This matches the figures: the unit of the y axis is the
+        baseline policy's chip energy.
+        """
+        if baseline.chip <= 0.0:
+            raise ConfigurationError("baseline chip energy must be positive")
+        return EnergyBreakdown(
+            chip=self.chip / baseline.chip, pump=self.pump / baseline.chip
+        )
+
+
+def cooling_energy_savings(variable: EnergyBreakdown, max_flow: EnergyBreakdown) -> float:
+    """Fractional pump-energy reduction of variable flow vs maximum flow."""
+    if max_flow.pump <= 0.0:
+        raise ConfigurationError("max-flow pump energy must be positive")
+    return (max_flow.pump - variable.pump) / max_flow.pump
+
+
+def total_energy_savings(variable: EnergyBreakdown, max_flow: EnergyBreakdown) -> float:
+    """Fractional total (chip+pump) energy reduction vs maximum flow."""
+    if max_flow.total <= 0.0:
+        raise ConfigurationError("max-flow total energy must be positive")
+    return (max_flow.total - variable.total) / max_flow.total

@@ -1,0 +1,35 @@
+"""Performance metric: thread throughput (Figure 8).
+
+"Throughput is the number of threads completed per given time. As we
+run the same workloads in all experiments, when a policy delays
+execution of threads, the resulting throughput drops."
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+
+def normalized_throughput(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Throughput relative to a baseline run of the same workload."""
+    base = baseline.throughput()
+    if base <= 0.0:
+        raise ConfigurationError("baseline completed no threads")
+    return result.throughput() / base
+
+
+def normalized_sojourn(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Mean thread sojourn time relative to a baseline run.
+
+    Values above 1 mean threads waited longer (worse). More sensitive
+    than throughput: queueing delay and migration penalties appear here
+    even while the completion count is unchanged.
+    """
+    base = baseline.mean_sojourn_time()
+    mine = result.mean_sojourn_time()
+    if not base > 0.0:
+        raise ConfigurationError("baseline completed no threads")
+    if not mine > 0.0:
+        raise ConfigurationError("result completed no threads")
+    return mine / base

@@ -1,0 +1,126 @@
+"""Reliability proxies from the thermal history (extension).
+
+The paper motivates both contributions with reliability: over-cooling
+"may cause dynamic fluctuations in temperature, which degrade
+reliability", and TALB exists to reduce "the adverse effects of
+variations on reliability". This module quantifies that with the two
+standard wear models the thermal-management literature uses:
+
+* **Thermal cycling** (solder/interconnect fatigue) — a Coffin-Manson
+  life model: cycles to failure scale as ``(dT)^-q``, so each observed
+  cycle of magnitude dT consumes ``(dT / dT_ref)^q`` units of fatigue
+  budget relative to a reference cycle.
+* **Electromigration** — Black's equation: the time-to-failure at
+  temperature T scales as ``exp(Ea / (k_B * T))``; the acceleration
+  factor relative to a reference temperature integrates over the run.
+
+Both return *relative* numbers (1.0 = the reference condition), which
+is how policy comparisons use them; absolute MTTFs would need process
+constants the paper does not give.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.thermal_metrics import _local_extrema
+from repro.sim.results import SimulationResult
+
+BOLTZMANN_EV = 8.617e-5
+"""Boltzmann constant, eV/K."""
+
+
+def coffin_manson_damage(
+    result: SimulationResult,
+    exponent: float = 3.5,
+    reference_delta: float = 20.0,
+    minimum_delta: float = 2.0,
+) -> float:
+    """Relative thermal-cycling fatigue accumulated over the run.
+
+    Each per-core temperature swing of magnitude dT contributes
+    ``(dT / reference_delta) ** exponent`` damage units; swings below
+    ``minimum_delta`` are elastic and ignored. The result is normalized
+    per core and per hour of simulated time so runs of different length
+    compare directly.
+
+    Parameters
+    ----------
+    result:
+        The simulation time series.
+    exponent:
+        Coffin-Manson exponent q (3-5 for solder joints; default 3.5).
+    reference_delta:
+        The cycle magnitude defined as 1 damage unit (the paper's
+        "large cycle" threshold, 20 K).
+    minimum_delta:
+        Swings below this are ignored, K.
+    """
+    if exponent <= 0.0:
+        raise ConfigurationError("Coffin-Manson exponent must be positive")
+    if reference_delta <= 0.0 or minimum_delta < 0.0:
+        raise ConfigurationError("cycle magnitudes must be positive")
+    temps = result.core_temperatures
+    if temps.size == 0 or result.duration == 0.0:
+        return 0.0
+    damage = 0.0
+    for c in range(temps.shape[1]):
+        extrema = _local_extrema(temps[:, c])
+        swings = np.abs(np.diff(extrema))
+        swings = swings[swings >= minimum_delta]
+        damage += float(np.sum((swings / reference_delta) ** exponent))
+    hours = result.duration / 3600.0
+    return damage / (temps.shape[1] * max(hours, 1.0e-12))
+
+
+def electromigration_acceleration(
+    result: SimulationResult,
+    activation_energy: float = 0.7,
+    reference_temperature: float = 70.0,
+) -> float:
+    """Mean electromigration acceleration factor over the run.
+
+    Black's equation: MTTF ~ exp(Ea / (k_B T)), so the instantaneous
+    acceleration relative to ``reference_temperature`` is
+    ``exp(Ea/k_B * (1/T_ref - 1/T))`` with temperatures in kelvin.
+    Values above 1 mean the run ages interconnect faster than the
+    reference condition.
+
+    Parameters
+    ----------
+    result:
+        The simulation time series (per-core sensors are used; EM cares
+        about the hottest wires, so each sample uses the hottest core).
+    activation_energy:
+        Ea in eV (0.7 eV is typical for Cu interconnect).
+    reference_temperature:
+        The 1.0x condition, degC.
+    """
+    if activation_energy <= 0.0:
+        raise ConfigurationError("activation energy must be positive")
+    temps = result.core_temperatures
+    if temps.size == 0:
+        return 1.0
+    hottest = temps.max(axis=1) + 273.15
+    t_ref = reference_temperature + 273.15
+    factors = np.exp(
+        (activation_energy / BOLTZMANN_EV) * (1.0 / t_ref - 1.0 / hottest)
+    )
+    return float(factors.mean())
+
+
+def relative_mttf(
+    result: SimulationResult,
+    baseline: SimulationResult,
+    activation_energy: float = 0.7,
+) -> float:
+    """Electromigration-limited MTTF of ``result`` relative to ``baseline``.
+
+    Ratios above 1 mean the evaluated policy extends interconnect life.
+    """
+    mine = electromigration_acceleration(result, activation_energy)
+    theirs = electromigration_acceleration(baseline, activation_energy)
+    if mine <= 0.0:
+        raise ConfigurationError("acceleration factor must be positive")
+    return theirs / mine

@@ -1,0 +1,112 @@
+"""Thermal metrics: hot spots, spatial gradients, thermal cycles.
+
+Definitions follow Section V:
+
+* hot spots — percentage of sampling intervals with the maximum
+  temperature above the 85 degC threshold;
+* spatial gradients — "the maximum difference in temperature among all
+  the units at every sampling interval", counted when above 15 degC;
+* thermal cycles — per-core temperature swings; "we keep a sliding
+  history window for each core, and compute the cycles with magnitude
+  larger than 20 degC". Cycles are extracted from the sequence of local
+  extrema (the standard simplification of rainflow counting for
+  single-threshold queries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CONTROL
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+
+def hotspot_frequency(
+    result: SimulationResult, threshold: float = CONTROL.hotspot_threshold
+) -> float:
+    """Percentage of samples whose T_max exceeds the threshold."""
+    return 100.0 * result.time_above(threshold)
+
+
+def spatial_gradient_frequency(
+    result: SimulationResult,
+    threshold: float = CONTROL.spatial_gradient_threshold,
+) -> float:
+    """Percentage of samples with a unit-to-unit spread above threshold."""
+    temps = result.unit_temperatures
+    if temps.size == 0:
+        return 0.0
+    spread = temps.max(axis=1) - temps.min(axis=1)
+    return 100.0 * float(np.mean(spread > threshold))
+
+
+def _local_extrema(series: np.ndarray) -> np.ndarray:
+    """Values of the series at its turning points (incl. endpoints).
+
+    Consecutive repeats are compressed first so plateaus at a peak or
+    valley do not hide the turning point.
+    """
+    if len(series) < 2:
+        return series.copy()
+    mask = np.ones(len(series), dtype=bool)
+    mask[1:] = np.diff(series) != 0.0
+    compressed = series[mask]
+    if len(compressed) < 3:
+        return compressed
+    diffs = np.diff(compressed)
+    keep = [0]
+    for i in range(1, len(compressed) - 1):
+        if np.sign(diffs[i - 1]) != np.sign(diffs[i]):
+            keep.append(i)
+    keep.append(len(compressed) - 1)
+    return compressed[np.asarray(keep)]
+
+
+def count_thermal_cycles(series: np.ndarray, threshold: float) -> int:
+    """Number of temperature cycles with magnitude above the threshold.
+
+    A cycle is a swing between consecutive local extrema; swings below
+    the threshold are ignored. This is the single-threshold rainflow
+    simplification: adequate for frequency-of-large-cycles reporting.
+    """
+    if threshold <= 0.0:
+        raise ConfigurationError("cycle threshold must be positive")
+    series = np.asarray(series, dtype=float)
+    if len(series) < 2:
+        return 0
+    extrema = _local_extrema(series)
+    swings = np.abs(np.diff(extrema))
+    return int(np.sum(swings > threshold))
+
+
+def thermal_cycle_frequency(
+    result: SimulationResult,
+    threshold: float = CONTROL.thermal_cycle_threshold,
+    window: int = 100,
+) -> float:
+    """Percentage of (core, sample) pairs inside a large thermal cycle.
+
+    For each core, cycles above the threshold are counted over sliding
+    windows of ``window`` samples (the paper's "sliding history
+    window"), then normalized by the total number of samples so the
+    result is comparable across run lengths.
+    """
+    temps = result.core_temperatures
+    if temps.size == 0:
+        return 0.0
+    n_samples, n_cores = temps.shape
+    step = max(1, window // 2)
+    total_cycles = 0
+    total_windows = 0
+    for c in range(n_cores):
+        series = temps[:, c]
+        for start in range(0, max(1, n_samples - window + 1), step):
+            total_cycles += count_thermal_cycles(
+                series[start : start + window], threshold
+            )
+            total_windows += 1
+    if total_windows == 0:
+        return 0.0
+    # Express as cycles per hundred window observations.
+    return 100.0 * total_cycles / (total_windows * max(1, window))

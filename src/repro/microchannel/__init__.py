@@ -1,0 +1,20 @@
+"""Interlayer microchannel cooling: coolant, geometry, heat transfer."""
+
+from repro.microchannel.coolant import WATER, Coolant
+from repro.microchannel.geometry import ChannelGeometry
+from repro.microchannel.model import (
+    MicrochannelModel,
+    graetz_number,
+    nusselt_developing,
+    reynolds_number,
+)
+
+__all__ = [
+    "Coolant",
+    "WATER",
+    "ChannelGeometry",
+    "MicrochannelModel",
+    "reynolds_number",
+    "graetz_number",
+    "nusselt_developing",
+]

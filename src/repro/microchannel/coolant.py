@@ -1,0 +1,73 @@
+"""Coolant fluid properties.
+
+The paper assumes forced convective interlayer cooling with water
+(Table I gives c_p = 4183 J/(kg K) and rho = 998 kg/m^3) but notes the
+model "can be extended to other coolants"; this class is that extension
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    MICROCHANNEL,
+    WATER_DYNAMIC_VISCOSITY_60C,
+    WATER_PRANDTL_60C,
+)
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Coolant:
+    """Thermophysical properties of a coolant.
+
+    Attributes
+    ----------
+    name:
+        Identifier.
+    density:
+        rho, kg/m^3.
+    heat_capacity:
+        c_p, J/(kg*K).
+    conductivity:
+        k_f, W/(m*K); used by the Nusselt correlation (h = Nu*k_f/D_h).
+    viscosity:
+        Dynamic viscosity mu, Pa*s; used for Reynolds number.
+    prandtl:
+        Pr = mu*c_p/k_f at the operating temperature.
+    """
+
+    name: str
+    density: float
+    heat_capacity: float
+    conductivity: float
+    viscosity: float
+    prandtl: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("density", "heat_capacity", "conductivity", "viscosity", "prandtl"):
+            if getattr(self, field_name) <= 0.0:
+                raise ModelError(f"coolant {self.name!r}: {field_name} must be positive")
+
+    def volumetric_heat_capacity(self) -> float:
+        """rho * c_p, J/(m^3*K)."""
+        return self.density * self.heat_capacity
+
+    def mass_flow(self, volumetric_flow: float) -> float:
+        """Mass flow rate (kg/s) for a volumetric flow rate (m^3/s)."""
+        if volumetric_flow < 0.0:
+            raise ModelError("volumetric flow must be non-negative")
+        return self.density * volumetric_flow
+
+
+WATER = Coolant(
+    name="water",
+    density=MICROCHANNEL.coolant_density,
+    heat_capacity=MICROCHANNEL.coolant_heat_capacity,
+    conductivity=0.654,  # W/(m*K) at ~60 degC
+    viscosity=WATER_DYNAMIC_VISCOSITY_60C,
+    prandtl=WATER_PRANDTL_60C,
+)
+"""Water at the hot-water-cooling operating point (Table I values for
+rho and c_p; conductivity/viscosity/Prandtl at ~60 degC)."""

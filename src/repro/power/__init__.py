@@ -1,0 +1,7 @@
+"""Power modeling: component powers, leakage, dynamic power management."""
+
+from repro.power.components import CoreState, PowerModel
+from repro.power.dpm import DpmPolicy
+from repro.power.leakage import LeakageModel
+
+__all__ = ["PowerModel", "CoreState", "LeakageModel", "DpmPolicy"]

@@ -1,0 +1,202 @@
+"""Component power model for the UltraSPARC T1-based stacks (Section V).
+
+The paper assumes "the instantaneous dynamic power consumption is equal
+to the average power at each state (active, idle, sleep)": 3 W active
+cores, 0.02 W asleep, 1.28 W per L2 bank (CACTI 4.0), and a crossbar
+whose average power scales "according to the number of active cores and
+the memory accesses". Leakage is added on top by
+:class:`repro.power.leakage.LeakageModel` using the live temperatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Optional
+
+from repro.constants import POWER
+from repro.errors import ModelError
+from repro.geometry.floorplan import UnitKind
+from repro.geometry.stack import Stack3D
+from repro.power.leakage import LeakageModel
+
+
+class CoreState(Enum):
+    """Power state of one core."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps activity to per-unit power for a stack.
+
+    Parameters
+    ----------
+    stack:
+        The 3D system (provides unit names, kinds, areas).
+    leakage:
+        Temperature-dependent leakage model; pass ``None`` to disable
+        leakage entirely (useful for isolating dynamic effects).
+    active_power, idle_power, sleep_power, l2_power, crossbar_peak:
+        Section V constants (see :mod:`repro.constants`).
+    misc_power:
+        Constant dynamic power of each "other" (memory control /
+        buffering) block, W.
+    """
+
+    stack: Stack3D
+    leakage: Optional[LeakageModel] = field(default_factory=LeakageModel)
+    active_power: float = POWER.core_active_power
+    idle_power: float = POWER.core_idle_power
+    sleep_power: float = POWER.core_sleep_power
+    l2_power: float = POWER.l2_power
+    crossbar_peak: float = POWER.crossbar_peak_power
+    misc_power: float = 0.2
+
+    def core_power(self, utilization: float, state: CoreState) -> float:
+        """Dynamic power of one core over an interval.
+
+        ``utilization`` is the busy fraction of the interval; an awake
+        core blends active and idle power accordingly, while a sleeping
+        core draws the 0.02 W sleep power regardless.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ModelError(f"utilization {utilization} outside [0, 1]")
+        if state is CoreState.SLEEP:
+            return self.sleep_power
+        return utilization * self.active_power + (1.0 - utilization) * self.idle_power
+
+    def l2_bank_power(self, pair_utilization: float) -> float:
+        """Dynamic power of one L2 bank.
+
+        The paper reports a single 1.28 W figure; we scale mildly with
+        the utilization of the cores the bank serves so idle periods
+        (and DPM sleep) reduce cache activity: 40 % of the power is
+        clock/array background, 60 % follows utilization.
+        """
+        if not 0.0 <= pair_utilization <= 1.0:
+            raise ModelError("pair utilization outside [0, 1]")
+        return self.l2_power * (0.4 + 0.6 * pair_utilization)
+
+    def crossbar_power(self, active_fraction: float, memory_intensity: float) -> float:
+        """Crossbar power scaled by active cores and memory accesses.
+
+        ``memory_intensity`` in [0, 1] derives from the benchmark's L2
+        miss statistics (Table II), normalized by the generator.
+        """
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ModelError("active fraction outside [0, 1]")
+        if not 0.0 <= memory_intensity <= 1.0:
+            raise ModelError("memory intensity outside [0, 1]")
+        return self.crossbar_peak * (0.2 + 0.8 * active_fraction * memory_intensity)
+
+    def unit_powers(
+        self,
+        core_utilization: Mapping[str, float],
+        core_states: Mapping[str, CoreState],
+        memory_intensity: float,
+        unit_temperatures: Optional[Mapping[tuple[int, str], float]] = None,
+    ) -> dict[tuple[int, str], float]:
+        """Per-unit total power map for the thermal model.
+
+        Parameters
+        ----------
+        core_utilization:
+            Busy fraction per core name over the interval.
+        core_states:
+            Power state per core name (DPM output).
+        memory_intensity:
+            Workload memory intensity in [0, 1] for the crossbar.
+        unit_temperatures:
+            Last known per-unit temperatures, for leakage; omit on the
+            first interval (leakage evaluates at its reference point).
+
+        Returns
+        -------
+        ``{(die_index, unit_name): watts}`` covering every floorplan unit.
+        """
+        powers: dict[tuple[int, str], float] = {}
+        awake = [
+            name
+            for name, state in core_states.items()
+            if state is not CoreState.SLEEP
+        ]
+        total_cores = max(len(core_states), 1)
+        active_fraction = (
+            sum(core_utilization.get(name, 0.0) for name in awake) / total_cores
+        )
+
+        for die_index, die in enumerate(self.stack.dies):
+            core_units = die.floorplan.units_of_kind(UnitKind.CORE)
+            l2_units = die.floorplan.units_of_kind(UnitKind.L2)
+            # Each L2 bank serves two cores (T1: one shared L2 per two
+            # cores); with cores and caches on different tiers we pair
+            # bank k of a cache die with cores 2k, 2k+1 of the core die
+            # below it in stacking order.
+            for unit in die.floorplan:
+                key = (die_index, unit.name)
+                temperature = (
+                    unit_temperatures.get(key, self._leakage_ref())
+                    if unit_temperatures
+                    else self._leakage_ref()
+                )
+                if unit.kind is UnitKind.CORE:
+                    state = core_states.get(unit.name, CoreState.IDLE)
+                    util = core_utilization.get(unit.name, 0.0)
+                    dynamic = self.core_power(util, state)
+                    asleep = state is CoreState.SLEEP
+                elif unit.kind is UnitKind.L2:
+                    pair_util = self._bank_pair_utilization(
+                        unit.name, core_utilization, core_states
+                    )
+                    dynamic = self.l2_bank_power(pair_util)
+                    asleep = False
+                elif unit.kind is UnitKind.CROSSBAR:
+                    dynamic = self.crossbar_power(active_fraction, memory_intensity)
+                    asleep = False
+                else:
+                    dynamic = self.misc_power
+                    asleep = False
+                total = dynamic
+                if self.leakage is not None:
+                    total += self.leakage.unit_leakage(
+                        unit.kind, unit.area, temperature, asleep=asleep
+                    )
+                powers[key] = total
+        return powers
+
+    def _leakage_ref(self) -> float:
+        if self.leakage is None:
+            return 60.0
+        return self.leakage.reference_temperature
+
+    def _bank_pair_utilization(
+        self,
+        bank_name: str,
+        core_utilization: Mapping[str, float],
+        core_states: Mapping[str, CoreState],
+    ) -> float:
+        """Mean utilization of the two cores served by an L2 bank.
+
+        Bank ``l2_k`` serves cores ``2k`` and ``2k+1``; a sleeping core
+        contributes zero.
+        """
+        try:
+            bank_index = int(bank_name.rsplit("_", 1)[1])
+        except (IndexError, ValueError):
+            raise ModelError(f"unrecognized L2 bank name {bank_name!r}")
+        utils = []
+        for core_index in (2 * bank_index, 2 * bank_index + 1):
+            name = f"core{core_index}"
+            if core_states.get(name) is CoreState.SLEEP:
+                utils.append(0.0)
+            else:
+                utils.append(core_utilization.get(name, 0.0))
+        return sum(utils) / len(utils)
+
+    def total_power(self, unit_powers: Mapping[tuple[int, str], float]) -> float:
+        """Total chip power (W) of a per-unit power map."""
+        return float(sum(unit_powers.values()))

@@ -1,0 +1,17 @@
+"""Coolant pump models (Laing DDC, Section III-B and Figure 3)."""
+
+from repro.pump.laing_ddc import (
+    LAING_DDC_SETTINGS_LH,
+    FlowSetting,
+    PumpModel,
+    PumpState,
+    laing_ddc,
+)
+
+__all__ = [
+    "FlowSetting",
+    "PumpModel",
+    "PumpState",
+    "laing_ddc",
+    "LAING_DDC_SETTINGS_LH",
+]

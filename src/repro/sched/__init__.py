@@ -1,0 +1,27 @@
+"""Multi-queue scheduler substrate and the paper's policies.
+
+Modern OSes dispatch threads to per-core queues; the paper implements
+"a similar infrastructure, where the queues maintain the threads
+allocated to cores and execute them". Policies:
+
+* :class:`LoadBalancer` — dynamic load balancing (LB), thermally blind;
+* :class:`ReactiveMigration` — LB plus temperature-triggered migration
+  of the running thread away from cores above 85 degC;
+* :class:`WeightedLoadBalancer` (TALB) — the paper's contribution:
+  queue lengths weighted by per-core thermal weights (Eq. 8).
+"""
+
+from repro.sched.base import CoreQueues, SchedulerPolicy
+from repro.sched.load_balancer import LoadBalancer
+from repro.sched.migration import ReactiveMigration
+from repro.sched.talb import WeightedLoadBalancer
+from repro.sched.weights import ThermalWeights
+
+__all__ = [
+    "CoreQueues",
+    "SchedulerPolicy",
+    "LoadBalancer",
+    "ReactiveMigration",
+    "WeightedLoadBalancer",
+    "ThermalWeights",
+]

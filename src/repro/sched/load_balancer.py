@@ -1,0 +1,58 @@
+"""Dynamic load balancing (the paper's LB baseline).
+
+"Dynamic Load Balancing (LB) balances the workload by moving threads
+from a core's queue to another if the difference in queue lengths is
+over a threshold. LB does not have any thermal management features."
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+
+
+class LoadBalancer:
+    """Thermally blind queue-length balancing.
+
+    Parameters
+    ----------
+    threshold:
+        Maximum tolerated difference between the longest and shortest
+        queue before threads are moved (paper's "threshold"; 1 thread).
+    max_moves:
+        Safety bound on moves per invocation.
+    """
+
+    name = "LB"
+
+    def __init__(self, threshold: int = 1, max_moves: int = 1000) -> None:
+        if threshold < 1:
+            raise SchedulingError("threshold must be >= 1")
+        self.threshold = threshold
+        self.max_moves = max_moves
+
+    def dispatch_target(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+    ) -> str:
+        """Core that should receive a newly arrived thread."""
+        return queues.shortest()
+
+    def rebalance(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+        now: float,
+    ) -> None:
+        """Move tail threads from the longest to the shortest queue."""
+        for _ in range(self.max_moves):
+            longest = queues.longest()
+            shortest = queues.shortest()
+            lengths = queues.lengths()
+            if lengths[longest] - lengths[shortest] <= self.threshold:
+                return
+            if queues.move_waiting(longest, shortest, 1) == 0:
+                return

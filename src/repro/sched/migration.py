@@ -1,0 +1,72 @@
+"""Reactive thread migration (the paper's "Mig." baseline).
+
+"Reactive Migration initially performs load balancing, but upon
+reaching a threshold temperature, which is set to 85 degC in this work,
+it moves the currently running thread from the hot core to a cool
+core." The migration's performance overhead is charged by the engine
+per migration event (cold caches, pipeline refill), which is why the
+paper observes reduced throughput "especially for high-utilization
+workloads".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.constants import CONTROL
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.sched.load_balancer import LoadBalancer
+
+
+class ReactiveMigration:
+    """Load balancing plus temperature-triggered migration.
+
+    Parameters
+    ----------
+    threshold_temperature:
+        Migration trigger, degC (paper: 85).
+    balancer:
+        The underlying load balancer.
+    """
+
+    name = "Mig"
+
+    def __init__(
+        self,
+        threshold_temperature: float = CONTROL.hotspot_threshold,
+        balancer: LoadBalancer | None = None,
+        penalty: float = 0.01,
+    ) -> None:
+        if threshold_temperature <= 0.0:
+            raise SchedulingError("threshold temperature must be positive")
+        if penalty < 0.0:
+            raise SchedulingError("penalty must be non-negative")
+        self.threshold_temperature = threshold_temperature
+        self.balancer = balancer or LoadBalancer()
+        self.penalty = penalty
+        self.migration_count = 0
+
+    def dispatch_target(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+    ) -> str:
+        """New threads go to the shortest queue (plain load balancing)."""
+        return self.balancer.dispatch_target(queues, core_temperatures)
+
+    def rebalance(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+        now: float,
+    ) -> None:
+        """Balance load, then evacuate running threads from hot cores."""
+        self.balancer.rebalance(queues, core_temperatures, now)
+        if not core_temperatures:
+            return
+        coolest = min(core_temperatures, key=core_temperatures.get)
+        for core, temperature in core_temperatures.items():
+            if temperature > self.threshold_temperature and core != coolest:
+                if queues.migrate_running(core, coolest, penalty=self.penalty):
+                    self.migration_count += 1

@@ -1,0 +1,98 @@
+"""Temperature-aware weighted load balancing — TALB (Eq. 8).
+
+The paper's scheduling contribution: keep the load balancer's
+priority/performance features, but compute each core's queue length as
+
+    l_weighted(i) = l_queue(i) * w_thermal(i, T(k))        (Eq. 8)
+
+where the thermal weight depends on the current maximum temperature
+range. Thermally disadvantaged cores appear "longer" than they are and
+consequently receive fewer threads, balancing temperature instead of
+raw thread count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.sched.weights import ThermalWeights
+
+WeightProvider = Callable[[float], ThermalWeights]
+"""Maps the current maximum temperature to the weight set to use
+(the paper's pre-processed look-up table over temperature ranges)."""
+
+
+class WeightedLoadBalancer:
+    """TALB: load balancing on thermally weighted queue lengths.
+
+    Parameters
+    ----------
+    weight_provider:
+        Callable returning the :class:`ThermalWeights` for the current
+        maximum temperature (the pre-processed LUT). A constant weight
+        set can be wrapped with ``lambda tmax: weights``.
+    tolerance:
+        Rebalancing stops once the weighted spread is within this
+        fraction of the mean weighted length.
+    max_moves:
+        Safety bound on moves per invocation.
+    """
+
+    name = "TALB"
+
+    def __init__(
+        self,
+        weight_provider: WeightProvider,
+        tolerance: float = 0.5,
+        max_moves: int = 1000,
+    ) -> None:
+        if tolerance <= 0.0:
+            raise SchedulingError("tolerance must be positive")
+        self.weight_provider = weight_provider
+        self.tolerance = tolerance
+        self.max_moves = max_moves
+
+    def dispatch_target(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+    ) -> str:
+        """New threads go to the core minimizing post-dispatch weighted
+        queue length (Eq. 8 applied at dispatch time)."""
+        tmax = max(core_temperatures.values()) if core_temperatures else 0.0
+        weights = self.weight_provider(tmax)
+        lengths = queues.lengths()
+        return min(lengths, key=lambda core: (lengths[core] + 1) * weights[core])
+
+    def rebalance(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+        now: float,
+    ) -> None:
+        """Move waiting threads to equalize weighted queue lengths."""
+        tmax = max(core_temperatures.values()) if core_temperatures else 0.0
+        weights = self.weight_provider(tmax)
+
+        for _ in range(self.max_moves):
+            lengths = queues.lengths()
+            weighted = {
+                core: lengths[core] * weights[core] for core in lengths
+            }
+            donor = max(weighted, key=weighted.get)
+            # The receiver minimizes the *post-move* weighted length, so
+            # a low-weight (well-cooled) core with a short queue is
+            # preferred over a high-weight empty core.
+            receiver = min(
+                weighted,
+                key=lambda core: (lengths[core] + 1) * weights[core],
+            )
+            if donor == receiver:
+                return
+            post_receiver = (lengths[receiver] + 1) * weights[receiver]
+            if post_receiver >= weighted[donor]:
+                return  # Moving would not reduce the maximum.
+            if queues.move_waiting(donor, receiver, 1) == 0:
+                return

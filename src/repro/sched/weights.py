@@ -1,0 +1,132 @@
+"""Thermal weight factors for the weighted load balancer (Eq. 8).
+
+The paper: "consider a 4-core system, where the average power values
+for the cores to achieve a balanced 75 degC are p1..p4 ... we take the
+multiplicative inverse of the power values, normalize them, and use
+them as thermal weight factors", with "the weight factors for all the
+cores ... computed in a pre-processing step and stored in the look-up
+table", as a function of the current maximum temperature range.
+
+We compute the balanced power vector directly from the thermal model:
+with the reduced core-to-core thermal resistance matrix A (A[i][j] =
+temperature rise of core i per watt on core j) and baseline offsets t0
+(temperatures at zero power), the powers achieving a uniform target
+temperature solve ``A p = T_target - t0``. Cores with small balanced
+power (poorly cooled locations — e.g. tiers far from a cavity, cells
+above other hot units) get large weights and therefore fewer threads.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.geometry.floorplan import UnitKind
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.rc_network import RCNetwork
+from repro.thermal.solver import SteadyStateSolver
+
+
+class ThermalWeights:
+    """Pre-processed per-core thermal weights for one cooling condition.
+
+    Parameters
+    ----------
+    weights:
+        Mapping core name -> weight, normalized to mean 1. A weight
+        above 1 marks a thermally disadvantaged core.
+    """
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise SchedulingError("weights cannot be empty")
+        if any(w <= 0.0 for w in weights.values()):
+            raise SchedulingError("weights must be positive")
+        mean = sum(weights.values()) / len(weights)
+        self._weights = {name: w / mean for name, w in weights.items()}
+
+    def __getitem__(self, core: str) -> float:
+        try:
+            return self._weights[core]
+        except KeyError:
+            raise SchedulingError(f"no weight for core {core!r}")
+
+    def as_dict(self) -> dict[str, float]:
+        """All weights (normalized to mean 1)."""
+        return dict(self._weights)
+
+    @classmethod
+    def uniform(cls, core_names: list[str]) -> "ThermalWeights":
+        """Weights of 1 for every core (degenerates TALB to plain LB)."""
+        return cls({name: 1.0 for name in core_names})
+
+    @classmethod
+    def from_network(
+        cls,
+        network: RCNetwork,
+        target_temperature: float = 75.0,
+        background_power: float = 0.0,
+    ) -> "ThermalWeights":
+        """Derive weights from a thermal network (pre-processing step).
+
+        Parameters
+        ----------
+        network:
+            The assembled RC network for the cooling condition (one per
+            pump setting, or the air network).
+        target_temperature:
+            The balanced temperature the power vector should achieve
+            (paper's example: 75 degC).
+        background_power:
+            Power (W) placed uniformly on every non-core unit while
+            probing, so crossbar/L2 heating is reflected in the offsets.
+        """
+        grid = network.grid
+        stack = grid.stack
+        core_keys: list[tuple[int, str]] = []
+        for die_index, die in enumerate(stack.dies):
+            for unit in die.floorplan.units_of_kind(UnitKind.CORE):
+                core_keys.append((die_index, unit.name))
+        if not core_keys:
+            raise SchedulingError("stack has no cores")
+
+        solver = SteadyStateSolver(network)
+        base_powers: dict[tuple[int, str], float] = {}
+        if background_power > 0.0:
+            for die_index, die in enumerate(stack.dies):
+                for unit in die.floorplan:
+                    if (die_index, unit.name) not in core_keys:
+                        base_powers[(die_index, unit.name)] = background_power
+        t_base = solver.solve(grid.power_vector(base_powers) if base_powers else
+                              np.zeros(grid.n_nodes))
+        t0 = np.array(
+            [grid.unit_temperature(t_base, d, name) for d, name in core_keys]
+        )
+
+        n = len(core_keys)
+        a = np.zeros((n, n))
+        probe_watts = 1.0
+        for j, (die_index, name) in enumerate(core_keys):
+            probe = dict(base_powers)
+            probe[(die_index, name)] = probe.get((die_index, name), 0.0) + probe_watts
+            temps = solver.solve(grid.power_vector(probe))
+            for i, (d_i, n_i) in enumerate(core_keys):
+                a[i, j] = (grid.unit_temperature(temps, d_i, n_i) - t0[i]) / probe_watts
+
+        rhs = target_temperature - t0
+        if np.any(rhs <= 0.0):
+            # Target below the zero-power baseline: fall back to the
+            # diagonal (self-heating) ranking, which is always positive.
+            balanced = 1.0 / np.diag(a)
+        else:
+            balanced = np.linalg.solve(a, rhs)
+            if np.any(balanced <= 0.0):
+                # Strong coupling can push the exact solution negative;
+                # clamp to the per-core budget ignoring cross terms.
+                balanced = rhs / np.diag(a)
+        weights = {
+            name: 1.0 / p for (_, name), p in zip(core_keys, balanced)
+        }
+        return cls(weights)

@@ -1,0 +1,22 @@
+"""Co-simulation of workload, scheduling, power, thermal, and control."""
+
+from repro.sim.config import (
+    ControllerKind,
+    CoolingMode,
+    PolicyKind,
+    SimulationConfig,
+)
+from repro.sim.engine import Simulator, simulate
+from repro.sim.results import SimulationResult
+from repro.sim.system import ThermalSystem
+
+__all__ = [
+    "SimulationConfig",
+    "CoolingMode",
+    "PolicyKind",
+    "ControllerKind",
+    "Simulator",
+    "simulate",
+    "SimulationResult",
+    "ThermalSystem",
+]

@@ -1,0 +1,115 @@
+"""Simulation configuration (the experiment matrix of Section V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.constants import CONTROL
+from repro.errors import ConfigurationError
+from repro.thermal.rc_network import ThermalParams
+from repro.workload.benchmarks import BenchmarkSpec, benchmark
+
+
+class PolicyKind(Enum):
+    """Scheduling policy (Section V's comparison set)."""
+
+    LB = "LB"
+    MIGRATION = "Mig"
+    TALB = "TALB"
+
+
+class ControllerKind(Enum):
+    """Which variable-flow controller drives the pump.
+
+    ``LUT`` — the paper's contribution: ARMA forecast + characterized
+    look-up table + 2 degC hysteresis;
+    ``STEPWISE`` — the prior-work [6] baseline: reactive one-step
+    increment/decrement on the measured temperature.
+    """
+
+    LUT = "lut"
+    STEPWISE = "stepwise"
+
+
+class CoolingMode(Enum):
+    """Cooling configuration of a run.
+
+    ``AIR`` — conventional package ("(Air)" in the figures);
+    ``LIQUID_MAX`` — liquid cooling at the worst-case maximum flow
+    ("(Max)");
+    ``LIQUID_VARIABLE`` — the paper's controller ("(Var)").
+    """
+
+    AIR = "Air"
+    LIQUID_MAX = "Max"
+    LIQUID_VARIABLE = "Var"
+
+    @property
+    def is_liquid(self) -> bool:
+        """Whether the mode uses the microchannel loop."""
+        return self is not CoolingMode.AIR
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one simulation run needs.
+
+    Defaults follow Section V: 100 ms sampling, 10 ms scheduler
+    quantum, 2-layer stack, DPM off (on for the Figure 7 study).
+    """
+
+    benchmark_name: str = "Web-med"
+    policy: PolicyKind = PolicyKind.TALB
+    cooling: CoolingMode = CoolingMode.LIQUID_VARIABLE
+    n_layers: int = 2
+    duration: float = 30.0
+    quantum: float = 0.01
+    sampling_interval: float = CONTROL.sampling_interval
+    dpm_enabled: bool = False
+    seed: int = 0
+    nx: int = 16
+    ny: int = 16
+    thermal_params: ThermalParams = field(default_factory=ThermalParams)
+    target_temperature: float = CONTROL.target_temperature
+    hysteresis: float = CONTROL.hysteresis
+    talb_weight_target: float = 75.0
+    forecast_enabled: bool = True
+    controller: ControllerKind = ControllerKind.LUT
+    characterization_guard: float = 3.0
+    """Guard band (K) subtracted from the target when building the flow
+    look-up table. The characterization assumes uniform utilization; a
+    single long thread concentrates its core's power and runs locally
+    hotter, and sudden arrivals outrun the 250-300 ms pump transition,
+    so the table is built to cool to ``target - guard`` and the
+    transients stay below the target itself."""
+
+    def __post_init__(self) -> None:
+        if self.n_layers not in (2, 4):
+            raise ConfigurationError("n_layers must be 2 or 4")
+        if self.duration <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        if self.quantum <= 0.0 or self.sampling_interval <= 0.0:
+            raise ConfigurationError("quantum and sampling interval must be positive")
+        if self.sampling_interval < self.quantum:
+            raise ConfigurationError("sampling interval must be >= quantum")
+        ratio = self.sampling_interval / self.quantum
+        if abs(ratio - round(ratio)) > 1.0e-9:
+            raise ConfigurationError(
+                "sampling interval must be an integer multiple of the quantum"
+            )
+        benchmark(self.benchmark_name)  # Validates the name early.
+
+    @property
+    def spec(self) -> BenchmarkSpec:
+        """The Table II benchmark this run executes."""
+        return benchmark(self.benchmark_name)
+
+    @property
+    def n_cores(self) -> int:
+        """8 cores on the 2-layer system, 16 on the 4-layer system."""
+        return 8 if self.n_layers == 2 else 16
+
+    def label(self) -> str:
+        """Figure-style label, e.g. ``"TALB (Var)"``."""
+        return f"{self.policy.value} ({self.cooling.value})"

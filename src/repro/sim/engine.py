@@ -1,0 +1,351 @@
+"""The co-simulation engine (Figure 4's loop).
+
+Each control interval (100 ms):
+
+1. the scheduler substrate runs at a 10 ms quantum — thread arrivals
+   are dispatched, per-core queues execute, DPM updates sleep states;
+2. the interval's per-unit power map is computed (dynamic + leakage at
+   the previous interval's temperatures);
+3. the thermal RC network advances one backward-Euler step at the
+   effective pump setting;
+4. per-core sensors are sampled, the ARMA forecaster observes the new
+   maximum temperature and predicts 500 ms ahead;
+5. the flow-rate controller commands the pump (variable-flow mode);
+6. the scheduling policy rebalances the queues.
+
+The engine caches flow-table characterizations and TALB weight sets per
+thermal-system signature, since these are offline pre-processing steps
+in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import CONTROL
+from repro.control.controller import FlowRateController
+from repro.control.flow_table import FlowRateTable
+from repro.control.forecaster import TemperatureForecaster
+from repro.control.stepwise import StepwiseFlowController
+from repro.errors import ConfigurationError
+from repro.geometry.stack import CoolingKind
+from repro.power.components import CoreState, PowerModel
+from repro.power.dpm import DpmPolicy
+from repro.power.leakage import LeakageModel
+from repro.pump.laing_ddc import PumpState
+from repro.sched.base import CoreQueues
+from repro.sched.load_balancer import LoadBalancer
+from repro.sched.migration import ReactiveMigration
+from repro.sched.talb import WeightedLoadBalancer
+from repro.sched.weights import ThermalWeights
+from repro.sim.config import ControllerKind, CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sim.system import ThermalSystem
+from repro.workload.generator import ThreadTrace, WorkloadGenerator
+
+_table_cache: dict[tuple, FlowRateTable] = {}
+_weights_cache: dict[tuple, ThermalWeights] = {}
+
+
+def _system_key(config: SimulationConfig, cooling: CoolingKind) -> tuple:
+    return (
+        config.n_layers,
+        cooling,
+        config.nx,
+        config.ny,
+        config.thermal_params,
+        config.target_temperature,
+        config.characterization_guard,
+    )
+
+
+def characterized_table(
+    system: ThermalSystem, power_model: PowerModel, config: SimulationConfig
+) -> FlowRateTable:
+    """The (cached) offline characterization for a system (Figure 5)."""
+    key = _system_key(config, CoolingKind.LIQUID)
+    if key not in _table_cache:
+        _table_cache[key] = FlowRateTable.characterize(
+            steady_tmax=lambda setting, util: system.steady_tmax(
+                power_model, util, setting_index=setting
+            ),
+            n_settings=system.pump.n_settings,
+            per_cavity_flows=system.pump.per_cavity_flows(),
+            target=config.target_temperature - config.characterization_guard,
+        )
+    return _table_cache[key]
+
+
+_floor_cache: dict[tuple, int] = {}
+
+
+def burst_floor_setting(
+    system: ThermalSystem, power_model: PowerModel, config: SimulationConfig
+) -> int:
+    """Lowest setting that holds one fully loaded core below the target.
+
+    The characterization assumes uniform utilization; a single long
+    thread concentrates its core's power and runs locally hotter, so
+    the controller never drops below this floor (DESIGN.md section 8).
+    """
+    key = _system_key(config, CoolingKind.LIQUID)
+    if key not in _floor_cache:
+        floor = system.pump.n_settings - 1
+        for k in range(system.pump.n_settings):
+            tmax = system.steady_tmax_concentrated(power_model, setting_index=k)
+            if tmax <= config.target_temperature - 0.5:
+                floor = k
+                break
+        _floor_cache[key] = floor
+    return _floor_cache[key]
+
+
+def thermal_weights(
+    system: ThermalSystem,
+    setting_index: int,
+    config: SimulationConfig,
+    cooling: CoolingKind,
+) -> ThermalWeights:
+    """The (cached) pre-processed TALB weights for one cooling condition."""
+    key = _system_key(config, cooling) + (setting_index, config.talb_weight_target)
+    if key not in _weights_cache:
+        _weights_cache[key] = ThermalWeights.from_network(
+            system.network(setting_index),
+            target_temperature=config.talb_weight_target,
+            # Probe with the non-core units at a representative power so
+            # crossbar/L2 heating is reflected in the per-core budgets.
+            background_power=1.0,
+        )
+    return _weights_cache[key]
+
+
+class Simulator:
+    """One configured simulation run.
+
+    Parameters
+    ----------
+    config:
+        The run configuration.
+    trace:
+        Optional pre-generated thread trace (e.g. the diurnal trace);
+        defaults to a fresh trace of the configured benchmark.
+    """
+
+    def __init__(self, config: SimulationConfig, trace: Optional[ThreadTrace] = None) -> None:
+        self.config = config
+        cooling = (
+            CoolingKind.AIR if config.cooling is CoolingMode.AIR else CoolingKind.LIQUID
+        )
+        self.system = ThermalSystem(
+            n_layers=config.n_layers,
+            cooling=cooling,
+            nx=config.nx,
+            ny=config.ny,
+            params=config.thermal_params,
+        )
+        self.power_model = PowerModel(self.system.stack, leakage=LeakageModel())
+        self.trace = trace or WorkloadGenerator(
+            config.spec, n_cores=config.n_cores, seed=config.seed
+        ).generate(config.duration)
+        self._cooling_kind = cooling
+        self._policy = self._build_policy()
+        self._pump_state: Optional[PumpState] = None
+        self._controller: Optional[FlowRateController] = None
+        if config.cooling.is_liquid:
+            initial = self.system.pump.n_settings - 1  # Start safe (max flow).
+            self._pump_state = PumpState(self.system.pump, current_index=initial)
+            if config.cooling is CoolingMode.LIQUID_VARIABLE:
+                if config.controller is ControllerKind.STEPWISE:
+                    # The prior-work [6] baseline: reactive ladder.
+                    self._controller = StepwiseFlowController(self._pump_state)
+                else:
+                    table = characterized_table(self.system, self.power_model, config)
+                    floor = burst_floor_setting(self.system, self.power_model, config)
+                    self._controller = FlowRateController(
+                        table,
+                        self._pump_state,
+                        hysteresis=config.hysteresis,
+                        minimum_setting=floor,
+                    )
+
+    def _build_policy(self):
+        config = self.config
+        if config.policy is PolicyKind.LB:
+            return LoadBalancer()
+        if config.policy is PolicyKind.MIGRATION:
+            return ReactiveMigration()
+        if config.policy is PolicyKind.TALB:
+            return WeightedLoadBalancer(weight_provider=self._talb_weights)
+        raise ConfigurationError(f"unknown policy {config.policy}")
+
+    def _talb_weights(self, tmax: float) -> ThermalWeights:
+        """Weight provider: the pre-processed set for the current
+        cooling condition (pump setting or air)."""
+        if self._cooling_kind is CoolingKind.AIR:
+            setting = -1
+        else:
+            setting = self._pump_state.current_index if self._pump_state else -1
+        return thermal_weights(self.system, setting, self.config, self._cooling_kind)
+
+    # --- main loop -------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the configured run and return its time series."""
+        config = self.config
+        grid = self.system.grid
+        interval = config.sampling_interval
+        n_intervals = int(round(config.duration / interval))
+        steps = int(round(interval / config.quantum))
+        core_names = self.system.core_names
+        queues = CoreQueues(core_names)
+        dpm = DpmPolicy(core_names, enabled=config.dpm_enabled)
+        spec = config.spec
+
+        setting0 = self._pump_state.current_index if self._pump_state else -1
+        temperatures = self.system.initial_temperatures(
+            self.power_model, spec.utilization, setting_index=setting0
+        )
+        core_temps = grid.core_temperatures(temperatures)
+        unit_temps = grid.unit_temperatures(temperatures)
+        unit_keys = sorted(unit_temps)
+        forecaster = TemperatureForecaster(
+            horizon_steps=int(round(CONTROL.forecast_horizon / interval))
+        )
+
+        arrivals = list(self.trace.threads)
+        arrival_ptr = 0
+        completed_in_interval = 0
+        migrations_total = 0
+        sojourn_sum = 0.0
+        sojourn_count = 0
+
+        rec_times = np.zeros(n_intervals)
+        rec_tmax = np.zeros(n_intervals)
+        rec_tmax_cell = np.zeros(n_intervals)
+        rec_core_t = np.zeros((n_intervals, len(core_names)))
+        rec_unit_t = np.zeros((n_intervals, len(unit_keys)))
+        rec_chip_p = np.zeros(n_intervals)
+        rec_pump_p = np.zeros(n_intervals)
+        rec_setting = np.full(n_intervals, -1, dtype=int)
+        rec_completed = np.zeros(n_intervals, dtype=int)
+        rec_forecast = np.full(n_intervals, np.nan)
+        rec_migrations = np.zeros(n_intervals, dtype=int)
+
+        for k in range(n_intervals):
+            t_start = k * interval
+            busy_time = {name: 0.0 for name in core_names}
+            completed_in_interval = 0
+            states = dpm.states()
+
+            for s in range(steps):
+                now = t_start + s * config.quantum
+                # Dispatch arrivals that landed in this quantum.
+                while (
+                    arrival_ptr < len(arrivals)
+                    and arrivals[arrival_ptr].arrival < now + config.quantum
+                ):
+                    thread = arrivals[arrival_ptr]
+                    target = self._policy.dispatch_target(queues, core_temps)
+                    queues.enqueue(target, thread)
+                    dpm.wake(target, now)
+                    arrival_ptr += 1
+                # Execute queue heads.
+                busy = {}
+                for name in core_names:
+                    q = queues.queue(name)
+                    if q:
+                        used = q[0].execute(config.quantum)
+                        busy_time[name] += used
+                        busy[name] = used > 0.0
+                        if q[0].done:
+                            finished = q.popleft()
+                            completed_in_interval += 1
+                            sojourn_sum += (now + used) - finished.arrival
+                            sojourn_count += 1
+                    else:
+                        busy[name] = False
+                states = dpm.observe(now + config.quantum, busy)
+
+            t_end = t_start + interval
+            if self._pump_state is not None:
+                self._pump_state.advance(t_end)
+
+            core_util = {
+                name: min(1.0, busy_time[name] / interval) for name in core_names
+            }
+            powers = self.power_model.unit_powers(
+                core_util, states, spec.memory_intensity, unit_temps
+            )
+            setting = self._pump_state.current_index if self._pump_state else -1
+            solver = self.system.transient_solver(setting, interval) \
+                if self._cooling_kind is CoolingKind.LIQUID \
+                else self.system.transient_solver(-1, interval)
+            temperatures = solver.step(temperatures, grid.power_vector(powers))
+
+            core_temps = grid.core_temperatures(temperatures)
+            unit_temps = grid.unit_temperatures(temperatures)
+            # Runtime policies observe sensors (unit means), as in the
+            # paper; the cell-level peak is recorded as ground truth.
+            tmax = max(unit_temps.values())
+            tmax_cell = grid.max_die_temperature(temperatures)
+
+            forecaster.observe(tmax)
+            if config.forecast_enabled:
+                # The controller acts on the forecast, guarded by the
+                # current reading: a prediction below an already-high
+                # temperature must not postpone an upshift.
+                prediction = max(forecaster.predict(), tmax)
+            else:
+                # Ablation: a purely reactive controller sees only the
+                # current temperature and eats the full pump delay.
+                prediction = tmax
+            if self._controller is not None:
+                if isinstance(self._controller, StepwiseFlowController):
+                    # The [6] baseline is reactive by definition.
+                    self._controller.update(tmax, t_end)
+                else:
+                    self._controller.update(prediction, t_end)
+
+            self._policy.rebalance(queues, core_temps, t_end)
+            if isinstance(self._policy, ReactiveMigration):
+                migrations_total = self._policy.migration_count
+
+            rec_times[k] = t_end
+            rec_tmax[k] = tmax
+            rec_tmax_cell[k] = tmax_cell
+            rec_core_t[k] = [core_temps[name] for name in core_names]
+            rec_unit_t[k] = [unit_temps[key] for key in unit_keys]
+            rec_chip_p[k] = self.power_model.total_power(powers)
+            if self._pump_state is not None:
+                rec_pump_p[k] = self._pump_state.electrical_power()
+                rec_setting[k] = self._pump_state.commanded_index
+            rec_completed[k] = completed_in_interval
+            rec_forecast[k] = prediction
+            rec_migrations[k] = migrations_total
+
+        return SimulationResult(
+            times=rec_times,
+            tmax=rec_tmax,
+            tmax_cell=rec_tmax_cell,
+            core_temperatures=rec_core_t,
+            unit_temperatures=rec_unit_t,
+            unit_names=[f"{d}:{name}" for d, name in unit_keys],
+            core_names=core_names,
+            chip_power=rec_chip_p,
+            pump_power=rec_pump_p,
+            flow_setting=rec_setting,
+            completed_threads=rec_completed,
+            forecast_tmax=rec_forecast,
+            migrations=rec_migrations,
+            retrain_count=forecaster.retrain_count,
+            sojourn_sum=sojourn_sum,
+            sojourn_count=sojourn_count,
+        )
+
+
+def simulate(config: SimulationConfig, trace: Optional[ThreadTrace] = None) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(config, trace=trace).run()

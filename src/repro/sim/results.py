@@ -1,0 +1,147 @@
+"""Simulation result containers and derived quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SimulationResult:
+    """Time series and counters produced by one simulation run.
+
+    All per-interval arrays share the sampling grid ``times``; samples
+    are taken at the *end* of each control interval.
+
+    Attributes
+    ----------
+    times:
+        Sample times, s.
+    tmax:
+        Maximum observable (sensor / unit-mean) temperature per
+        interval, degC — what the controller and policies act on.
+    tmax_cell:
+        Maximum cell-level junction temperature per interval, degC —
+        model ground truth, slightly above the sensor reading.
+    core_temperatures:
+        ``(n_intervals, n_cores)``, per-core sensor readings, degC.
+    unit_temperatures:
+        ``(n_intervals, n_units)``, per-floorplan-unit temperatures
+        (for spatial gradients), degC.
+    unit_names:
+        Column labels of ``unit_temperatures`` (``die:unit``).
+    core_names:
+        Column labels of ``core_temperatures``.
+    chip_power:
+        Total chip power per interval, W.
+    pump_power:
+        Pump electrical power per interval, W (zero for air cooling).
+    flow_setting:
+        Commanded pump setting index per interval (-1 for air).
+    completed_threads:
+        Threads finished within each interval.
+    forecast_tmax:
+        The controller's predicted T_max per interval (NaN when no
+        forecast was produced), degC.
+    migrations:
+        Cumulative migration count per interval.
+    retrain_count:
+        Total ARMA re-fits triggered by the SPRT.
+    """
+
+    times: np.ndarray
+    tmax: np.ndarray
+    tmax_cell: np.ndarray
+    core_temperatures: np.ndarray
+    unit_temperatures: np.ndarray
+    unit_names: list[str]
+    core_names: list[str]
+    chip_power: np.ndarray
+    pump_power: np.ndarray
+    flow_setting: np.ndarray
+    completed_threads: np.ndarray
+    forecast_tmax: np.ndarray
+    migrations: np.ndarray
+    retrain_count: int = 0
+    sojourn_sum: float = 0.0
+    sojourn_count: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.times)
+        for name in (
+            "tmax",
+            "tmax_cell",
+            "chip_power",
+            "pump_power",
+            "flow_setting",
+            "completed_threads",
+            "forecast_tmax",
+            "migrations",
+        ):
+            if len(getattr(self, name)) != n:
+                raise ConfigurationError(f"result field {name} length mismatch")
+        if self.core_temperatures.shape[0] != n or self.unit_temperatures.shape[0] != n:
+            raise ConfigurationError("temperature matrices length mismatch")
+
+    @property
+    def interval(self) -> float:
+        """Sampling interval, s."""
+        if len(self.times) < 2:
+            return 0.0
+        return float(self.times[1] - self.times[0])
+
+    @property
+    def duration(self) -> float:
+        """Covered simulation time, s."""
+        return float(len(self.times) * self.interval)
+
+    def chip_energy(self) -> float:
+        """Chip energy over the run, J."""
+        return float(self.chip_power.sum() * self.interval)
+
+    def pump_energy(self) -> float:
+        """Pump (cooling) energy over the run, J."""
+        return float(self.pump_power.sum() * self.interval)
+
+    def total_energy(self) -> float:
+        """Chip + pump energy, J."""
+        return self.chip_energy() + self.pump_energy()
+
+    def throughput(self) -> float:
+        """Threads completed per second."""
+        if self.duration == 0.0:
+            return 0.0
+        return float(self.completed_threads.sum() / self.duration)
+
+    def total_completed(self) -> int:
+        """Total threads completed."""
+        return int(self.completed_threads.sum())
+
+    def time_above(self, threshold: float) -> float:
+        """Fraction of samples with T_max above a threshold."""
+        if len(self.tmax) == 0:
+            return 0.0
+        return float(np.mean(self.tmax > threshold))
+
+    def peak_temperature(self) -> float:
+        """Highest sampled T_max, degC."""
+        return float(self.tmax.max()) if len(self.tmax) else float("nan")
+
+    def mean_flow_setting(self) -> float:
+        """Average commanded pump setting (liquid runs)."""
+        valid = self.flow_setting[self.flow_setting >= 0]
+        return float(valid.mean()) if len(valid) else float("nan")
+
+    def mean_sojourn_time(self) -> float:
+        """Mean completed-thread sojourn (arrival to completion), s.
+
+        The latency complement to throughput: queueing delay and
+        migration penalties show up here long before they move the
+        completion count ("long thread waiting times in the queues").
+        """
+        if self.sojourn_count == 0:
+            return float("nan")
+        return self.sojourn_sum / self.sojourn_count

@@ -1,0 +1,224 @@
+"""Bundles a stack with its thermal networks across pump settings.
+
+The conductance matrix changes only when the pump setting changes, so
+the system caches one assembled network (and one transient solver) per
+setting — the runtime cost of a flow change is a cached factorization
+lookup, matching the paper's observation that the controller overhead
+is "negligible".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.floorplan import UnitKind
+from repro.geometry.stack import CoolingKind, Stack3D, build_stack
+from repro.microchannel.geometry import ChannelGeometry
+from repro.microchannel.model import MicrochannelModel
+from repro.power.components import CoreState, PowerModel
+from repro.pump.laing_ddc import PumpModel, laing_ddc
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.package import AirPackage
+from repro.thermal.rc_network import RCNetwork, ThermalParams, build_network
+from repro.thermal.solver import SteadyStateSolver, TransientSolver
+
+
+class ThermalSystem:
+    """A 3D system ready to simulate: grid + per-setting networks.
+
+    Parameters
+    ----------
+    n_layers:
+        2 or 4 active tiers.
+    cooling:
+        LIQUID (interlayer channels + pump) or AIR (package).
+    nx, ny:
+        Grid resolution per slab.
+    params:
+        Material/calibration parameters.
+    pump:
+        The pump; defaults to the Laing DDC sized to the stack's
+        cavities. Ignored for air cooling.
+    package:
+        Air package; defaults to :class:`AirPackage`. Ignored for
+        liquid cooling.
+    """
+
+    def __init__(
+        self,
+        n_layers: int = 2,
+        cooling: CoolingKind = CoolingKind.LIQUID,
+        nx: int = 16,
+        ny: int = 16,
+        params: ThermalParams = ThermalParams(),
+        pump: Optional[PumpModel] = None,
+        package: Optional[AirPackage] = None,
+    ) -> None:
+        self.stack: Stack3D = build_stack(n_layers, cooling)
+        self.grid = ThermalGrid(self.stack, nx=nx, ny=ny)
+        self.params = params
+        self.cooling = cooling
+        if cooling is CoolingKind.LIQUID:
+            self.pump = pump or laing_ddc(self.stack.n_cavities)
+            self.package = None
+        else:
+            self.pump = None
+            self.package = package or AirPackage()
+        self.channel_model = MicrochannelModel(
+            geometry=ChannelGeometry(length=self.stack.width),
+            die_height=self.stack.height,
+        )
+        self._networks: dict[int, RCNetwork] = {}
+        self._transients: dict[tuple[int, float], TransientSolver] = {}
+        self._steadies: dict[int, SteadyStateSolver] = {}
+
+    # --- network/solver caches --------------------------------------------------
+
+    def network(self, setting_index: int = -1) -> RCNetwork:
+        """The RC network for a pump setting (-1 = air cooling)."""
+        if setting_index in self._networks:
+            return self._networks[setting_index]
+        if self.cooling is CoolingKind.AIR:
+            if setting_index != -1:
+                raise ConfigurationError("air-cooled systems have no pump settings")
+            net = build_network(self.grid, self.params, package=self.package)
+        else:
+            flow = self.pump.setting(setting_index).per_cavity_flow
+            net = build_network(
+                self.grid,
+                self.params,
+                cavity_flows=[flow],
+                channel_model=self.channel_model,
+            )
+        self._networks[setting_index] = net
+        return net
+
+    def network_for_flow(self, per_cavity_flow: float) -> RCNetwork:
+        """An uncached network at an arbitrary continuous flow.
+
+        Used by the continuous curves of Figure 5 and by ablations; the
+        discrete runtime path uses :meth:`network`.
+        """
+        if self.cooling is CoolingKind.AIR:
+            raise ConfigurationError("air-cooled systems have no coolant flow")
+        return build_network(
+            self.grid,
+            self.params,
+            cavity_flows=[per_cavity_flow],
+            channel_model=self.channel_model,
+        )
+
+    def transient_solver(self, setting_index: int, dt: float) -> TransientSolver:
+        """Cached backward-Euler solver for a setting and step size."""
+        key = (setting_index, dt)
+        if key not in self._transients:
+            self._transients[key] = TransientSolver(self.network(setting_index), dt)
+        return self._transients[key]
+
+    def steady_solver(self, setting_index: int = -1) -> SteadyStateSolver:
+        """Cached steady-state solver for a setting (-1 = air)."""
+        if setting_index not in self._steadies:
+            self._steadies[setting_index] = SteadyStateSolver(self.network(setting_index))
+        return self._steadies[setting_index]
+
+    # --- steady-state evaluation ---------------------------------------------
+
+    def steady_tmax(
+        self,
+        power_model: PowerModel,
+        utilization: float,
+        setting_index: int = -1,
+        memory_intensity: float = 0.5,
+        leakage_iterations: int = 6,
+    ) -> float:
+        """Self-consistent steady-state T_max under uniform utilization.
+
+        Iterates power(T) -> solve -> T until the leakage feedback
+        settles (a fixed small iteration count converges well within
+        0.01 K for the polynomial model).
+        """
+        temps = self.steady_temperatures(
+            power_model,
+            utilization,
+            setting_index=setting_index,
+            memory_intensity=memory_intensity,
+            leakage_iterations=leakage_iterations,
+        )
+        return self.grid.max_unit_temperature(temps)
+
+    def steady_temperatures(
+        self,
+        power_model: PowerModel,
+        utilization: float,
+        setting_index: int = -1,
+        memory_intensity: float = 0.5,
+        leakage_iterations: int = 6,
+    ) -> np.ndarray:
+        """Steady-state temperature field (see :meth:`steady_tmax`)."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization must be in [0, 1]")
+        core_names = self.stack.core_names()
+        core_util = {name: utilization for name in core_names}
+        core_states = {name: CoreState.IDLE if utilization == 0.0 else CoreState.ACTIVE
+                       for name in core_names}
+        solver = self.steady_solver(setting_index)
+        unit_temps: Optional[dict[tuple[int, str], float]] = None
+        temps = np.zeros(self.grid.n_nodes)
+        for _ in range(max(1, leakage_iterations)):
+            powers = power_model.unit_powers(
+                core_util, core_states, memory_intensity, unit_temps
+            )
+            temps = solver.solve(self.grid.power_vector(powers))
+            unit_temps = self.grid.unit_temperatures(temps)
+        return temps
+
+    def steady_tmax_concentrated(
+        self,
+        power_model: PowerModel,
+        setting_index: int = -1,
+        n_active: int = 1,
+        memory_intensity: float = 0.3,
+        leakage_iterations: int = 6,
+    ) -> float:
+        """Steady T_max with the load concentrated on ``n_active`` cores.
+
+        The worst case for low-utilization workloads: one long thread
+        pins a single core at full power while the others idle. The
+        uniform-utilization characterization underestimates this local
+        hot spot, so the flow controller floors its setting at the one
+        that can hold this pattern (DESIGN.md section 8).
+        """
+        core_names = self.stack.core_names()
+        if not 1 <= n_active <= len(core_names):
+            raise ConfigurationError("n_active outside the core count")
+        core_util = {name: 0.0 for name in core_names}
+        core_states = {name: CoreState.IDLE for name in core_names}
+        for name in core_names[:n_active]:
+            core_util[name] = 1.0
+            core_states[name] = CoreState.ACTIVE
+        solver = self.steady_solver(setting_index)
+        unit_temps: Optional[dict[tuple[int, str], float]] = None
+        temps = np.zeros(self.grid.n_nodes)
+        for _ in range(max(1, leakage_iterations)):
+            powers = power_model.unit_powers(
+                core_util, core_states, memory_intensity, unit_temps
+            )
+            temps = solver.solve(self.grid.power_vector(powers))
+            unit_temps = self.grid.unit_temperatures(temps)
+        return self.grid.max_unit_temperature(temps)
+
+    # --- convenience ------------------------------------------------------------
+
+    @property
+    def core_names(self) -> list[str]:
+        """All core names in the stack."""
+        return self.stack.core_names()
+
+    def initial_temperatures(self, power_model: PowerModel, utilization: float,
+                             setting_index: int = -1) -> np.ndarray:
+        """Steady-state initialization (the paper initializes all
+        simulations "with steady state temperature values")."""
+        return self.steady_temperatures(power_model, utilization, setting_index)

@@ -1,0 +1,76 @@
+"""ASCII rendering of die temperature fields.
+
+A dependency-free way to *see* the thermal maps the policies act on
+(hot downstream edges, the cool crossbar with its TSVs, sleeping cores
+under DPM) in a terminal; used by the examples and handy in a REPL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.grid import ThermalGrid
+
+#: Glyph ramp, coolest to hottest.
+_RAMP = " .:-=+*#%@"
+
+
+def render_field(
+    field: np.ndarray,
+    t_min: float | None = None,
+    t_max: float | None = None,
+) -> str:
+    """Render a 2D temperature field as ASCII art.
+
+    Parameters
+    ----------
+    field:
+        ``(ny, nx)`` temperatures; row 0 is the die's bottom edge and is
+        printed last (so the picture matches floorplan coordinates).
+    t_min, t_max:
+        Color-scale anchors; default to the field's own range. Pass a
+        common pair to compare several maps on one scale.
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ConfigurationError("field must be 2-D")
+    lo = float(field.min()) if t_min is None else t_min
+    hi = float(field.max()) if t_max is None else t_max
+    if hi <= lo:
+        hi = lo + 1.0e-9
+    normalized = np.clip((field - lo) / (hi - lo), 0.0, 1.0)
+    indices = (normalized * (len(_RAMP) - 1)).round().astype(int)
+    lines = []
+    for j in range(field.shape[0] - 1, -1, -1):
+        lines.append("".join(_RAMP[i] for i in indices[j]))
+    lines.append(f"[{lo:.1f} degC '{_RAMP[0]}' ... '{_RAMP[-1]}' {hi:.1f} degC]")
+    return "\n".join(lines)
+
+
+def render_die(
+    grid: ThermalGrid,
+    temperatures: np.ndarray,
+    die_index: int,
+    t_min: float | None = None,
+    t_max: float | None = None,
+) -> str:
+    """Render one die of a solved temperature vector."""
+    field = grid.die_temperature_field(np.asarray(temperatures, dtype=float), die_index)
+    name = grid.stack.dies[die_index].floorplan.name
+    header = f"--- die {die_index} ({name}), coolant flows left->right ---"
+    return header + "\n" + render_field(field, t_min=t_min, t_max=t_max)
+
+
+def render_stack(grid: ThermalGrid, temperatures: np.ndarray) -> str:
+    """Render every die on a common temperature scale."""
+    temps = np.asarray(temperatures, dtype=float)
+    fields = [
+        grid.die_temperature_field(temps, d) for d in range(grid.stack.n_dies)
+    ]
+    lo = min(float(f.min()) for f in fields)
+    hi = max(float(f.max()) for f in fields)
+    return "\n\n".join(
+        render_die(grid, temps, d, t_min=lo, t_max=hi)
+        for d in range(grid.stack.n_dies)
+    )

@@ -1,0 +1,239 @@
+"""Spatial discretization of a 3D stack into a grid RC node layout.
+
+The stack is sliced into *slabs* (bottom to top): active dies, coolant
+cavities (liquid cooling), or thin interface layers (air cooling). Every
+slab carries an ``nx`` x ``ny`` grid of nodes; an air-cooled stack adds
+two lumped package nodes (heat spreader and heat sink) on top.
+
+The paper uses 100 um grid cells; for a 10.7 mm die that is a 107x107
+grid per slab. The default here is coarser (16x16, block-accurate and
+fast); the cell size is fully configurable and the network assembly is
+resolution-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+import numpy as np
+
+from repro.constants import STACK
+from repro.errors import GeometryError
+from repro.geometry.floorplan import Unit, UnitKind
+from repro.geometry.stack import CoolingKind, Stack3D
+
+
+class SlabKind(Enum):
+    """Kind of one horizontal slice of the stack."""
+
+    DIE = "die"
+    CAVITY = "cavity"
+    INTERFACE = "interface"
+
+
+@dataclass(frozen=True)
+class Slab:
+    """One horizontal slice of the stack.
+
+    ``die_index`` / ``cavity_index`` number the slab within its kind
+    (-1 when not applicable).
+    """
+
+    kind: SlabKind
+    name: str
+    thickness: float
+    die_index: int = -1
+    cavity_index: int = -1
+
+
+class ThermalGrid:
+    """Node layout for a stack: slabs x (ny x nx) grid (+ package nodes).
+
+    Parameters
+    ----------
+    stack:
+        The 3D stack to discretize.
+    nx, ny:
+        Grid cells along x (the channel flow direction) and y.
+
+    Attributes
+    ----------
+    slabs:
+        Bottom-to-top slab descriptors.
+    rasters:
+        For each die index, an ``(ny, nx)`` array of unit indices into
+        that die's floorplan (cell centre assignment).
+    """
+
+    def __init__(self, stack: Stack3D, nx: int = 16, ny: int = 16) -> None:
+        if nx < 2 or ny < 2:
+            raise GeometryError("thermal grid needs at least 2x2 cells")
+        self.stack = stack
+        self.nx = nx
+        self.ny = ny
+        self.cell_w = stack.width / nx
+        self.cell_h = stack.height / ny
+        self.cell_area = self.cell_w * self.cell_h
+        self.slabs: list[Slab] = self._build_slabs()
+        self.rasters: list[np.ndarray] = [
+            die.floorplan.rasterize(nx, ny) for die in stack.dies
+        ]
+        self._cells_per_slab = nx * ny
+        self.has_package = stack.cooling is CoolingKind.AIR
+        n_grid = len(self.slabs) * self._cells_per_slab
+        if self.has_package:
+            self.spreader_node = n_grid
+            self.sink_node = n_grid + 1
+            self.n_nodes = n_grid + 2
+        else:
+            self.spreader_node = -1
+            self.sink_node = -1
+            self.n_nodes = n_grid
+
+    def _build_slabs(self) -> list[Slab]:
+        slabs: list[Slab] = []
+        if self.stack.cooling is CoolingKind.LIQUID:
+            for d, die in enumerate(self.stack.dies):
+                slabs.append(
+                    Slab(
+                        SlabKind.CAVITY,
+                        f"cavity{d}",
+                        STACK.interlayer_thickness_with_channels,
+                        cavity_index=d,
+                    )
+                )
+                slabs.append(
+                    Slab(SlabKind.DIE, die.floorplan.name, die.thickness, die_index=d)
+                )
+            slabs.append(
+                Slab(
+                    SlabKind.CAVITY,
+                    f"cavity{self.stack.n_dies}",
+                    STACK.interlayer_thickness_with_channels,
+                    cavity_index=self.stack.n_dies,
+                )
+            )
+        else:
+            for d, die in enumerate(self.stack.dies):
+                if d > 0:
+                    slabs.append(
+                        Slab(
+                            SlabKind.INTERFACE,
+                            f"interface{d - 1}",
+                            STACK.interlayer_thickness,
+                            cavity_index=d - 1,
+                        )
+                    )
+                slabs.append(
+                    Slab(SlabKind.DIE, die.floorplan.name, die.thickness, die_index=d)
+                )
+        return slabs
+
+    # --- node indexing ------------------------------------------------------
+
+    def node(self, slab_idx: int, i: int, j: int) -> int:
+        """Global node index of grid cell ``(i, j)`` in slab ``slab_idx``.
+
+        ``i`` runs along x (flow direction), ``j`` along y.
+        """
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise GeometryError(f"cell ({i}, {j}) outside {self.nx}x{self.ny} grid")
+        return slab_idx * self._cells_per_slab + j * self.nx + i
+
+    def slab_nodes(self, slab_idx: int) -> np.ndarray:
+        """All node indices of one slab, shaped ``(ny, nx)``."""
+        base = slab_idx * self._cells_per_slab
+        return np.arange(base, base + self._cells_per_slab).reshape(self.ny, self.nx)
+
+    def die_slab_index(self, die_index: int) -> int:
+        """Slab index of the given die."""
+        for s, slab in enumerate(self.slabs):
+            if slab.kind is SlabKind.DIE and slab.die_index == die_index:
+                return s
+        raise GeometryError(f"no die {die_index} in this grid")
+
+    def cavity_slab_index(self, cavity_index: int) -> int:
+        """Slab index of the given cavity (liquid cooling only)."""
+        for s, slab in enumerate(self.slabs):
+            if slab.kind is SlabKind.CAVITY and slab.cavity_index == cavity_index:
+                return s
+        raise GeometryError(f"no cavity {cavity_index} in this grid")
+
+    def die_slab_indices(self) -> list[int]:
+        """Slab indices of all dies, bottom to top."""
+        return [s for s, slab in enumerate(self.slabs) if slab.kind is SlabKind.DIE]
+
+    def cavity_slab_indices(self) -> list[int]:
+        """Slab indices of all cavities, bottom to top."""
+        return [s for s, slab in enumerate(self.slabs) if slab.kind is SlabKind.CAVITY]
+
+    # --- unit <-> cell mapping -----------------------------------------------
+
+    def unit_cells(self, die_index: int, unit_name: str) -> np.ndarray:
+        """Node indices of the cells of one floorplan unit."""
+        floorplan = self.stack.dies[die_index].floorplan
+        unit_idx = floorplan.units.index(floorplan.unit(unit_name))
+        mask = self.rasters[die_index] == unit_idx
+        if not mask.any():
+            raise GeometryError(
+                f"unit {unit_name!r} on die {die_index} received no grid cells; "
+                "increase the grid resolution"
+            )
+        return self.slab_nodes(self.die_slab_index(die_index))[mask]
+
+    def power_vector(self, unit_powers: Mapping[tuple[int, str], float]) -> np.ndarray:
+        """Per-node power injection (W) from per-unit powers.
+
+        ``unit_powers`` maps ``(die_index, unit_name)`` to watts; each
+        unit's power is spread uniformly over its grid cells.
+        """
+        p = np.zeros(self.n_nodes)
+        for (die_index, unit_name), watts in unit_powers.items():
+            cells = self.unit_cells(die_index, unit_name)
+            p[cells] += watts / cells.size
+        return p
+
+    # --- temperature extraction -----------------------------------------------
+
+    def unit_temperature(self, temperatures: np.ndarray, die_index: int, unit_name: str) -> float:
+        """Mean temperature of one unit's cells (a block thermal sensor)."""
+        return float(temperatures[self.unit_cells(die_index, unit_name)].mean())
+
+    def unit_temperatures(self, temperatures: np.ndarray) -> dict[tuple[int, str], float]:
+        """Mean temperature of every floorplan unit on every die."""
+        out: dict[tuple[int, str], float] = {}
+        for d, die in enumerate(self.stack.dies):
+            for unit in die.floorplan:
+                out[(d, unit.name)] = self.unit_temperature(temperatures, d, unit.name)
+        return out
+
+    def core_temperatures(self, temperatures: np.ndarray) -> dict[str, float]:
+        """Per-core sensor readings, keyed by core name."""
+        out: dict[str, float] = {}
+        for d, die in enumerate(self.stack.dies):
+            for unit in die.floorplan.units_of_kind(UnitKind.CORE):
+                out[unit.name] = self.unit_temperature(temperatures, d, unit.name)
+        return out
+
+    def die_temperature_field(self, temperatures: np.ndarray, die_index: int) -> np.ndarray:
+        """Temperature field of one die as an ``(ny, nx)`` array."""
+        return temperatures[self.slab_nodes(self.die_slab_index(die_index))]
+
+    def max_die_temperature(self, temperatures: np.ndarray) -> float:
+        """Maximum temperature over all die cells (junction T_max)."""
+        return max(
+            float(temperatures[self.slab_nodes(s)].max()) for s in self.die_slab_indices()
+        )
+
+    def max_unit_temperature(self, temperatures: np.ndarray) -> float:
+        """Maximum of the per-unit sensor readings (block means).
+
+        This is the T_max a runtime policy can actually observe — the
+        paper assumes one thermal sensor per core/unit — and what the
+        controller, scheduler, and metrics operate on. The cell-level
+        :meth:`max_die_temperature` is slightly higher and serves as
+        ground truth in validation tests.
+        """
+        return max(self.unit_temperatures(temperatures).values())

@@ -1,0 +1,53 @@
+"""Conventional (air-cooled) package model.
+
+For the air-cooled comparison system the paper uses "the default
+characteristics of a modern CPU package in HotSpot": the stack conducts
+through a thermal interface material (TIM) into a copper heat spreader,
+then into a finned heat sink that convects to ambient. Table III gives
+the convection resistance (0.1 K/W) and capacitance (140 J/K); the
+remaining values follow HotSpot v4.2 defaults (45 degC ambient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.constants import STACK
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AirPackage:
+    """Lumped TIM + spreader + sink package on top of the stack.
+
+    Attributes
+    ----------
+    tim_resistance_area:
+        Per-area TIM resistance between top die and spreader, K*m^2/W.
+    spreader_resistance:
+        Spreader-to-sink lumped resistance, K/W.
+    spreader_capacitance:
+        Spreader thermal capacitance, J/K.
+    sink_resistance:
+        Sink-to-ambient convection resistance, K/W (Table III: 0.1).
+    sink_capacitance:
+        Sink/convection capacitance, J/K (Table III: 140).
+    ambient:
+        Ambient air temperature, degC (HotSpot default: 45).
+    """
+
+    tim_resistance_area: float = units.k_mm2_per_w(20.0)
+    spreader_resistance: float = 0.05
+    spreader_capacitance: float = 40.0
+    sink_resistance: float = STACK.convection_resistance
+    sink_capacitance: float = STACK.convection_capacitance
+    ambient: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.tim_resistance_area <= 0.0:
+            raise ConfigurationError("TIM resistance must be positive")
+        if self.spreader_resistance <= 0.0 or self.sink_resistance <= 0.0:
+            raise ConfigurationError("package resistances must be positive")
+        if self.spreader_capacitance <= 0.0 or self.sink_capacitance <= 0.0:
+            raise ConfigurationError("package capacitances must be positive")

@@ -1,0 +1,465 @@
+"""Assembly of the grid-level thermal RC network (Section III-A).
+
+The network generalizes HotSpot's grid model to 3D stacks with
+heterogeneous interlayer material, implementing the paper's two
+novelties: (1) per-grid-cell thermal resistivity, so TSV regions,
+plain interlayer material, and microchannels are modelled distinctly,
+and (2) runtime-varying coolant-cell properties: the convective film
+conductance and the advective (sensible heat) transport both depend on
+the current per-cavity flow rate, and the network is rebuilt when the
+pump setting changes (the simulator caches one factorization per pump
+setting).
+
+Energy balance at a coolant node f with upstream node u::
+
+    C_f dT_f/dt = g_film * (T_wall - T_f) + m_dot*c_p * (T_u - T_f)
+
+which makes the conductance matrix asymmetric (advection is directed);
+the sparse LU solver handles this without modification. Summing the
+steady-state balance along a channel row reproduces the paper's
+iterative sensible-heat computation: m_dot*c_p*(T_out - T_in) equals
+the absorbed heat, i.e. Eq. 4/5 generalized to non-uniform power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.constants import (
+    COPPER_CONDUCTIVITY,
+    MICROCHANNEL,
+    SILICON_CONDUCTIVITY,
+    SILICON_VOLUMETRIC_HEAT_CAPACITY,
+    STACK,
+)
+from repro.errors import ConfigurationError, SolverError
+from repro.geometry.floorplan import UnitKind
+from repro.geometry.stack import CoolingKind
+from repro.microchannel.coolant import WATER
+from repro.microchannel.geometry import ChannelGeometry
+from repro.microchannel.model import MicrochannelModel
+from repro.thermal.grid import SlabKind, ThermalGrid
+from repro.thermal.package import AirPackage
+
+#: Default calibrated resistance scale for the liquid path (DESIGN.md §5):
+#: chosen so the hottest Table II workload (Web-high) reaches ~87.5 degC at
+#: the lowest pump setting and ~77.7 degC (sensor) at the highest — Fig. 5's
+#: operating band, with ~3 K of headroom under the 80 degC target for
+#: thread-burst transients. See repro.sim.calibration.
+DEFAULT_RESISTANCE_SCALE = 4.5
+
+#: Default calibrated resistance scale for the air path (DESIGN.md §5):
+#: puts Web-high on the air-cooled 2-layer stack at ~85 degC (sensor), at
+#: the 85 degC hot-spot threshold so load bursts cross it intermittently —
+#: Figure 6's regime, where the air system shows hot spots a fraction of
+#: the time and thermal policies can influence them. See
+#: repro.sim.calibration.
+DEFAULT_AIR_RESISTANCE_SCALE = 2.9
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """Material properties and calibration knobs of the network.
+
+    All defaults trace to Table I/III or to the documented calibration
+    (DESIGN.md section 5).
+    """
+
+    k_silicon: float = SILICON_CONDUCTIVITY
+    silicon_vol_capacity: float = SILICON_VOLUMETRIC_HEAT_CAPACITY
+    interlayer_conductivity: float = 1.0 / STACK.interlayer_resistivity
+    interlayer_vol_capacity: float = 2.0e6
+    r_beol_area: float = MICROCHANNEL.r_beol
+    tsv_conductivity: float = COPPER_CONDUCTIVITY
+    inlet_temperature: float = 60.0
+    resistance_scale: float = DEFAULT_RESISTANCE_SCALE
+    air_resistance_scale: float = DEFAULT_AIR_RESISTANCE_SCALE
+
+    def __post_init__(self) -> None:
+        if self.k_silicon <= 0.0 or self.interlayer_conductivity <= 0.0:
+            raise ConfigurationError("conductivities must be positive")
+        if self.resistance_scale <= 0.0 or self.air_resistance_scale <= 0.0:
+            raise ConfigurationError("resistance scales must be positive")
+
+
+@dataclass
+class RCNetwork:
+    """An assembled thermal RC network.
+
+    Attributes
+    ----------
+    conductance:
+        Sparse (n x n) conductance matrix G (W/K); asymmetric when the
+        network contains coolant advection.
+    capacitance:
+        Per-node heat capacities (J/K), the diagonal of C.
+    boundary:
+        Constant source vector b (W) from Dirichlet boundaries (coolant
+        inlet, ambient); the network ODE is ``C dT/dt = -G T + P + b``.
+    grid:
+        The node layout this network was assembled for.
+    cavity_flows:
+        Per-cavity flows (m^3/s) used during assembly (empty for air).
+    """
+
+    conductance: sp.csr_matrix
+    capacitance: np.ndarray
+    boundary: np.ndarray
+    grid: ThermalGrid
+    cavity_flows: tuple[float, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of temperature nodes."""
+        return self.grid.n_nodes
+
+
+class _Assembler:
+    """Accumulates conductances in COO form plus boundary couplings."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+        self.boundary = np.zeros(n)
+
+    def add_coupling(self, a: int, b: int, g: float) -> None:
+        """Symmetric conductance g between nodes a and b."""
+        if g <= 0.0:
+            raise SolverError(f"non-positive conductance {g} between {a} and {b}")
+        self.rows += [a, b, a, b]
+        self.cols += [a, b, b, a]
+        self.vals += [g, g, -g, -g]
+
+    def add_to_boundary(self, a: int, g: float, t_boundary: float) -> None:
+        """Conductance g from node a to a fixed-temperature boundary."""
+        if g <= 0.0:
+            raise SolverError(f"non-positive boundary conductance {g} at node {a}")
+        self.rows.append(a)
+        self.cols.append(a)
+        self.vals.append(g)
+        self.boundary[a] += g * t_boundary
+
+    def add_advection(self, node: int, upstream: Optional[int], g: float, t_inlet: float) -> None:
+        """Directed advective transport m_dot*c_p into ``node``.
+
+        ``upstream is None`` means the node is at the channel inlet.
+        """
+        if g < 0.0:
+            raise SolverError("advective conductance must be non-negative")
+        if g == 0.0:
+            return
+        self.rows.append(node)
+        self.cols.append(node)
+        self.vals.append(g)
+        if upstream is None:
+            self.boundary[node] += g * t_inlet
+        else:
+            self.rows.append(node)
+            self.cols.append(upstream)
+            self.vals.append(-g)
+
+    def to_csr(self) -> sp.csr_matrix:
+        m = sp.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(self.n, self.n)
+        )
+        return m.tocsr()
+
+
+def _series(*resistances: float) -> float:
+    """Conductance of resistances in series."""
+    total = sum(resistances)
+    if total <= 0.0:
+        raise SolverError("series resistance must be positive")
+    return 1.0 / total
+
+
+def build_network(
+    grid: ThermalGrid,
+    params: ThermalParams = ThermalParams(),
+    cavity_flows: Optional[Sequence[float]] = None,
+    channel_model: Optional[MicrochannelModel] = None,
+    package: Optional[AirPackage] = None,
+) -> RCNetwork:
+    """Assemble the RC network for a grid at given operating conditions.
+
+    Parameters
+    ----------
+    grid:
+        Node layout (stack + resolution).
+    params:
+        Material properties and calibration scales.
+    cavity_flows:
+        Liquid cooling only: per-cavity volumetric flow (m^3/s), either
+        one value per cavity or a single value broadcast to all (the
+        paper's pump feeds all cavities equally).
+    channel_model:
+        Microchannel heat-transfer model; defaults to the paper's
+        geometry sized to the stack outline.
+    package:
+        Air cooling only: the package on top of the stack.
+    """
+    stack = grid.stack
+    if stack.cooling is CoolingKind.LIQUID:
+        if cavity_flows is None:
+            raise ConfigurationError("liquid-cooled networks need cavity_flows")
+        flows = _broadcast_flows(cavity_flows, stack.n_cavities)
+        model = channel_model or MicrochannelModel(
+            geometry=ChannelGeometry(length=stack.width),
+            die_height=stack.height,
+        )
+        return _build_liquid(grid, params, flows, model)
+    if cavity_flows is not None:
+        raise ConfigurationError("air-cooled networks take no cavity_flows")
+    return _build_air(grid, params, package or AirPackage())
+
+
+def _broadcast_flows(cavity_flows: Sequence[float], n_cavities: int) -> tuple[float, ...]:
+    flows = [float(f) for f in np.atleast_1d(np.asarray(cavity_flows, dtype=float))]
+    if len(flows) == 1:
+        flows = flows * n_cavities
+    if len(flows) != n_cavities:
+        raise ConfigurationError(
+            f"expected {n_cavities} cavity flows, got {len(flows)}"
+        )
+    if any(f < 0.0 for f in flows):
+        raise ConfigurationError("cavity flows must be non-negative")
+    return tuple(flows)
+
+
+# --- common pieces ---------------------------------------------------------
+
+
+def _die_lateral(asm: _Assembler, grid: ThermalGrid, slab_idx: int, thickness: float, k: float) -> None:
+    """Lateral conduction within one slab."""
+    g_x = k * thickness * grid.cell_h / grid.cell_w
+    g_y = k * thickness * grid.cell_w / grid.cell_h
+    for j in range(grid.ny):
+        for i in range(grid.nx):
+            node = grid.node(slab_idx, i, j)
+            if i + 1 < grid.nx:
+                asm.add_coupling(node, grid.node(slab_idx, i + 1, j), g_x)
+            if j + 1 < grid.ny:
+                asm.add_coupling(node, grid.node(slab_idx, i, j + 1), g_y)
+
+
+def _die_half_resistance(grid: ThermalGrid, die_thickness: float, params: ThermalParams) -> float:
+    """Half-die vertical conduction resistance of one cell, K/W."""
+    return (die_thickness / 2.0) / (params.k_silicon * grid.cell_area)
+
+
+def _beol_resistance(grid: ThermalGrid, params: ThermalParams, scale: float) -> float:
+    """BEOL (wiring stack) resistance of one cell, K/W (Eq. 2/3)."""
+    return params.r_beol_area * scale / grid.cell_area
+
+
+def _tsv_mask(grid: ThermalGrid, die_index: int) -> np.ndarray:
+    """Cells of a die covered by its crossbar (the TSV region)."""
+    floorplan = grid.stack.dies[die_index].floorplan
+    xbar_indices = [
+        floorplan.units.index(u) for u in floorplan.units_of_kind(UnitKind.CROSSBAR)
+    ]
+    raster = grid.rasters[die_index]
+    mask = np.zeros_like(raster, dtype=bool)
+    for idx in xbar_indices:
+        mask |= raster == idx
+    return mask
+
+
+def _tsv_fill_fraction(grid: ThermalGrid, die_index: int) -> float:
+    """Fraction of the crossbar area occupied by copper TSVs."""
+    floorplan = grid.stack.dies[die_index].floorplan
+    xbar_area = sum(u.area for u in floorplan.units_of_kind(UnitKind.CROSSBAR))
+    tsv_area = STACK.tsv_count_per_interface * STACK.tsv_side**2
+    if xbar_area <= 0.0:
+        return 0.0
+    return min(1.0, tsv_area / xbar_area)
+
+
+# --- liquid-cooled assembly -----------------------------------------------------
+
+
+def _build_liquid(
+    grid: ThermalGrid,
+    params: ThermalParams,
+    flows: tuple[float, ...],
+    model: MicrochannelModel,
+) -> RCNetwork:
+    asm = _Assembler(grid.n_nodes)
+    capacitance = np.zeros(grid.n_nodes)
+    stack = grid.stack
+    scale = params.resistance_scale
+    coolant = model.coolant
+    geom = model.geometry
+    p_eff = geom.effective_pitch(model.die_height)
+    fluid_fraction = min(1.0, geom.width / p_eff)
+    t_cavity = STACK.interlayer_thickness_with_channels
+
+    # Die slabs: lateral conduction and capacitance.
+    for die_index, die in enumerate(stack.dies):
+        slab_idx = grid.die_slab_index(die_index)
+        _die_lateral(asm, grid, slab_idx, die.thickness, params.k_silicon)
+        cap = params.silicon_vol_capacity * grid.cell_area * die.thickness
+        capacitance[grid.slab_nodes(slab_idx)] += cap
+
+    # Cavity slabs: coolant advection, film coupling, wall conduction, TSVs.
+    for cavity_index in range(stack.n_cavities):
+        flow = flows[cavity_index]
+        slab_idx = grid.cavity_slab_index(cavity_index)
+        die_below = cavity_index - 1 if cavity_index > 0 else None
+        die_above = cavity_index if cavity_index < stack.n_dies else None
+
+        h_eff = model.effective_h(flow)
+        g_film_side = h_eff * grid.cell_area / 2.0 / scale
+        # Mass flow per grid row: the cavity's channels are uniformly
+        # distributed, so each of the ny rows carries flow/ny.
+        g_adv_row = coolant.mass_flow(flow / grid.ny) * coolant.heat_capacity
+
+        fluid_volume = grid.cell_area * geom.height * fluid_fraction
+        solid_volume = grid.cell_area * t_cavity - fluid_volume
+        cap = (
+            coolant.volumetric_heat_capacity() * fluid_volume
+            + params.interlayer_vol_capacity * max(solid_volume, 0.0)
+        )
+        capacitance[grid.slab_nodes(slab_idx)] += cap
+
+        # Per-cell resistances on the die sides of the film.
+        r_up = {}
+        r_down = {}
+        if die_below is not None:
+            t_d = stack.dies[die_below].thickness
+            # BEOL faces up: heat from the die below crosses its BEOL.
+            r_up[die_below] = _die_half_resistance(grid, t_d, params) + _beol_resistance(
+                grid, params, scale
+            )
+        if die_above is not None:
+            t_d = stack.dies[die_above].thickness
+            # The die above couples downward through its silicon slab.
+            r_down[die_above] = _die_half_resistance(grid, t_d, params)
+
+        tsv_mask = None
+        tsv_g = 0.0
+        wall_g = 0.0
+        if die_below is not None and die_above is not None:
+            tsv_mask = _tsv_mask(grid, die_below)
+            phi = _tsv_fill_fraction(grid, die_below)
+            k_wall = (1.0 - fluid_fraction) * params.interlayer_conductivity
+            k_tsv = phi * params.tsv_conductivity + k_wall
+            tsv_g = k_tsv * grid.cell_area / t_cavity
+            wall_g = k_wall * grid.cell_area / t_cavity
+
+        for j in range(grid.ny):
+            for i in range(grid.nx):
+                fluid = grid.node(slab_idx, i, j)
+                upstream = grid.node(slab_idx, i - 1, j) if i > 0 else None
+                asm.add_advection(fluid, upstream, g_adv_row, params.inlet_temperature)
+
+                if die_below is not None:
+                    below = grid.node(grid.die_slab_index(die_below), i, j)
+                    g = _series(r_up[die_below], 1.0 / g_film_side)
+                    asm.add_coupling(fluid, below, g)
+                if die_above is not None:
+                    above = grid.node(grid.die_slab_index(die_above), i, j)
+                    g = _series(r_down[die_above], 1.0 / g_film_side)
+                    asm.add_coupling(fluid, above, g)
+                # Solid conduction straight through the cavity between
+                # the two dies (channel walls; TSV-enhanced under the
+                # crossbar). This is the per-cell heterogeneous
+                # resistivity of Section III-A.
+                if die_below is not None and die_above is not None:
+                    below = grid.node(grid.die_slab_index(die_below), i, j)
+                    above = grid.node(grid.die_slab_index(die_above), i, j)
+                    g_solid = tsv_g if tsv_mask is not None and tsv_mask[j, i] else wall_g
+                    if g_solid > 0.0:
+                        r_total = (
+                            _die_half_resistance(grid, stack.dies[die_below].thickness, params)
+                            + _beol_resistance(grid, params, scale)
+                            + 1.0 / g_solid
+                            + _die_half_resistance(grid, stack.dies[die_above].thickness, params)
+                        )
+                        asm.add_coupling(below, above, 1.0 / r_total)
+
+    return RCNetwork(
+        conductance=asm.to_csr(),
+        capacitance=capacitance,
+        boundary=asm.boundary,
+        grid=grid,
+        cavity_flows=flows,
+    )
+
+
+# --- air-cooled assembly -----------------------------------------------------
+
+
+def _build_air(grid: ThermalGrid, params: ThermalParams, package: AirPackage) -> RCNetwork:
+    asm = _Assembler(grid.n_nodes)
+    capacitance = np.zeros(grid.n_nodes)
+    stack = grid.stack
+    scale = params.air_resistance_scale
+
+    for die_index, die in enumerate(stack.dies):
+        slab_idx = grid.die_slab_index(die_index)
+        _die_lateral(asm, grid, slab_idx, die.thickness, params.k_silicon)
+        cap = params.silicon_vol_capacity * grid.cell_area * die.thickness
+        capacitance[grid.slab_nodes(slab_idx)] += cap
+
+    # Interfaces between consecutive dies (thin interlayer material +
+    # TSV-enhanced crossbar region).
+    for slab_idx, slab in enumerate(grid.slabs):
+        if slab.kind is not SlabKind.INTERFACE:
+            continue
+        die_below = slab.cavity_index
+        die_above = die_below + 1
+        t_if = slab.thickness
+        cap = params.interlayer_vol_capacity * grid.cell_area * t_if
+        capacitance[grid.slab_nodes(slab_idx)] += cap
+        tsv_mask = _tsv_mask(grid, die_below)
+        phi = _tsv_fill_fraction(grid, die_below)
+        k_plain = params.interlayer_conductivity
+        k_tsv = phi * params.tsv_conductivity + (1.0 - phi) * k_plain
+        r_below_half = (
+            _die_half_resistance(grid, stack.dies[die_below].thickness, params)
+            + _beol_resistance(grid, params, scale)
+        )
+        r_above_half = _die_half_resistance(grid, stack.dies[die_above].thickness, params)
+        for j in range(grid.ny):
+            for i in range(grid.nx):
+                node_if = grid.node(slab_idx, i, j)
+                below = grid.node(grid.die_slab_index(die_below), i, j)
+                above = grid.node(grid.die_slab_index(die_above), i, j)
+                k_cell = k_tsv if tsv_mask[j, i] else k_plain
+                r_half_if = (t_if / 2.0) / (k_cell * grid.cell_area)
+                asm.add_coupling(node_if, below, _series(r_below_half, r_half_if))
+                asm.add_coupling(node_if, above, _series(r_above_half, r_half_if))
+
+    # Package on top of the topmost die.
+    top_die = stack.n_dies - 1
+    top_slab = grid.die_slab_index(top_die)
+    t_top = stack.dies[top_die].thickness
+    r_cell_to_spreader = (
+        _die_half_resistance(grid, t_top, params)
+        + _beol_resistance(grid, params, scale)
+        + package.tim_resistance_area * scale / grid.cell_area
+    )
+    for j in range(grid.ny):
+        for i in range(grid.nx):
+            asm.add_coupling(
+                grid.node(top_slab, i, j), grid.spreader_node, 1.0 / r_cell_to_spreader
+            )
+    asm.add_coupling(grid.spreader_node, grid.sink_node, 1.0 / package.spreader_resistance)
+    asm.add_to_boundary(grid.sink_node, 1.0 / package.sink_resistance, package.ambient)
+    capacitance[grid.spreader_node] += package.spreader_capacitance
+    capacitance[grid.sink_node] += package.sink_capacitance
+
+    return RCNetwork(
+        conductance=asm.to_csr(),
+        capacitance=capacitance,
+        boundary=asm.boundary,
+        grid=grid,
+        cavity_flows=(),
+    )

@@ -1,0 +1,109 @@
+"""Steady-state and transient solvers for the thermal RC network.
+
+The network ODE is ``C dT/dt = -G T + P + b`` with diagonal C. The
+transient solver uses backward Euler::
+
+    (C/dt + G) T_{n+1} = (C/dt) T_n + P + b
+
+which is unconditionally stable (the paper steps at the 100 ms sampling
+interval, comparable to the stack's thermal time constant). The system
+matrix depends only on (G, dt), so one sparse LU factorization per pump
+setting is cached and each step costs a pair of triangular solves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import SolverError
+from repro.thermal.rc_network import RCNetwork
+
+
+class SteadyStateSolver:
+    """Solves ``G T = P + b`` for the equilibrium temperature field."""
+
+    def __init__(self, network: RCNetwork) -> None:
+        self.network = network
+        try:
+            self._lu = spla.splu(network.conductance.tocsc())
+        except RuntimeError as exc:
+            raise SolverError(f"steady-state factorization failed: {exc}") from exc
+
+    def solve(self, power: np.ndarray) -> np.ndarray:
+        """Equilibrium temperatures for a per-node power injection (W)."""
+        power = np.asarray(power, dtype=float)
+        if power.shape != (self.network.n_nodes,):
+            raise SolverError(
+                f"power vector has shape {power.shape}, expected ({self.network.n_nodes},)"
+            )
+        temps = self._lu.solve(power + self.network.boundary)
+        if not np.all(np.isfinite(temps)):
+            raise SolverError("steady-state solve produced non-finite temperatures")
+        return temps
+
+
+class TransientSolver:
+    """Backward-Euler transient integrator with a cached factorization.
+
+    Parameters
+    ----------
+    network:
+        The assembled RC network.
+    dt:
+        Time step in seconds (the paper's 100 ms sampling interval by
+        default at the call sites).
+    """
+
+    def __init__(self, network: RCNetwork, dt: float) -> None:
+        if dt <= 0.0:
+            raise SolverError("time step must be positive")
+        self.network = network
+        self.dt = dt
+        c_over_dt = network.capacitance / dt
+        if np.any(c_over_dt < 0.0):
+            raise SolverError("negative capacitance in network")
+        system = network.conductance + sp.diags(c_over_dt)
+        try:
+            self._lu = spla.splu(system.tocsc())
+        except RuntimeError as exc:
+            raise SolverError(f"transient factorization failed: {exc}") from exc
+        self._c_over_dt = c_over_dt
+
+    def step(self, temperatures: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """Advance one time step; returns the new temperature vector."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        power = np.asarray(power, dtype=float)
+        n = self.network.n_nodes
+        if temperatures.shape != (n,) or power.shape != (n,):
+            raise SolverError("temperature/power vector shape mismatch")
+        rhs = self._c_over_dt * temperatures + power + self.network.boundary
+        out = self._lu.solve(rhs)
+        if not np.all(np.isfinite(out)):
+            raise SolverError("transient step produced non-finite temperatures")
+        return out
+
+    def run(
+        self,
+        temperatures: np.ndarray,
+        power: np.ndarray,
+        n_steps: int,
+    ) -> np.ndarray:
+        """Advance ``n_steps`` with constant power; returns the final state."""
+        if n_steps < 0:
+            raise SolverError("n_steps must be non-negative")
+        state = np.asarray(temperatures, dtype=float)
+        for _ in range(n_steps):
+            state = self.step(state, power)
+        return state
+
+
+def initial_state(network: RCNetwork, power: Optional[np.ndarray] = None) -> np.ndarray:
+    """Steady-state initialization (the paper initializes all simulations
+    "with steady state temperature values")."""
+    if power is None:
+        power = np.zeros(network.n_nodes)
+    return SteadyStateSolver(network).solve(power)

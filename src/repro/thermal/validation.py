@@ -1,0 +1,106 @@
+"""Cross-validation of the grid RC model against the unit-cell model.
+
+The paper validates its model parameters by finite-element simulation;
+we cannot rerun that, but we *can* require our two independent
+implementations — the analytic unit-cell equations (Eqs. 1-7) and the
+assembled grid RC network — to agree wherever the unit cell's
+assumptions hold (uniform heat flux, isothermal channel walls,
+developed flow). This module produces that comparison table; the test
+suite pins the agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.stack import build_stack
+from repro.microchannel.geometry import ChannelGeometry
+from repro.microchannel.model import MicrochannelModel
+from repro.thermal.analytic import AnalyticUnitCell
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.rc_network import ThermalParams, build_network
+from repro.thermal.solver import SteadyStateSolver
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One operating point of the grid-vs-analytic comparison.
+
+    Temperatures are coolant-outlet rises above the inlet, K.
+    """
+
+    flow_per_cavity: float
+    heat_flux: float
+    analytic_outlet_rise: float
+    grid_outlet_rise: float
+
+    @property
+    def relative_error(self) -> float:
+        """Grid vs analytic, relative to the analytic value."""
+        if abs(self.analytic_outlet_rise) < 1.0e-12:
+            return 0.0
+        return (
+            self.grid_outlet_rise - self.analytic_outlet_rise
+        ) / self.analytic_outlet_rise
+
+
+def sensible_heat_validation(
+    flows: tuple[float, ...] = (3.3e-6, 6.7e-6, 1.0e-5, 1.67e-5),
+    heat_flux: float = 2.0e5,
+    nx: int = 12,
+    ny: int = 12,
+) -> list[ValidationRow]:
+    """Compare the coolant outlet rise: grid network vs Eq. 4/5.
+
+    Uniform heat flux is injected over the whole bottom die; the
+    analytic sensible-heat model predicts the mean coolant outlet rise
+    from the total absorbed power and the capacity rate. The grid
+    model computes the same quantity through per-cell advection.
+    """
+    stack = build_stack(2)
+    grid = ThermalGrid(stack, nx=nx, ny=ny)
+    area = stack.width * stack.height
+    total_power = heat_flux * area
+    model = MicrochannelModel(
+        geometry=ChannelGeometry(length=stack.width), die_height=stack.height
+    )
+    cell = AnalyticUnitCell(model=model)
+
+    rows = []
+    for flow in flows:
+        net = build_network(grid, ThermalParams(), cavity_flows=[flow])
+        power = np.zeros(net.n_nodes)
+        die_nodes = grid.slab_nodes(grid.die_slab_index(0)).ravel()
+        power[die_nodes] = total_power / die_nodes.size
+        temps = SteadyStateSolver(net).solve(power)
+
+        outlet_nodes = np.concatenate(
+            [grid.slab_nodes(s)[:, -1] for s in grid.cavity_slab_indices()]
+        )
+        grid_rise = float(temps[outlet_nodes].mean()) - ThermalParams().inlet_temperature
+
+        # All power is absorbed by n_cavities parallel flows: the mean
+        # outlet rise follows from the aggregate capacity rate.
+        capacity_rate = (
+            model.cavity_heat_capacity_rate(flow) * stack.n_cavities
+        )
+        analytic_rise = total_power / capacity_rate
+
+        rows.append(
+            ValidationRow(
+                flow_per_cavity=flow,
+                heat_flux=heat_flux,
+                analytic_outlet_rise=analytic_rise,
+                grid_outlet_rise=grid_rise,
+            )
+        )
+    return rows
+
+
+def max_relative_error(rows: list[ValidationRow]) -> float:
+    """Worst-case |relative error| across a validation sweep."""
+    if not rows:
+        return 0.0
+    return max(abs(r.relative_error) for r in rows)

@@ -1,0 +1,18 @@
+"""Workload substrate: Table II benchmarks, threads, traces."""
+
+from repro.workload.benchmarks import TABLE_II, BenchmarkSpec, benchmark
+from repro.workload.generator import ThreadTrace, WorkloadGenerator, diurnal_trace
+from repro.workload.threads import Thread
+from repro.workload.traces import UtilizationTrace, generate_from_utilization
+
+__all__ = [
+    "BenchmarkSpec",
+    "TABLE_II",
+    "benchmark",
+    "Thread",
+    "WorkloadGenerator",
+    "ThreadTrace",
+    "diurnal_trace",
+    "UtilizationTrace",
+    "generate_from_utilization",
+]

@@ -1,0 +1,92 @@
+"""The paper's measured workloads (Table II).
+
+Eight real-life benchmarks were characterized on an UltraSPARC T1 with
+mpstat/DTrace: web serving (SLAMD), database (MySQL/sysbench), SPEC-like
+compilation and compression, and multimedia (mplayer). Table II reports
+average system utilization, L2 instruction/data misses, and floating
+point instructions (misses and FP per 100 k instructions).
+
+The memory intensity used by the crossbar power model derives from the
+total L2 miss rate, normalized to the most memory-intensive workload
+(Web-high, 356.3 misses per 100 k instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of Table II.
+
+    Attributes
+    ----------
+    index:
+        Row number in Table II (1-8).
+    name:
+        Benchmark name.
+    avg_utilization:
+        Average system utilization in percent (Table II "Avg Util (%)").
+    l2_i_miss, l2_d_miss:
+        L2 instruction/data misses per 100 k instructions.
+    fp_instructions:
+        Floating point instructions per 100 k instructions.
+    """
+
+    index: int
+    name: str
+    avg_utilization: float
+    l2_i_miss: float
+    l2_d_miss: float
+    fp_instructions: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.avg_utilization <= 100.0:
+            raise WorkloadError(f"{self.name}: utilization must be in (0, 100]")
+        if self.l2_i_miss < 0.0 or self.l2_d_miss < 0.0 or self.fp_instructions < 0.0:
+            raise WorkloadError(f"{self.name}: event rates must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        """Average utilization as a fraction in (0, 1]."""
+        return self.avg_utilization / 100.0
+
+    @property
+    def total_l2_miss(self) -> float:
+        """Combined L2 miss rate per 100 k instructions."""
+        return self.l2_i_miss + self.l2_d_miss
+
+    @property
+    def memory_intensity(self) -> float:
+        """Miss rate normalized to the most memory-intensive workload."""
+        return min(1.0, self.total_l2_miss / _MAX_L2_MISS)
+
+
+_TABLE_II_ROWS = (
+    BenchmarkSpec(1, "Web-med", 53.12, 12.9, 167.7, 31.2),
+    BenchmarkSpec(2, "Web-high", 92.87, 67.6, 288.7, 31.2),
+    BenchmarkSpec(3, "Database", 17.75, 6.5, 102.3, 5.9),
+    BenchmarkSpec(4, "Web&DB", 75.12, 21.5, 115.3, 24.1),
+    BenchmarkSpec(5, "gcc", 15.25, 31.7, 96.2, 18.1),
+    BenchmarkSpec(6, "gzip", 9.0, 2.0, 57.0, 0.2),
+    BenchmarkSpec(7, "MPlayer", 6.5, 9.6, 136.0, 1.0),
+    BenchmarkSpec(8, "MPlayer&Web", 26.62, 9.1, 66.8, 29.9),
+)
+
+_MAX_L2_MISS = max(row.l2_i_miss + row.l2_d_miss for row in _TABLE_II_ROWS)
+
+TABLE_II: dict[str, BenchmarkSpec] = {row.name: row for row in _TABLE_II_ROWS}
+"""All Table II benchmarks, keyed by name."""
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a Table II benchmark by name (case-insensitive)."""
+    for key, spec in TABLE_II.items():
+        if key.lower() == name.lower():
+            return spec
+    raise WorkloadError(
+        f"unknown benchmark {name!r}; available: {', '.join(TABLE_II)}"
+    )

@@ -1,0 +1,7 @@
+"""Pytest configuration: marker registration."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running calibration/figure sweeps"
+    )

@@ -1,0 +1,82 @@
+"""The prior-work [6] stepwise controller baseline."""
+
+import pytest
+
+from repro.control.stepwise import StepwiseFlowController
+from repro.errors import ControlError
+from repro.pump.laing_ddc import PumpState, laing_ddc
+
+
+def make(start=2, upper=78.0, lower=72.0, settle=1):
+    state = PumpState(laing_ddc(3), current_index=start)
+    return StepwiseFlowController(
+        state, upper_band=upper, lower_band=lower, settle_intervals=settle
+    )
+
+
+class TestLadder:
+    def test_steps_up_when_hot(self):
+        ctrl = make(start=2)
+        assert ctrl.update(80.0, now=0.0) == 3
+        assert ctrl.upshift_count == 1
+
+    def test_steps_down_when_cool(self):
+        ctrl = make(start=2)
+        assert ctrl.update(70.0, now=0.0) == 1
+        assert ctrl.downshift_count == 1
+
+    def test_holds_inside_band(self):
+        ctrl = make(start=2)
+        assert ctrl.update(75.0, now=0.0) == 2
+        assert ctrl.upshift_count == ctrl.downshift_count == 0
+
+    def test_one_step_at_a_time(self):
+        """Unlike the LUT controller, the ladder cannot jump: a very
+        hot reading still moves only one setting per decision."""
+        ctrl = make(start=0, settle=1)
+        assert ctrl.update(95.0, now=0.0) == 1
+
+    def test_saturates_at_ends(self):
+        ctrl = make(start=4, settle=1)
+        ctrl.update(95.0, now=0.0)
+        assert ctrl.pump_state.commanded_index == 4
+        ctrl = make(start=0, settle=1)
+        ctrl.update(40.0, now=0.0)
+        assert ctrl.pump_state.commanded_index == 0
+
+
+class TestSettle:
+    def test_cooldown_blocks_consecutive_steps(self):
+        ctrl = make(start=0, settle=3)
+        ctrl.update(90.0, now=0.0)   # Steps to 1, starts cooldown.
+        ctrl.update(90.0, now=0.1)   # Blocked.
+        ctrl.update(90.0, now=0.2)   # Blocked.
+        ctrl.update(90.0, now=0.3)   # Blocked (third cooldown tick).
+        assert ctrl.pump_state.commanded_index == 1
+        ctrl.update(90.0, now=0.4)   # Free again.
+        assert ctrl.pump_state.commanded_index == 2
+
+    def test_reactive_lag_vs_lut(self):
+        """The ladder needs multiple settle periods to climb from the
+        bottom to the top — the reaction-time weakness the paper's
+        proactive controller removes."""
+        ctrl = make(start=0, settle=3)
+        steps_needed = 0
+        for k in range(40):
+            ctrl.update(90.0, now=0.1 * k)
+            steps_needed += 1
+            if ctrl.pump_state.commanded_index == 4:
+                break
+        # 4 climbs, each followed by a 3-decision cooldown except the
+        # last: 4 + 3*3 = 13 decisions at 100 ms each = 1.3 s of lag.
+        assert steps_needed >= 13
+
+
+class TestValidation:
+    def test_rejects_inverted_bands(self):
+        with pytest.raises(ControlError):
+            make(upper=70.0, lower=75.0)
+
+    def test_rejects_bad_settle(self):
+        with pytest.raises(ControlError):
+            make(settle=0)

@@ -1,0 +1,48 @@
+"""Figure 3 regeneration: pump power and per-cavity flows."""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig3.run()
+
+
+class TestFigure3:
+    def test_five_rows(self, rows):
+        assert len(rows) == 5
+
+    def test_pump_flow_axis(self, rows):
+        assert [r["pump_flow_lh"] for r in rows] == pytest.approx(
+            [75.0, 150.0, 225.0, 300.0, 375.0]
+        )
+
+    def test_2layer_series_matches_paper(self, rows):
+        """Figure 3: ~208 to ~1042 ml/min per cavity for 3 cavities."""
+        flows = [r["per_cavity_2layer_mlmin"] for r in rows]
+        assert flows[0] == pytest.approx(208.33, rel=1e-3)
+        assert flows[-1] == pytest.approx(1041.67, rel=1e-3)
+
+    def test_4layer_series_matches_paper(self, rows):
+        flows = [r["per_cavity_4layer_mlmin"] for r in rows]
+        assert flows[0] == pytest.approx(125.0, rel=1e-3)
+        assert flows[-1] == pytest.approx(625.0, rel=1e-3)
+
+    def test_4layer_always_below_2layer(self, rows):
+        """Five cavities share the same pump: less flow per cavity."""
+        for r in rows:
+            assert r["per_cavity_4layer_mlmin"] < r["per_cavity_2layer_mlmin"]
+
+    def test_power_range_matches_figure(self, rows):
+        powers = [r["pump_power_w"] for r in rows]
+        assert powers[0] == pytest.approx(3.72, rel=1e-2)
+        assert powers[-1] == pytest.approx(21.0, rel=1e-2)
+        assert powers == sorted(powers)
+
+    def test_power_growth_superlinear(self, rows):
+        """Quadratic growth: the last step (75 l/h) costs more watts
+        than the first step."""
+        powers = [r["pump_power_w"] for r in rows]
+        assert powers[-1] - powers[-2] > powers[1] - powers[0]

@@ -1,0 +1,67 @@
+"""Figure 5 regeneration: flow requirement staircase."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def rows_2layer():
+    return fig5.run(
+        n_layers=2,
+        utilizations=(0.0, 0.3, 0.6, 0.93),
+        include_continuous=False,
+    )
+
+
+class TestStaircase:
+    def test_tmax_monotone_in_utilization(self, rows_2layer):
+        temps = [r["tmax_at_lowest"] for r in rows_2layer]
+        assert temps == sorted(temps)
+
+    def test_required_setting_monotone(self, rows_2layer):
+        settings = [r["required_setting"] for r in rows_2layer]
+        assert settings == sorted(settings)
+
+    def test_x_axis_spans_paper_band(self, rows_2layer):
+        """Figure 5's x axis runs from ~70 to ~90 degC."""
+        temps = [r["tmax_at_lowest"] for r in rows_2layer]
+        assert 68.0 < temps[0] < 78.0
+        assert 82.0 < temps[-1] < 92.0
+
+    def test_idle_needs_minimum_flow(self, rows_2layer):
+        assert rows_2layer[0]["required_setting"] == 0
+
+    def test_hottest_needs_near_maximum(self, rows_2layer):
+        assert rows_2layer[-1]["required_setting"] >= 3
+
+    def test_selected_settings_hold_target(self, rows_2layer):
+        assert all(r["holds_target"] for r in rows_2layer)
+
+
+@pytest.mark.slow
+class TestFourLayerComparison:
+    def test_4layer_needs_higher_settings(self):
+        """Figure 5: at the same workload the 4-layer system needs at
+        least the 2-layer system's setting (less per-cavity flow, more
+        stacked heat)."""
+        utils = (0.0, 0.5, 0.9)
+        rows2 = fig5.run(2, utilizations=utils, include_continuous=False)
+        rows4 = fig5.run(4, utilizations=utils, include_continuous=False)
+        for r2, r4 in zip(rows2, rows4):
+            assert r4["required_setting"] >= r2["required_setting"]
+
+
+@pytest.mark.slow
+class TestContinuousCurve:
+    def test_continuous_flow_below_discrete(self):
+        """The continuous minimum (circles in Figure 5) never exceeds
+        the discrete staircase above it."""
+        rows = fig5.run(2, utilizations=(0.2, 0.6, 0.9), include_continuous=True)
+        for row in rows:
+            if np.isfinite(row["continuous_flow_mlmin"]):
+                assert (
+                    row["continuous_flow_mlmin"]
+                    <= row["discrete_flow_mlmin"] * 1.001
+                )

@@ -1,0 +1,29 @@
+"""The one-shot evaluation report generator."""
+
+import pytest
+
+from repro.experiments.report import build_report, write_report
+
+
+@pytest.mark.slow
+class TestReport:
+    def test_report_contains_every_section(self, tmp_path):
+        path = write_report(tmp_path / "report.md", duration=6.0)
+        text = path.read_text()
+        for heading in (
+            "Table II",
+            "Figure 3",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Headline",
+            "4-layer",
+            "prior work",
+        ):
+            assert heading in text
+
+    def test_report_is_markdown(self):
+        text = build_report(duration=6.0)
+        assert text.startswith("# Evaluation report")
+        assert "```" in text

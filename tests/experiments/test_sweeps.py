@@ -1,0 +1,47 @@
+"""Parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments import sweeps
+
+
+class TestInletSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sweeps.inlet_temperature_sweep(inlets=(45.0, 60.0, 67.5))
+
+    def test_band_translates_with_inlet(self, rows):
+        """T_max rises roughly one-for-one with the inlet temperature."""
+        for a, b in zip(rows, rows[1:]):
+            d_inlet = b["inlet_degC"] - a["inlet_degC"]
+            d_tmax = b["tmax_at_min_flow"] - a["tmax_at_min_flow"]
+            assert d_tmax == pytest.approx(d_inlet, rel=0.25)
+
+    def test_band_width_stable(self, rows):
+        """The min-to-max-flow spread barely depends on the inlet, so
+        the flow ordering is inlet-independent."""
+        widths = [r["band_width"] for r in rows]
+        assert max(widths) - min(widths) < 2.0
+
+
+class TestHysteresisSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sweeps.hysteresis_sweep(values=(0.0, 2.0, 4.0), duration=10.0)
+
+    def test_more_hysteresis_fewer_or_equal_switches(self, rows):
+        switches = [r["setting_switches"] for r in rows]
+        assert switches[-1] <= switches[0]
+
+    def test_target_held_at_paper_value(self, rows):
+        by_h = {r["hysteresis_K"]: r for r in rows}
+        assert by_h[2.0]["peak_temperature"] <= 80.5
+
+
+class TestIdlePowerSweep:
+    def test_shift_is_small(self):
+        rows = sweeps.idle_power_sweep(values=(0.5, 1.5))
+        shift = (
+            rows[1]["tmax_low_util_min_flow"] - rows[0]["tmax_low_util_min_flow"]
+        )
+        assert 0.0 < shift < 8.0

@@ -1,0 +1,30 @@
+"""Table II regeneration: the workload generator hits the targets."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2.run(duration=60.0)
+
+
+class TestTable2:
+    def test_eight_rows(self, rows):
+        assert len(rows) == 8
+
+    def test_measured_utilization_tracks_paper(self, rows):
+        for row in rows:
+            assert row["measured_util_pct"] == pytest.approx(
+                row["paper_util_pct"], rel=0.3
+            )
+
+    def test_thread_lengths_in_regime(self, rows):
+        for row in rows:
+            assert 30.0 < row["median_len_ms"] < 250.0
+            assert row["p95_len_ms"] < 800.0
+
+    def test_busier_benchmarks_generate_more_threads(self, rows):
+        by_name = {r["benchmark"]: r for r in rows}
+        assert by_name["Web-high"]["threads"] > by_name["gzip"]["threads"]

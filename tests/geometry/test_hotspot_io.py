@@ -1,0 +1,76 @@
+"""HotSpot .flp floorplan interoperability."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.floorplan import UnitKind, t1_cache_layer, t1_core_layer
+from repro.geometry.hotspot_io import read_flp, write_flp
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("fp", [t1_core_layer(), t1_cache_layer()])
+    def test_write_read_round_trip(self, fp, tmp_path):
+        path = tmp_path / "layer.flp"
+        write_flp(fp, path)
+        loaded = read_flp(path)
+        assert len(loaded.units) == len(fp.units)
+        assert loaded.width == pytest.approx(fp.width, rel=1e-5)
+        assert loaded.height == pytest.approx(fp.height, rel=1e-5)
+        for orig, back in zip(fp.units, loaded.units):
+            assert back.name == orig.name
+            assert back.area == pytest.approx(orig.area, rel=1e-5)
+            assert back.kind == orig.kind
+
+    def test_kind_inference(self, tmp_path):
+        path = tmp_path / "named.flp"
+        path.write_text(
+            "core0\t1e-3\t1e-3\t0\t0\n"
+            "l2_left\t1e-3\t1e-3\t1e-3\t0\n"
+            "xbar\t1e-3\t1e-3\t0\t1e-3\n"
+            "dram_ctl\t1e-3\t1e-3\t1e-3\t1e-3\n"
+        )
+        fp = read_flp(path)
+        kinds = {u.name: u.kind for u in fp.units}
+        assert kinds["core0"] is UnitKind.CORE
+        assert kinds["l2_left"] is UnitKind.L2
+        assert kinds["xbar"] is UnitKind.CROSSBAR
+        assert kinds["dram_ctl"] is UnitKind.MISC
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.flp"
+        path.write_text(
+            "# header\n\n"
+            "a\t1e-3\t1e-3\t0\t0\n"
+            "# tail comment\n"
+            "b\t1e-3\t1e-3\t1e-3\t0\n"
+        )
+        assert len(read_flp(path).units) == 2
+
+    def test_rejects_short_lines(self, tmp_path):
+        path = tmp_path / "bad.flp"
+        path.write_text("a\t1e-3\t1e-3\n")
+        with pytest.raises(GeometryError, match="expected 5 fields"):
+            read_flp(path)
+
+    def test_rejects_bad_numbers(self, tmp_path):
+        path = tmp_path / "bad.flp"
+        path.write_text("a\tx\t1e-3\t0\t0\n")
+        with pytest.raises(GeometryError, match="bad number"):
+            read_flp(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.flp"
+        path.write_text("# nothing\n")
+        with pytest.raises(GeometryError, match="no units"):
+            read_flp(path)
+
+    def test_rejects_overlapping_floorplan(self, tmp_path):
+        path = tmp_path / "overlap.flp"
+        path.write_text(
+            "a\t1e-3\t1e-3\t0\t0\n"
+            "b\t1e-3\t1e-3\t5e-4\t0\n"
+        )
+        with pytest.raises(GeometryError):
+            read_flp(path)

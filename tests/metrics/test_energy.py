@@ -1,0 +1,61 @@
+"""Energy accounting and normalization."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.energy import (
+    EnergyBreakdown,
+    cooling_energy_savings,
+    total_energy_savings,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_result
+
+
+class TestBreakdown:
+    def test_from_result(self):
+        r = make_result(
+            np.full(10, 70.0),
+            chip_power=np.full(10, 30.0),
+            pump_power=np.full(10, 21.0),
+        )
+        e = EnergyBreakdown.from_result(r)
+        assert e.chip == pytest.approx(30.0)
+        assert e.pump == pytest.approx(21.0)
+        assert e.total == pytest.approx(51.0)
+
+    def test_normalized_to_baseline_chip(self):
+        """The figures normalize both bars by the baseline *chip*
+        energy."""
+        e = EnergyBreakdown(chip=36.0, pump=9.0)
+        baseline = EnergyBreakdown(chip=30.0, pump=0.0)
+        n = e.normalized(baseline)
+        assert n.chip == pytest.approx(1.2)
+        assert n.pump == pytest.approx(0.3)
+
+    def test_normalized_rejects_zero_baseline(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBreakdown(1.0, 0.0).normalized(EnergyBreakdown(0.0, 0.0))
+
+
+class TestSavings:
+    def test_cooling_savings(self):
+        var = EnergyBreakdown(chip=100.0, pump=14.0)
+        mx = EnergyBreakdown(chip=100.0, pump=21.0)
+        assert cooling_energy_savings(var, mx) == pytest.approx(1.0 / 3.0)
+
+    def test_total_savings(self):
+        var = EnergyBreakdown(chip=100.0, pump=14.0)
+        mx = EnergyBreakdown(chip=100.0, pump=21.0)
+        assert total_energy_savings(var, mx) == pytest.approx(7.0 / 121.0)
+
+    def test_rejects_zero_pump_baseline(self):
+        with pytest.raises(ConfigurationError):
+            cooling_energy_savings(
+                EnergyBreakdown(1.0, 0.0), EnergyBreakdown(1.0, 0.0)
+            )

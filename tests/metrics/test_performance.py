@@ -1,0 +1,31 @@
+"""Throughput normalization."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.performance import normalized_throughput
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_result
+
+
+class TestNormalizedThroughput:
+    def test_equal_runs_give_one(self):
+        a = make_result(np.full(10, 70.0), completed=np.full(10, 4))
+        b = make_result(np.full(10, 70.0), completed=np.full(10, 4))
+        assert normalized_throughput(a, b) == pytest.approx(1.0)
+
+    def test_slower_run_below_one(self):
+        slow = make_result(np.full(10, 70.0), completed=np.full(10, 3))
+        fast = make_result(np.full(10, 70.0), completed=np.full(10, 4))
+        assert normalized_throughput(slow, fast) == pytest.approx(0.75)
+
+    def test_rejects_empty_baseline(self):
+        a = make_result(np.full(10, 70.0), completed=np.full(10, 3))
+        empty = make_result(np.full(10, 70.0), completed=np.zeros(10, dtype=int))
+        with pytest.raises(ConfigurationError):
+            normalized_throughput(a, empty)

@@ -1,0 +1,76 @@
+"""Reliability proxies: Coffin-Manson cycling damage and Black's EM."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.reliability import (
+    coffin_manson_damage,
+    electromigration_acceleration,
+    relative_mttf,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_result
+
+
+def cycling_result(amplitude, n=200, period=10):
+    phase = (np.arange(n) % period) < (period // 2)
+    series = np.where(phase, 70.0 - amplitude / 2, 70.0 + amplitude / 2)
+    core_temps = np.column_stack([series, np.full(n, 70.0)])
+    return make_result(np.full(n, 70.0), core_temperatures=core_temps)
+
+
+class TestCoffinManson:
+    def test_zero_for_constant_temperature(self):
+        r = make_result(np.full(100, 70.0))
+        assert coffin_manson_damage(r) == 0.0
+
+    def test_bigger_cycles_much_more_damage(self):
+        """Exponent q=3.5: doubling the swing multiplies damage ~11x."""
+        small = coffin_manson_damage(cycling_result(10.0))
+        large = coffin_manson_damage(cycling_result(20.0))
+        assert large > 8.0 * small
+
+    def test_sub_threshold_swings_elastic(self):
+        r = cycling_result(1.0)
+        assert coffin_manson_damage(r, minimum_delta=2.0) == 0.0
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            coffin_manson_damage(cycling_result(10.0), exponent=0.0)
+
+
+class TestElectromigration:
+    def test_unity_at_reference(self):
+        r = make_result(np.full(50, 70.0))
+        assert electromigration_acceleration(
+            r, reference_temperature=70.0
+        ) == pytest.approx(1.0)
+
+    def test_hotter_run_accelerates(self):
+        cool = make_result(np.full(50, 70.0))
+        hot = make_result(np.full(50, 90.0))
+        assert electromigration_acceleration(hot) > electromigration_acceleration(
+            cool
+        )
+
+    def test_ten_kelvin_roughly_halves_life(self):
+        """The folk rule: +10 K around 80 degC costs roughly 2x on EM
+        life at Ea = 0.7 eV."""
+        base = make_result(np.full(50, 75.0))
+        hot = make_result(np.full(50, 85.0))
+        ratio = relative_mttf(hot, base)
+        assert 0.4 < ratio < 0.7
+
+    def test_relative_mttf_symmetry(self):
+        a = make_result(np.full(50, 72.0))
+        b = make_result(np.full(50, 81.0))
+        assert relative_mttf(a, b) == pytest.approx(1.0 / relative_mttf(b, a))
+
+    def test_rejects_bad_activation_energy(self):
+        with pytest.raises(ConfigurationError):
+            electromigration_acceleration(make_result(np.full(5, 70.0)), 0.0)

@@ -1,0 +1,103 @@
+"""Hot spots, spatial gradients, and thermal cycle counting."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.thermal_metrics import (
+    count_thermal_cycles,
+    hotspot_frequency,
+    spatial_gradient_frequency,
+    thermal_cycle_frequency,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_result
+
+
+class TestHotspots:
+    def test_fraction_above_threshold(self):
+        r = make_result(np.array([80.0, 86.0, 87.0, 70.0]))
+        assert hotspot_frequency(r, threshold=85.0) == pytest.approx(50.0)
+
+    def test_zero_when_cool(self):
+        r = make_result(np.full(10, 60.0))
+        assert hotspot_frequency(r) == 0.0
+
+
+class TestSpatialGradients:
+    def test_counts_large_spreads(self):
+        unit_temps = np.array(
+            [
+                [60.0, 61.0, 62.0],   # Spread 2.
+                [60.0, 70.0, 80.0],   # Spread 20 > 15.
+                [65.0, 60.0, 81.0],   # Spread 21 > 15.
+                [70.0, 70.0, 70.0],   # Spread 0.
+            ]
+        )
+        r = make_result(np.full(4, 70.0), unit_temperatures=unit_temps)
+        assert spatial_gradient_frequency(r, threshold=15.0) == pytest.approx(50.0)
+
+
+class TestCycleCounting:
+    def test_triangle_wave_counts_every_swing(self):
+        # 4 swings of magnitude 30 each.
+        series = np.array([50.0, 80.0, 50.0, 80.0, 50.0])
+        assert count_thermal_cycles(series, threshold=20.0) == 4
+
+    def test_small_swings_ignored(self):
+        series = np.array([50.0, 55.0, 50.0, 55.0])
+        assert count_thermal_cycles(series, threshold=20.0) == 0
+
+    def test_monotone_ramp_is_one_swing(self):
+        series = np.linspace(40.0, 90.0, 100)
+        assert count_thermal_cycles(series, threshold=20.0) == 1
+
+    def test_plateaus_do_not_break_extrema(self):
+        series = np.array([50.0, 80.0, 80.0, 80.0, 50.0])
+        assert count_thermal_cycles(series, threshold=20.0) == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            count_thermal_cycles(np.ones(5), threshold=0.0)
+
+    @given(
+        st.lists(st.floats(min_value=40, max_value=100), min_size=2, max_size=60),
+        st.floats(min_value=1.0, max_value=30.0),
+    )
+    def test_offset_invariance(self, values, threshold):
+        series = np.asarray(values)
+        shifted = series + 7.5
+        assert count_thermal_cycles(series, threshold) == count_thermal_cycles(
+            shifted, threshold
+        )
+
+    @given(
+        st.lists(st.floats(min_value=40, max_value=100), min_size=2, max_size=60),
+    )
+    def test_monotone_in_threshold(self, values):
+        series = np.asarray(values)
+        loose = count_thermal_cycles(series, 5.0)
+        strict = count_thermal_cycles(series, 25.0)
+        assert strict <= loose
+
+
+class TestCycleFrequency:
+    def test_oscillating_core_counted(self):
+        n = 200
+        square = np.where(np.arange(n) % 10 < 5, 50.0, 75.0)
+        core_temps = np.column_stack([square, np.full(n, 60.0)])
+        r = make_result(np.full(n, 70.0), core_temperatures=core_temps)
+        freq = thermal_cycle_frequency(r, threshold=20.0, window=50)
+        assert freq > 0.0
+
+    def test_stable_cores_zero(self):
+        n = 200
+        core_temps = np.column_stack([np.full(n, 70.0), np.full(n, 71.0)])
+        r = make_result(np.full(n, 70.0), core_temperatures=core_temps)
+        assert thermal_cycle_frequency(r, threshold=20.0) == 0.0

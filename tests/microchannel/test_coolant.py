@@ -1,0 +1,45 @@
+"""Coolant property model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.microchannel.coolant import WATER, Coolant
+
+
+class TestWater:
+    def test_table1_properties(self):
+        assert WATER.density == 998.0
+        assert WATER.heat_capacity == 4183.0
+
+    def test_volumetric_heat_capacity(self):
+        assert WATER.volumetric_heat_capacity() == pytest.approx(998.0 * 4183.0)
+
+    def test_mass_flow(self):
+        # 1 l/min of water is ~16.63 g/s.
+        assert WATER.mass_flow(1.6667e-5) == pytest.approx(0.016634, rel=1e-3)
+
+    def test_mass_flow_rejects_negative(self):
+        with pytest.raises(ModelError):
+            WATER.mass_flow(-1.0)
+
+
+class TestCoolantValidation:
+    @pytest.mark.parametrize(
+        "field", ["density", "heat_capacity", "conductivity", "viscosity", "prandtl"]
+    )
+    def test_rejects_non_positive(self, field):
+        values = dict(
+            name="bad",
+            density=1000.0,
+            heat_capacity=4000.0,
+            conductivity=0.6,
+            viscosity=1.0e-3,
+            prandtl=7.0,
+        )
+        values[field] = 0.0
+        with pytest.raises(ModelError):
+            Coolant(**values)
+
+    def test_custom_coolant(self):
+        glycol = Coolant("glycol", 1100.0, 2400.0, 0.25, 2.0e-2, 150.0)
+        assert glycol.volumetric_heat_capacity() == pytest.approx(1100 * 2400)

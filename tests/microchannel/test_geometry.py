@@ -1,0 +1,89 @@
+"""Channel array geometry (Figure 2 cross-section)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import GeometryError
+from repro.microchannel.geometry import ChannelGeometry
+
+
+class TestDefaults:
+    def test_table1_dimensions(self):
+        geom = ChannelGeometry()
+        assert geom.width == pytest.approx(units.um(50))
+        assert geom.height == pytest.approx(units.um(100))
+        assert geom.wall == pytest.approx(units.um(50))
+        assert geom.pitch == pytest.approx(units.um(100))
+        assert geom.count == 65
+
+    def test_cross_section(self):
+        assert ChannelGeometry().cross_section == pytest.approx(5.0e-9)
+
+    def test_wetted_perimeter(self):
+        # 2 * (50 + 100) um = 300 um.
+        assert ChannelGeometry().wetted_perimeter == pytest.approx(3.0e-4)
+
+    def test_hydraulic_diameter(self):
+        # D_h = 4A/P = 4*5e-9/3e-4 = 66.7 um.
+        assert ChannelGeometry().hydraulic_diameter == pytest.approx(
+            66.67e-6, rel=1e-3
+        )
+
+
+class TestEffectivePitch:
+    def test_uniform_distribution_over_die(self):
+        geom = ChannelGeometry()
+        die_height = 10.7238e-3
+        # 65 channels over 10.72 mm -> ~165 um pitch.
+        assert geom.effective_pitch(die_height) == pytest.approx(164.98e-6, rel=1e-3)
+
+    def test_fin_area_factor_eq7(self):
+        geom = ChannelGeometry()
+        die_height = 10.7238e-3
+        expected = geom.wetted_perimeter / geom.effective_pitch(die_height)
+        assert geom.fin_area_factor(die_height) == pytest.approx(expected)
+
+    def test_rejects_bad_die_height(self):
+        with pytest.raises(GeometryError):
+            ChannelGeometry().effective_pitch(0.0)
+
+
+class TestFlowSplit:
+    def test_channel_flow_split(self):
+        geom = ChannelGeometry()
+        cavity = units.litres_per_minute(1.0)
+        assert geom.channel_flow(cavity) == pytest.approx(cavity / 65)
+
+    def test_mean_velocity(self):
+        geom = ChannelGeometry()
+        cavity = units.litres_per_minute(1.0)
+        v = geom.mean_velocity(cavity)
+        # ~51 m/s at the Table I maximum (the paper's high-rate regime).
+        assert v == pytest.approx(51.3, rel=0.01)
+
+    def test_rejects_negative_flow(self):
+        with pytest.raises(GeometryError):
+            ChannelGeometry().channel_flow(-1.0)
+
+    @given(st.floats(min_value=1e-7, max_value=1e-4))
+    def test_velocity_scales_linearly(self, flow):
+        geom = ChannelGeometry()
+        assert geom.mean_velocity(2 * flow) == pytest.approx(
+            2 * geom.mean_velocity(flow), rel=1e-9
+        )
+
+
+class TestValidation:
+    def test_rejects_non_positive_dimension(self):
+        with pytest.raises(GeometryError):
+            ChannelGeometry(width=0.0)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(GeometryError):
+            ChannelGeometry(count=0)
+
+    def test_rejects_pitch_smaller_than_width(self):
+        with pytest.raises(GeometryError):
+            ChannelGeometry(width=units.um(120), pitch=units.um(100))

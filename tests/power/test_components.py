@@ -1,0 +1,147 @@
+"""Component power model (Section V constants and scaling)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.geometry.stack import build_stack
+from repro.power.components import CoreState, PowerModel
+from repro.power.leakage import LeakageModel
+
+
+@pytest.fixture
+def model():
+    return PowerModel(build_stack(2), leakage=None)
+
+
+@pytest.fixture
+def model_with_leakage():
+    return PowerModel(build_stack(2), leakage=LeakageModel())
+
+
+class TestCorePower:
+    def test_fully_active_is_3w(self, model):
+        assert model.core_power(1.0, CoreState.ACTIVE) == pytest.approx(3.0)
+
+    def test_idle_blend(self, model):
+        assert model.core_power(0.5, CoreState.ACTIVE) == pytest.approx(
+            0.5 * 3.0 + 0.5 * 1.0
+        )
+
+    def test_sleep_is_20mw(self, model):
+        assert model.core_power(0.0, CoreState.SLEEP) == pytest.approx(0.02)
+
+    def test_sleep_ignores_utilization(self, model):
+        assert model.core_power(0.9, CoreState.SLEEP) == pytest.approx(0.02)
+
+    def test_rejects_bad_utilization(self, model):
+        with pytest.raises(ModelError):
+            model.core_power(1.5, CoreState.ACTIVE)
+
+
+class TestL2Power:
+    def test_full_activity_is_cacti_value(self, model):
+        assert model.l2_bank_power(1.0) == pytest.approx(1.28)
+
+    def test_background_fraction(self, model):
+        assert model.l2_bank_power(0.0) == pytest.approx(1.28 * 0.4)
+
+
+class TestCrossbarPower:
+    def test_peak(self, model):
+        assert model.crossbar_power(1.0, 1.0) == pytest.approx(
+            model.crossbar_peak
+        )
+
+    def test_floor(self, model):
+        assert model.crossbar_power(0.0, 0.0) == pytest.approx(
+            0.2 * model.crossbar_peak
+        )
+
+    def test_rejects_out_of_range(self, model):
+        with pytest.raises(ModelError):
+            model.crossbar_power(1.2, 0.5)
+        with pytest.raises(ModelError):
+            model.crossbar_power(0.5, -0.1)
+
+
+class TestUnitPowers:
+    def _inputs(self, util=0.5):
+        names = [f"core{i}" for i in range(8)]
+        return (
+            {n: util for n in names},
+            {n: CoreState.ACTIVE for n in names},
+        )
+
+    def test_covers_every_unit(self, model):
+        core_util, states = self._inputs()
+        powers = model.unit_powers(core_util, states, 0.5)
+        expected_units = sum(len(d.floorplan.units) for d in model.stack.dies)
+        assert len(powers) == expected_units
+
+    def test_total_power_plausible(self, model):
+        core_util, states = self._inputs(util=1.0)
+        powers = model.unit_powers(core_util, states, 1.0)
+        total = model.total_power(powers)
+        # 8*3 + 4*1.28 + crossbars + misc: roughly 30-35 W (no leakage).
+        assert 29.0 < total < 36.0
+
+    def test_leakage_adds_power(self, model, model_with_leakage):
+        core_util, states = self._inputs()
+        base = model.total_power(model.unit_powers(core_util, states, 0.5))
+        with_leak = model_with_leakage.total_power(
+            model_with_leakage.unit_powers(core_util, states, 0.5)
+        )
+        assert with_leak > base + 2.0
+
+    def test_leakage_grows_with_temperature(self, model_with_leakage):
+        core_util, states = self._inputs()
+        cold = {
+            (d, u.name): 60.0
+            for d, die in enumerate(model_with_leakage.stack.dies)
+            for u in die.floorplan
+        }
+        hot = {k: 90.0 for k in cold}
+        p_cold = model_with_leakage.total_power(
+            model_with_leakage.unit_powers(core_util, states, 0.5, cold)
+        )
+        p_hot = model_with_leakage.total_power(
+            model_with_leakage.unit_powers(core_util, states, 0.5, hot)
+        )
+        assert p_hot > p_cold + 1.0
+
+    def test_sleeping_core_drops_to_sleep_power(self, model):
+        core_util, states = self._inputs(util=0.0)
+        states["core0"] = CoreState.SLEEP
+        powers = model.unit_powers(core_util, states, 0.0)
+        assert powers[(0, "core0")] == pytest.approx(0.02)
+
+    def test_l2_bank_pairing(self, model):
+        """Bank l2_k serves cores 2k and 2k+1: sleeping both cores
+        drops that bank to its background power."""
+        core_util, states = self._inputs(util=1.0)
+        states["core0"] = CoreState.SLEEP
+        states["core1"] = CoreState.SLEEP
+        powers = model.unit_powers(core_util, states, 0.5)
+        sleepy_bank = powers[(1, "l2_0")]
+        busy_bank = powers[(1, "l2_1")]
+        assert sleepy_bank == pytest.approx(1.28 * 0.4)
+        assert busy_bank == pytest.approx(1.28)
+
+    def test_bad_bank_name_raises(self, model):
+        with pytest.raises(ModelError):
+            model._bank_pair_utilization("l2cache", {}, {})
+
+
+class TestFourLayer:
+    def test_16_core_power(self):
+        model = PowerModel(build_stack(4), leakage=None)
+        names = [f"core{i}" for i in range(16)]
+        powers = model.unit_powers(
+            {n: 1.0 for n in names},
+            {n: CoreState.ACTIVE for n in names},
+            1.0,
+        )
+        core_total = sum(
+            w for (d, name), w in powers.items() if name.startswith("core")
+        )
+        assert core_total == pytest.approx(48.0)

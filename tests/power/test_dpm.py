@@ -1,0 +1,72 @@
+"""DPM fixed-timeout policy (200 ms, Section V)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.components import CoreState
+from repro.power.dpm import DpmPolicy
+
+CORES = ["core0", "core1"]
+
+
+class TestTimeout:
+    def test_sleeps_after_timeout(self):
+        dpm = DpmPolicy(CORES, timeout=0.2)
+        dpm.observe(0.0, {"core0": True, "core1": True})
+        for t in (0.1, 0.2, 0.3):
+            states = dpm.observe(t, {"core0": False, "core1": True})
+        assert states["core0"] is CoreState.SLEEP
+        assert states["core1"] is CoreState.ACTIVE
+
+    def test_stays_idle_before_timeout(self):
+        dpm = DpmPolicy(CORES, timeout=0.2)
+        dpm.observe(0.0, {"core0": True, "core1": True})
+        states = dpm.observe(0.1, {"core0": False, "core1": False})
+        assert states["core0"] is CoreState.IDLE
+
+    def test_busy_resets_the_clock(self):
+        dpm = DpmPolicy(CORES, timeout=0.2)
+        dpm.observe(0.0, {"core0": True})
+        dpm.observe(0.15, {"core0": True})  # Busy again.
+        states = dpm.observe(0.3, {"core0": False})
+        assert states["core0"] is CoreState.IDLE  # Only idle 0.15 s.
+
+    def test_wake_on_dispatch(self):
+        dpm = DpmPolicy(CORES, timeout=0.2)
+        dpm.observe(0.0, {"core0": False})
+        dpm.observe(0.5, {"core0": False})
+        assert dpm.state("core0") is CoreState.SLEEP
+        dpm.wake("core0", 0.6)
+        assert dpm.state("core0") is CoreState.ACTIVE
+
+
+class TestDisabled:
+    def test_never_sleeps_when_disabled(self):
+        """The paper runs DPM only for the Figure 7 study."""
+        dpm = DpmPolicy(CORES, timeout=0.2, enabled=False)
+        dpm.observe(0.0, {"core0": False})
+        states = dpm.observe(10.0, {"core0": False})
+        assert states["core0"] is CoreState.IDLE
+
+
+class TestValidation:
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ConfigurationError):
+            DpmPolicy(CORES, timeout=0.0)
+
+    def test_rejects_empty_cores(self):
+        with pytest.raises(ConfigurationError):
+            DpmPolicy([])
+
+    def test_unknown_core(self):
+        dpm = DpmPolicy(CORES)
+        with pytest.raises(ConfigurationError):
+            dpm.wake("core9", 0.0)
+        with pytest.raises(ConfigurationError):
+            dpm.state("core9")
+
+    def test_states_returns_copy(self):
+        dpm = DpmPolicy(CORES)
+        states = dpm.states()
+        states["core0"] = CoreState.SLEEP
+        assert dpm.state("core0") is not CoreState.SLEEP

@@ -1,0 +1,76 @@
+"""Temperature-dependent leakage (polynomial after Su et al.)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.geometry.floorplan import UnitKind
+from repro.power.leakage import LeakageModel
+
+TEMPS = st.floats(min_value=20.0, max_value=120.0)
+
+
+class TestTemperatureFactor:
+    def test_unity_at_reference(self):
+        model = LeakageModel()
+        assert model.temperature_factor(model.reference_temperature) == 1.0
+
+    @given(TEMPS, TEMPS)
+    def test_monotone_above_reference(self, t1, t2):
+        model = LeakageModel()
+        lo, hi = sorted((max(t1, 60.0), max(t2, 60.0)))
+        assert model.temperature_factor(lo) <= model.temperature_factor(hi) + 1e-12
+
+    def test_realistic_growth_over_30k(self):
+        """~1.6-1.7x from 60 to 90 degC for a 90 nm process."""
+        model = LeakageModel()
+        assert 1.4 < model.temperature_factor(90.0) < 1.9
+
+    def test_clamped_at_low_temperature(self):
+        model = LeakageModel(linear=0.05, quadratic=0.0)
+        assert model.temperature_factor(-200.0) == pytest.approx(0.1)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ModelError):
+            LeakageModel(linear=-0.01)
+
+
+class TestUnitLeakage:
+    def test_core_baseline(self):
+        """~0.5 W per 10 mm^2 core at the reference point."""
+        model = LeakageModel()
+        watts = model.unit_leakage(UnitKind.CORE, 10.0e-6, 60.0)
+        assert watts == pytest.approx(0.5, rel=1e-6)
+
+    def test_l2_baseline(self):
+        model = LeakageModel()
+        watts = model.unit_leakage(UnitKind.L2, 19.0e-6, 60.0)
+        assert watts == pytest.approx(0.304, rel=1e-3)
+
+    def test_sleeping_core_is_power_gated(self):
+        model = LeakageModel()
+        assert model.unit_leakage(UnitKind.CORE, 10.0e-6, 90.0, asleep=True) == 0.0
+
+    def test_sleeping_flag_ignored_for_caches(self):
+        model = LeakageModel()
+        assert model.unit_leakage(UnitKind.L2, 19.0e-6, 60.0, asleep=True) > 0.0
+
+    def test_scales_with_area(self):
+        model = LeakageModel()
+        one = model.unit_leakage(UnitKind.MISC, 1.0e-6, 70.0)
+        two = model.unit_leakage(UnitKind.MISC, 2.0e-6, 70.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ModelError):
+            LeakageModel().unit_leakage(UnitKind.CORE, 0.0, 60.0)
+
+    def test_density_ordering(self):
+        """Cores leak hardest per area, then caches, then misc."""
+        model = LeakageModel()
+        assert (
+            model.density_for(UnitKind.CORE)
+            > model.density_for(UnitKind.L2)
+            > model.density_for(UnitKind.MISC)
+        )

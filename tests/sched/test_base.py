@@ -1,0 +1,96 @@
+"""Per-core queues: the scheduler substrate."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.workload.threads import Thread
+
+
+def make_thread(tid, length=0.1):
+    return Thread(tid, arrival=0.0, length=length)
+
+
+@pytest.fixture
+def queues():
+    return CoreQueues(["core0", "core1", "core2"])
+
+
+class TestBasicOps:
+    def test_enqueue_and_lengths(self, queues):
+        queues.enqueue("core0", make_thread(0))
+        queues.enqueue("core0", make_thread(1))
+        queues.enqueue("core1", make_thread(2))
+        assert queues.lengths() == {"core0": 2, "core1": 1, "core2": 0}
+
+    def test_total_threads(self, queues):
+        for i in range(5):
+            queues.enqueue("core0", make_thread(i))
+        assert queues.total_threads() == 5
+
+    def test_shortest_longest(self, queues):
+        queues.enqueue("core1", make_thread(0))
+        assert queues.shortest() == "core0"
+        assert queues.longest() == "core1"
+
+    def test_unknown_core(self, queues):
+        with pytest.raises(SchedulingError):
+            queues.enqueue("core9", make_thread(0))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchedulingError):
+            CoreQueues(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            CoreQueues([])
+
+
+class TestMoveWaiting:
+    def test_moves_from_tail(self, queues):
+        head = make_thread(0)
+        tail = make_thread(1)
+        queues.enqueue("core0", head)
+        queues.enqueue("core0", tail)
+        moved = queues.move_waiting("core0", "core1", 1)
+        assert moved == 1
+        assert queues.queue("core0")[0] is head
+        assert queues.queue("core1")[0] is tail
+
+    def test_never_moves_running_head(self, queues):
+        queues.enqueue("core0", make_thread(0))
+        assert queues.move_waiting("core0", "core1", 5) == 0
+        assert queues.lengths()["core0"] == 1
+
+    def test_move_to_self_is_noop(self, queues):
+        queues.enqueue("core0", make_thread(0))
+        assert queues.move_waiting("core0", "core0", 1) == 0
+
+    def test_conserves_threads(self, queues):
+        for i in range(6):
+            queues.enqueue("core0", make_thread(i))
+        queues.move_waiting("core0", "core2", 3)
+        assert queues.total_threads() == 6
+
+
+class TestMigrateRunning:
+    def test_moves_head_and_counts(self, queues):
+        t = make_thread(0)
+        queues.enqueue("core0", t)
+        assert queues.migrate_running("core0", "core1")
+        assert t.migrations == 1
+        assert queues.lengths() == {"core0": 0, "core1": 1, "core2": 0}
+
+    def test_penalty_charged(self, queues):
+        t = make_thread(0, length=0.1)
+        queues.enqueue("core0", t)
+        queues.migrate_running("core0", "core1", penalty=0.01)
+        assert t.remaining == pytest.approx(0.11)
+
+    def test_empty_source(self, queues):
+        assert not queues.migrate_running("core0", "core1")
+
+    def test_negative_penalty_rejected(self, queues):
+        queues.enqueue("core0", make_thread(0))
+        with pytest.raises(SchedulingError):
+            queues.migrate_running("core0", "core1", penalty=-1.0)

@@ -1,0 +1,68 @@
+"""Dynamic load balancing (LB baseline)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.sched.load_balancer import LoadBalancer
+from repro.workload.threads import Thread
+
+
+def fill(queues, counts):
+    tid = 0
+    for core, n in counts.items():
+        for _ in range(n):
+            queues.enqueue(core, Thread(tid, arrival=0.0, length=0.1))
+            tid += 1
+
+
+class TestRebalance:
+    def test_balances_within_threshold(self):
+        queues = CoreQueues(["a", "b", "c", "d"])
+        fill(queues, {"a": 9, "b": 0, "c": 0, "d": 0})
+        LoadBalancer(threshold=1).rebalance(queues, {}, 0.0)
+        lengths = queues.lengths()
+        assert max(lengths.values()) - min(lengths.values()) <= 1
+
+    def test_conserves_threads(self):
+        queues = CoreQueues(["a", "b", "c"])
+        fill(queues, {"a": 7, "b": 2, "c": 0})
+        LoadBalancer().rebalance(queues, {}, 0.0)
+        assert queues.total_threads() == 9
+
+    def test_noop_when_balanced(self):
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 2, "b": 2})
+        before = {c: list(q) for c, q in [(c, queues.queue(c)) for c in ["a", "b"]]}
+        LoadBalancer().rebalance(queues, {}, 0.0)
+        for core in ("a", "b"):
+            assert list(queues.queue(core)) == before[core]
+
+    def test_respects_running_heads(self):
+        """A 1-thread queue cannot donate its running thread, so a
+        {2, 0} split stays (head is pinned, only the tail moves)."""
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 2, "b": 0})
+        LoadBalancer(threshold=1).rebalance(queues, {}, 0.0)
+        assert queues.lengths() == {"a": 1, "b": 1}
+
+    def test_ignores_temperatures(self):
+        """LB 'does not have any thermal management features'."""
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 4, "b": 0})
+        LoadBalancer().rebalance(queues, {"a": 50.0, "b": 99.0}, 0.0)
+        # Threads moved toward the *hot* core regardless of temperature.
+        assert queues.lengths()["b"] >= 1
+
+
+class TestDispatch:
+    def test_dispatch_to_shortest(self):
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 3, "b": 1})
+        assert LoadBalancer().dispatch_target(queues, {}) == "b"
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SchedulingError):
+            LoadBalancer(threshold=0)

@@ -1,0 +1,71 @@
+"""Reactive temperature-triggered migration."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.sched.migration import ReactiveMigration
+from repro.workload.threads import Thread
+
+
+def fill(queues, counts):
+    tid = 0
+    for core, n in counts.items():
+        for _ in range(n):
+            queues.enqueue(core, Thread(tid, arrival=0.0, length=0.1))
+            tid += 1
+
+
+class TestMigration:
+    def test_migrates_running_thread_from_hot_core(self):
+        queues = CoreQueues(["hot", "cool"])
+        fill(queues, {"hot": 1, "cool": 1})
+        policy = ReactiveMigration(threshold_temperature=85.0)
+        policy.rebalance(queues, {"hot": 88.0, "cool": 60.0}, 0.0)
+        assert policy.migration_count == 1
+        assert queues.lengths()["cool"] == 2
+
+    def test_no_migration_below_threshold(self):
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 1, "b": 1})
+        policy = ReactiveMigration(threshold_temperature=85.0)
+        policy.rebalance(queues, {"a": 84.9, "b": 60.0}, 0.0)
+        assert policy.migration_count == 0
+
+    def test_penalty_charged_on_migration(self):
+        queues = CoreQueues(["hot", "cool"])
+        t = Thread(0, arrival=0.0, length=0.1)
+        queues.enqueue("hot", t)
+        policy = ReactiveMigration(penalty=0.02)
+        policy.rebalance(queues, {"hot": 90.0, "cool": 60.0}, 0.0)
+        assert t.remaining == pytest.approx(0.12)
+
+    def test_hot_coolest_core_does_not_migrate_to_itself(self):
+        queues = CoreQueues(["a"])
+        fill(queues, {"a": 1})
+        policy = ReactiveMigration()
+        policy.rebalance(queues, {"a": 99.0}, 0.0)
+        assert policy.migration_count == 0
+
+    def test_performs_load_balancing_first(self):
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 6, "b": 0})
+        policy = ReactiveMigration()
+        policy.rebalance(queues, {"a": 60.0, "b": 60.0}, 0.0)
+        lengths = queues.lengths()
+        assert max(lengths.values()) - min(lengths.values()) <= 1
+
+    def test_dispatch_is_plain_shortest(self):
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 2, "b": 0})
+        assert ReactiveMigration().dispatch_target(queues, {}) == "b"
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SchedulingError):
+            ReactiveMigration(threshold_temperature=0.0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(SchedulingError):
+            ReactiveMigration(penalty=-0.1)

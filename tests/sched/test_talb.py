@@ -1,0 +1,86 @@
+"""TALB: weighted load balancing (Eq. 8)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.sched.talb import WeightedLoadBalancer
+from repro.sched.weights import ThermalWeights
+from repro.workload.threads import Thread
+
+
+def fill(queues, counts):
+    tid = 0
+    for core, n in counts.items():
+        for _ in range(n):
+            queues.enqueue(core, Thread(tid, arrival=0.0, length=0.1))
+            tid += 1
+
+
+def constant_weights(weights):
+    tw = ThermalWeights(weights)
+    return lambda tmax: tw
+
+
+class TestWeightedBalancing:
+    def test_disadvantaged_core_gets_fewer_threads(self):
+        """A core with weight 2 should end up with about half the
+        threads of weight-1 cores (Eq. 8 equalizes l_i * w_i)."""
+        queues = CoreQueues(["good0", "good1", "bad"])
+        fill(queues, {"good0": 12, "good1": 0, "bad": 0})
+        policy = WeightedLoadBalancer(
+            constant_weights({"good0": 1.0, "good1": 1.0, "bad": 2.0})
+        )
+        policy.rebalance(queues, {"good0": 70.0, "good1": 70.0, "bad": 75.0}, 0.0)
+        lengths = queues.lengths()
+        assert lengths["bad"] < lengths["good0"]
+        assert lengths["bad"] < lengths["good1"]
+
+    def test_uniform_weights_behave_like_lb(self):
+        queues = CoreQueues(["a", "b", "c"])
+        fill(queues, {"a": 9, "b": 0, "c": 0})
+        policy = WeightedLoadBalancer(
+            constant_weights({"a": 1.0, "b": 1.0, "c": 1.0})
+        )
+        policy.rebalance(queues, {"a": 70.0, "b": 70.0, "c": 70.0}, 0.0)
+        lengths = queues.lengths()
+        assert max(lengths.values()) - min(lengths.values()) <= 1
+
+    def test_conserves_threads(self):
+        queues = CoreQueues(["a", "b"])
+        fill(queues, {"a": 8, "b": 1})
+        policy = WeightedLoadBalancer(constant_weights({"a": 1.0, "b": 1.5}))
+        policy.rebalance(queues, {"a": 70.0, "b": 70.0}, 0.0)
+        assert queues.total_threads() == 9
+
+    def test_terminates_on_empty_system(self):
+        queues = CoreQueues(["a", "b"])
+        policy = WeightedLoadBalancer(constant_weights({"a": 1.0, "b": 1.0}))
+        policy.rebalance(queues, {"a": 70.0, "b": 70.0}, 0.0)
+        assert queues.total_threads() == 0
+
+
+class TestWeightedDispatch:
+    def test_dispatch_prefers_low_weight(self):
+        queues = CoreQueues(["good", "bad"])
+        policy = WeightedLoadBalancer(constant_weights({"good": 1.0, "bad": 3.0}))
+        target = policy.dispatch_target(queues, {"good": 70.0, "bad": 70.0})
+        assert target == "good"
+
+    def test_dispatch_balances_eventually(self):
+        """Repeated weighted dispatch approximates the inverse-weight
+        share: with w = {1, 2}, the good core gets ~2/3 of threads."""
+        queues = CoreQueues(["good", "bad"])
+        policy = WeightedLoadBalancer(constant_weights({"good": 1.0, "bad": 2.0}))
+        for i in range(30):
+            target = policy.dispatch_target(queues, {"good": 70.0, "bad": 70.0})
+            queues.enqueue(target, Thread(i, arrival=0.0, length=0.1))
+        lengths = queues.lengths()
+        assert lengths["good"] == pytest.approx(20, abs=2)
+        assert lengths["bad"] == pytest.approx(10, abs=2)
+
+
+class TestValidation:
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(SchedulingError):
+            WeightedLoadBalancer(constant_weights({"a": 1.0}), tolerance=0.0)

@@ -1,0 +1,32 @@
+"""Calibration sweep utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.calibration import (
+    CalibrationTargets,
+    _bisect,
+    calibrate_air_scale,
+    calibrate_liquid_scale,
+)
+
+
+class TestBisect:
+    def test_finds_root_of_monotone_function(self):
+        result = _bisect(lambda x: x * x, target=9.0, lo=0.0, hi=10.0, tolerance=1e-6)
+        assert result == pytest.approx(3.0, abs=1e-3)
+
+    def test_rejects_unreachable_target(self):
+        with pytest.raises(ConfigurationError):
+            _bisect(lambda x: x, target=100.0, lo=0.0, hi=1.0, tolerance=1e-6)
+
+
+@pytest.mark.slow
+class TestFullCalibration:
+    def test_liquid_scale_reproduces_default(self):
+        scale = calibrate_liquid_scale(n_layers=2)
+        assert scale == pytest.approx(4.5, abs=0.35)
+
+    def test_air_scale_reproduces_default(self):
+        scale = calibrate_air_scale(n_layers=2)
+        assert scale == pytest.approx(2.9, abs=0.3)

@@ -1,0 +1,51 @@
+"""Simulation configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.n_cores == 8
+
+    def test_four_layer_has_16_cores(self):
+        assert SimulationConfig(n_layers=4).n_cores == 16
+
+    def test_rejects_bad_layers(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n_layers=3)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(duration=0.0)
+
+    def test_rejects_non_multiple_interval(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(quantum=0.03, sampling_interval=0.1)
+
+    def test_rejects_interval_below_quantum(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(quantum=0.2, sampling_interval=0.1)
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(Exception):
+            SimulationConfig(benchmark_name="SPECjbb")
+
+    def test_spec_property(self):
+        assert SimulationConfig(benchmark_name="gzip").spec.name == "gzip"
+
+
+class TestLabels:
+    def test_figure_style_label(self):
+        config = SimulationConfig(
+            policy=PolicyKind.TALB, cooling=CoolingMode.LIQUID_VARIABLE
+        )
+        assert config.label() == "TALB (Var)"
+
+    def test_cooling_is_liquid(self):
+        assert CoolingMode.LIQUID_MAX.is_liquid
+        assert CoolingMode.LIQUID_VARIABLE.is_liquid
+        assert not CoolingMode.AIR.is_liquid

@@ -1,0 +1,135 @@
+"""End-to-end engine behavior on short runs."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import simulate
+
+DURATION = 6.0
+
+
+def run(policy=PolicyKind.LB, cooling=CoolingMode.LIQUID_MAX, bench="Web-med", **kw):
+    config = SimulationConfig(
+        benchmark_name=bench,
+        policy=policy,
+        cooling=cooling,
+        duration=DURATION,
+        **kw,
+    )
+    return simulate(config)
+
+
+@pytest.fixture(scope="module")
+def lb_max():
+    return run()
+
+
+@pytest.fixture(scope="module")
+def talb_var():
+    return run(policy=PolicyKind.TALB, cooling=CoolingMode.LIQUID_VARIABLE)
+
+
+@pytest.fixture(scope="module")
+def lb_air():
+    return run(cooling=CoolingMode.AIR)
+
+
+class TestTimeSeriesShape:
+    def test_interval_count(self, lb_max):
+        assert len(lb_max.times) == int(DURATION / 0.1)
+
+    def test_temperatures_finite_and_physical(self, lb_max):
+        assert np.all(np.isfinite(lb_max.tmax))
+        assert np.all(lb_max.tmax > 40.0)
+        assert np.all(lb_max.tmax < 120.0)
+
+    def test_cell_tmax_bounds_sensor_tmax(self, lb_max):
+        assert np.all(lb_max.tmax_cell >= lb_max.tmax - 1e-9)
+
+    def test_core_matrix_shape(self, lb_max):
+        assert lb_max.core_temperatures.shape == (len(lb_max.times), 8)
+
+    def test_chip_power_positive(self, lb_max):
+        assert np.all(lb_max.chip_power > 5.0)
+
+
+class TestCoolingModes:
+    def test_max_flow_constant_setting(self, lb_max):
+        assert np.all(lb_max.flow_setting == 4)
+        assert np.allclose(lb_max.pump_power, 21.0, rtol=1e-3)
+
+    def test_air_has_no_pump(self, lb_air):
+        assert np.all(lb_air.flow_setting == -1)
+        assert np.all(lb_air.pump_power == 0.0)
+
+    def test_variable_flow_saves_pump_energy(self, lb_max, talb_var):
+        assert talb_var.pump_energy() < lb_max.pump_energy()
+
+    def test_variable_flow_holds_target(self, talb_var):
+        """The headline guarantee: T_max stays below 80 degC."""
+        assert talb_var.peak_temperature() <= 80.5
+
+    def test_variable_flow_setting_varies_or_saturates_low(self, talb_var):
+        settings = talb_var.flow_setting
+        assert settings.min() < 4  # Came down from the safe start.
+
+
+class TestSchedulingBehaviour:
+    def test_throughput_similar_across_policies(self, lb_max, talb_var):
+        """'Most policies ... have a similar throughput'."""
+        assert talb_var.throughput() == pytest.approx(lb_max.throughput(), rel=0.05)
+
+    def test_all_offered_threads_complete_on_low_util(self):
+        r = run(bench="gzip")
+        # gzip at 9 % utilization: every thread finishes within the run.
+        from repro.workload.benchmarks import benchmark
+        from repro.workload.generator import WorkloadGenerator
+
+        trace = WorkloadGenerator(benchmark("gzip"), n_cores=8, seed=0).generate(
+            DURATION
+        )
+        arrived_early = sum(1 for t in trace.threads if t.arrival < DURATION - 1.0)
+        assert r.total_completed() >= arrived_early * 0.9
+
+    def test_determinism(self):
+        a = run(seed=5)
+        b = run(seed=5)
+        assert np.allclose(a.tmax, b.tmax)
+        assert a.total_completed() == b.total_completed()
+
+    def test_seed_changes_trace(self):
+        a = run(seed=1)
+        b = run(seed=2)
+        assert not np.allclose(a.tmax, b.tmax)
+
+
+class TestDpmInteraction:
+    def test_dpm_cuts_chip_energy_on_idle_workload(self):
+        busy = run(bench="MPlayer", dpm_enabled=False)
+        sleepy = run(bench="MPlayer", dpm_enabled=True)
+        assert sleepy.chip_energy() < busy.chip_energy()
+
+    def test_dpm_increases_thermal_variation(self):
+        """Sleep/wake transitions create the temperature swings the
+        Figure 7 study measures."""
+        busy = run(bench="Database", dpm_enabled=False)
+        sleepy = run(bench="Database", dpm_enabled=True)
+        spread_busy = (
+            busy.core_temperatures.max(axis=1) - busy.core_temperatures.min(axis=1)
+        ).mean()
+        spread_sleepy = (
+            sleepy.core_temperatures.max(axis=1)
+            - sleepy.core_temperatures.min(axis=1)
+        ).mean()
+        assert spread_sleepy > spread_busy
+
+
+class TestForecast:
+    def test_forecast_recorded(self, talb_var):
+        assert np.isfinite(talb_var.forecast_tmax[20:]).all()
+
+    def test_forecast_tracks_tmax(self, talb_var):
+        """After warmup the forecast follows the actual signal."""
+        err = np.abs(talb_var.forecast_tmax[50:] - talb_var.tmax[50:])
+        assert np.median(err) < 2.0

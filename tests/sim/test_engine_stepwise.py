@@ -1,0 +1,42 @@
+"""Engine integration of the stepwise (prior-work) controller."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import ControllerKind, CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for kind in (ControllerKind.LUT, ControllerKind.STEPWISE):
+        config = SimulationConfig(
+            benchmark_name="Database",
+            policy=PolicyKind.TALB,
+            cooling=CoolingMode.LIQUID_VARIABLE,
+            duration=8.0,
+            controller=kind,
+        )
+        out[kind] = simulate(config)
+    return out
+
+
+class TestStepwiseIntegration:
+    def test_both_controllers_vary_the_flow(self, runs):
+        for result in runs.values():
+            settings = result.flow_setting[result.flow_setting >= 0]
+            assert settings.min() < settings.max()
+
+    def test_stepwise_moves_one_setting_at_a_time(self, runs):
+        settings = runs[ControllerKind.STEPWISE].flow_setting
+        steps = np.abs(np.diff(settings[settings >= 0]))
+        assert steps.max() <= 1
+
+    def test_lut_holds_target(self, runs):
+        assert runs[ControllerKind.LUT].peak_temperature() <= 80.5
+
+    def test_controllers_differ(self, runs):
+        a = runs[ControllerKind.LUT].flow_setting
+        b = runs[ControllerKind.STEPWISE].flow_setting
+        assert not np.array_equal(a, b)

@@ -1,0 +1,55 @@
+"""Thread sojourn-time accounting and its sensitivity to migration."""
+
+import pytest
+
+from repro.metrics.performance import normalized_sojourn
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def air_runs():
+    out = {}
+    for policy in (PolicyKind.LB, PolicyKind.MIGRATION):
+        config = SimulationConfig(
+            benchmark_name="Web-high",
+            policy=policy,
+            cooling=CoolingMode.AIR,
+            duration=8.0,
+        )
+        out[policy] = simulate(config)
+    return out
+
+
+class TestSojourn:
+    def test_sojourn_recorded(self, air_runs):
+        for result in air_runs.values():
+            assert result.sojourn_count > 0
+            assert result.mean_sojourn_time() > 0.0
+
+    def test_sojourn_at_least_service_time(self, air_runs):
+        """Sojourn = waiting + service; the mean must exceed the mean
+        thread length (~0.15 s)."""
+        for result in air_runs.values():
+            assert result.mean_sojourn_time() > 0.05
+
+    def test_migration_inflates_sojourn(self, air_runs):
+        """The migration penalty (extra work + queueing behind the
+        evacuated thread) lengthens sojourn on a hot workload even
+        when the completion count barely moves."""
+        ratio = normalized_sojourn(
+            air_runs[PolicyKind.MIGRATION], air_runs[PolicyKind.LB]
+        )
+        assert ratio > 1.0
+
+    def test_empty_result_is_nan(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+        from helpers import make_result
+        import numpy as np
+
+        r = make_result(np.full(3, 70.0))
+        assert r.sojourn_count == 0
+        assert r.mean_sojourn_time() != r.mean_sojourn_time()  # NaN.

@@ -1,0 +1,40 @@
+"""The public API surface: everything advertised imports and exists."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", repro.__all__)
+    def test_every_export_resolves(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_quickstart_types_compose(self):
+        """The README quickstart's objects exist and wire together."""
+        config = repro.SimulationConfig(
+            benchmark_name="gzip",
+            policy=repro.PolicyKind.LB,
+            cooling=repro.CoolingMode.AIR,
+            duration=1.0,
+        )
+        assert config.label() == "LB (Air)"
+
+    def test_error_hierarchy(self):
+        for exc in (
+            repro.ConfigurationError,
+            repro.GeometryError,
+            repro.ModelError,
+            repro.SolverError,
+            repro.ControlError,
+            repro.WorkloadError,
+            repro.SchedulingError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+    def test_constants_singletons(self):
+        assert repro.MICROCHANNEL.channels_per_cavity == 65
+        assert repro.CONTROL.target_temperature == 80.0

@@ -1,0 +1,92 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.benchmark == "Web-med"
+        assert args.cooling == "Var"
+        assert args.layers == 2
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "FIFO"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Web-high" in out
+        assert "gzip" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "1041.667" in out  # Max per-cavity flow, 2-layer.
+        assert "21.000" in out    # Max pump power.
+
+    def test_simulate_with_export(self, tmp_path, capsys):
+        json_path = tmp_path / "run.json"
+        csv_path = tmp_path / "run.csv"
+        code = main(
+            [
+                "simulate",
+                "--benchmark", "gzip",
+                "--policy", "LB",
+                "--cooling", "Max",
+                "--duration", "2.0",
+                "--save-json", str(json_path),
+                "--save-csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "peak_temperature_sensor" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["summary"]["intervals"] == 20
+        assert csv_path.read_text().startswith("time_s,")
+
+    def test_simulate_stepwise_controller(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--benchmark", "gzip",
+                "--cooling", "Var",
+                "--controller", "stepwise",
+                "--duration", "2.0",
+            ]
+        )
+        assert code == 0
+        assert "pump_energy_j" in capsys.readouterr().out
+
+    def test_simulate_trace_replay(self, tmp_path, capsys):
+        """An mpstat-style CSV drives the run; its length wins over
+        --duration."""
+        trace_path = tmp_path / "load.csv"
+        lines = ["second,utilization_pct"]
+        lines += [f"{s},40.0" for s in range(3)]
+        trace_path.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "simulate",
+                "--benchmark", "Web-med",
+                "--cooling", "Max",
+                "--policy", "LB",
+                "--duration", "99.0",
+                "--trace-csv", str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "intervals                 : 30" in out  # 3 s, not 99 s.

@@ -1,0 +1,103 @@
+"""Table I, Table III, and Section IV/V constants match the paper."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.constants import CONTROL, MICROCHANNEL, POWER, STACK
+
+
+class TestTableI:
+    def test_r_beol_value(self):
+        assert MICROCHANNEL.r_beol == pytest.approx(units.k_mm2_per_w(5.333))
+
+    def test_r_beol_consistent_with_eq3(self):
+        # Eq. 3: R_th-BEOL = t_B / k_BEOL = 12 um / 2.25 W/mK.
+        assert MICROCHANNEL.t_beol / MICROCHANNEL.k_beol == pytest.approx(
+            MICROCHANNEL.r_beol, rel=1.0e-3
+        )
+
+    def test_coolant_properties(self):
+        assert MICROCHANNEL.coolant_heat_capacity == 4183.0
+        assert MICROCHANNEL.coolant_density == 998.0
+
+    def test_flow_rate_range_per_cavity(self):
+        assert MICROCHANNEL.flow_rate_min == pytest.approx(
+            units.litres_per_minute(0.1)
+        )
+        assert MICROCHANNEL.flow_rate_max == pytest.approx(
+            units.litres_per_minute(1.0)
+        )
+
+    def test_heat_transfer_coefficient(self):
+        assert MICROCHANNEL.heat_transfer_coefficient == 37132.0
+
+    def test_channel_dimensions(self):
+        assert MICROCHANNEL.channel_width == pytest.approx(units.um(50))
+        assert MICROCHANNEL.channel_height == pytest.approx(units.um(100))
+        assert MICROCHANNEL.wall_thickness == pytest.approx(units.um(50))
+        assert MICROCHANNEL.channel_pitch == pytest.approx(units.um(100))
+
+    def test_channels_per_cavity(self):
+        assert MICROCHANNEL.channels_per_cavity == 65
+
+
+class TestTableIII:
+    def test_die_thickness(self):
+        assert STACK.die_thickness == pytest.approx(units.mm(0.15))
+
+    def test_areas(self):
+        assert STACK.core_area == pytest.approx(units.mm2(10))
+        assert STACK.l2_area == pytest.approx(units.mm2(19))
+        assert STACK.layer_area == pytest.approx(units.mm2(115))
+
+    def test_package_convection(self):
+        assert STACK.convection_capacitance == 140.0
+        assert STACK.convection_resistance == 0.1
+
+    def test_interlayer(self):
+        assert STACK.interlayer_thickness == pytest.approx(units.mm(0.02))
+        assert STACK.interlayer_thickness_with_channels == pytest.approx(units.mm(0.4))
+        assert STACK.interlayer_resistivity == 0.25
+
+    def test_tsv_parameters(self):
+        assert STACK.tsv_count_per_interface == 128
+        assert STACK.tsv_side == pytest.approx(units.um(50))
+        assert STACK.tsv_pitch == pytest.approx(units.um(100))
+
+
+class TestSectionV:
+    def test_core_powers(self):
+        assert POWER.core_active_power == 3.0
+        assert POWER.core_sleep_power == 0.02
+
+    def test_l2_power(self):
+        assert POWER.l2_power == 1.28
+
+    def test_dpm_timeout(self):
+        assert POWER.dpm_timeout == pytest.approx(0.2)
+
+
+class TestSectionIV:
+    def test_sampling_and_horizon(self):
+        assert CONTROL.sampling_interval == pytest.approx(0.1)
+        assert CONTROL.forecast_horizon == pytest.approx(0.5)
+
+    def test_temperatures(self):
+        assert CONTROL.target_temperature == 80.0
+        assert CONTROL.hotspot_threshold == 85.0
+
+    def test_hysteresis(self):
+        assert CONTROL.hysteresis == 2.0
+
+    def test_pump_transition_in_paper_range(self):
+        assert 0.25 <= CONTROL.pump_transition_time <= 0.3
+
+    def test_variation_thresholds(self):
+        assert CONTROL.spatial_gradient_threshold == 15.0
+        assert CONTROL.thermal_cycle_threshold == 20.0
+
+    def test_horizon_is_five_samples(self):
+        steps = CONTROL.forecast_horizon / CONTROL.sampling_interval
+        assert steps == pytest.approx(5.0)

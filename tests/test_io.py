@@ -1,0 +1,101 @@
+"""Result serialization: JSON round-trip, summaries, CSV export."""
+
+import csv
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.serialize import (
+    load_result,
+    result_summary,
+    save_result,
+    write_timeseries_csv,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from helpers import make_result
+
+
+@pytest.fixture
+def result():
+    rng = np.random.default_rng(0)
+    tmax = 70.0 + rng.normal(0, 1.0, 30)
+    r = make_result(
+        tmax,
+        chip_power=np.full(30, 30.0),
+        pump_power=np.full(30, 10.0),
+        completed=rng.integers(0, 4, 30),
+    )
+    # Leave some NaNs in the forecast to exercise the encoder.
+    r.forecast_tmax[5:] = tmax[5:] + 0.1
+    return r
+
+
+class TestSummary:
+    def test_summary_fields(self, result):
+        summary = result_summary(result)
+        assert summary["intervals"] == 30
+        assert summary["chip_energy_j"] == pytest.approx(result.chip_energy())
+        assert summary["pump_energy_j"] == pytest.approx(result.pump_energy())
+        assert summary["mean_flow_setting"] is None  # Air-style result.
+
+    def test_summary_is_json_serializable(self, result):
+        json.dumps(result_summary(result))
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_series(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert np.allclose(loaded.times, result.times)
+        assert np.allclose(loaded.tmax, result.tmax)
+        assert np.allclose(loaded.core_temperatures, result.core_temperatures)
+        assert np.array_equal(loaded.flow_setting, result.flow_setting)
+        assert loaded.core_names == result.core_names
+        # NaNs survive the None encoding.
+        assert np.isnan(loaded.forecast_tmax[0])
+        assert np.allclose(
+            loaded.forecast_tmax[5:], result.forecast_tmax[5:]
+        )
+
+    def test_round_trip_preserves_derived_quantities(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.chip_energy() == pytest.approx(result.chip_energy())
+        assert loaded.throughput() == pytest.approx(result.throughput())
+
+    def test_rejects_unknown_version(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_result(path)
+
+
+class TestCsv:
+    def test_csv_shape_and_values(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        write_timeseries_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 31  # Header + 30 intervals.
+        header = rows[0]
+        assert header[0] == "time_s"
+        assert f"T[{result.core_names[0]}]" in header
+        assert float(rows[1][1]) == pytest.approx(result.tmax[0], abs=1e-3)
+
+    def test_csv_nan_forecast_is_empty_cell(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        write_timeseries_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        forecast_col = rows[0].index("forecast_tmax")
+        assert rows[1][forecast_col] == ""

@@ -1,0 +1,31 @@
+"""Air package parameter validation."""
+
+import pytest
+
+from repro.constants import STACK
+from repro.errors import ConfigurationError
+from repro.thermal.package import AirPackage
+
+
+class TestAirPackage:
+    def test_defaults_from_table3(self):
+        pkg = AirPackage()
+        assert pkg.sink_resistance == STACK.convection_resistance
+        assert pkg.sink_capacitance == STACK.convection_capacitance
+
+    def test_hotspot_default_ambient(self):
+        assert AirPackage().ambient == 45.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tim_resistance_area": 0.0},
+            {"spreader_resistance": -1.0},
+            {"sink_resistance": 0.0},
+            {"spreader_capacitance": 0.0},
+            {"sink_capacitance": -5.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AirPackage(**kwargs)

@@ -1,0 +1,33 @@
+"""Grid-vs-analytic cross-validation."""
+
+import pytest
+
+from repro.thermal.validation import (
+    max_relative_error,
+    sensible_heat_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sensible_heat_validation()
+
+
+class TestSensibleHeatAgreement:
+    def test_grid_matches_analytic_energy_balance(self, rows):
+        """The grid network's coolant outlet rise equals Eq. 4/5's
+        prediction — energy conservation is exact in both models."""
+        assert max_relative_error(rows) < 1.0e-6
+
+    def test_rise_falls_with_flow(self, rows):
+        rises = [r.grid_outlet_rise for r in rows]
+        assert rises == sorted(rises, reverse=True)
+
+    def test_rise_inversely_proportional_to_flow(self, rows):
+        """Eq. 5: R_heat ~ 1/Vdot, so rise * flow is constant."""
+        products = [r.grid_outlet_rise * r.flow_per_cavity for r in rows]
+        for p in products[1:]:
+            assert p == pytest.approx(products[0], rel=1e-3)
+
+    def test_empty_sweep(self):
+        assert max_relative_error([]) == 0.0

@@ -1,0 +1,104 @@
+"""mpstat-style utilization traces and trace-driven generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.benchmarks import benchmark
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.traces import UtilizationTrace, generate_from_utilization
+
+
+class TestUtilizationTrace:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            UtilizationTrace(np.array([]), n_cores=8)
+        with pytest.raises(WorkloadError):
+            UtilizationTrace(np.array([0.5, 1.2]), n_cores=8)
+        with pytest.raises(WorkloadError):
+            UtilizationTrace(np.array([0.5]), n_cores=0)
+
+    def test_duration_and_mean(self):
+        trace = UtilizationTrace(np.array([0.2, 0.4, 0.6]), n_cores=8)
+        assert trace.duration == 3.0
+        assert trace.mean_utilization() == pytest.approx(0.4)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        original = UtilizationTrace(
+            np.array([0.1, 0.55, 0.93]), n_cores=8, name="web"
+        )
+        path = tmp_path / "trace.csv"
+        original.to_csv(path)
+        loaded = UtilizationTrace.from_csv(path, n_cores=8)
+        assert np.allclose(loaded.utilization, original.utilization, atol=1e-4)
+        assert loaded.name == "trace"
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("second,utilization_pct\n0\n")
+        with pytest.raises(WorkloadError, match="2 columns"):
+            UtilizationTrace.from_csv(path, n_cores=8)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("second,utilization_pct\n0,high\n")
+        with pytest.raises(WorkloadError):
+            UtilizationTrace.from_csv(path, n_cores=8)
+
+
+class TestFromThreadTrace:
+    def test_recorded_mean_matches_offered(self):
+        spec = benchmark("Web-med")
+        threads = WorkloadGenerator(spec, seed=0).generate(60.0)
+        recorded = UtilizationTrace.from_thread_trace(threads)
+        assert recorded.mean_utilization() == pytest.approx(
+            threads.offered_utilization(), rel=0.05
+        )
+
+    def test_thread_spanning_slots_is_split(self):
+        from repro.workload.generator import ThreadTrace
+        from repro.workload.threads import Thread
+
+        spec = benchmark("gzip")
+        # One 0.8 s thread arriving at t=0.9 spans slots 0 and 1.
+        trace = ThreadTrace(
+            threads=(Thread(0, arrival=0.9, length=0.8),),
+            duration=2.0,
+            spec=spec,
+            n_cores=1,
+        )
+        recorded = UtilizationTrace.from_thread_trace(trace)
+        assert recorded.utilization[0] == pytest.approx(0.1)
+        assert recorded.utilization[1] == pytest.approx(0.7)
+
+
+class TestGenerateFromUtilization:
+    def test_follows_the_profile(self):
+        spec = benchmark("Web-med")
+        profile = UtilizationTrace(
+            np.concatenate([np.full(30, 0.8), np.full(30, 0.1)]),
+            n_cores=8,
+        )
+        threads = generate_from_utilization(profile, spec, seed=1)
+        recorded = UtilizationTrace.from_thread_trace(threads)
+        busy = recorded.utilization[:30].mean()
+        quiet = recorded.utilization[30:].mean()
+        assert busy > 4 * quiet
+        assert busy == pytest.approx(0.8, rel=0.25)
+
+    def test_deterministic(self):
+        spec = benchmark("gzip")
+        profile = UtilizationTrace(np.full(20, 0.3), n_cores=8)
+        a = generate_from_utilization(profile, spec, seed=3)
+        b = generate_from_utilization(profile, spec, seed=3)
+        assert [(t.arrival, t.length) for t in a.threads] == [
+            (t.arrival, t.length) for t in b.threads
+        ]
+
+    def test_zero_utilization_generates_nothing(self):
+        spec = benchmark("gzip")
+        profile = UtilizationTrace(np.zeros(10), n_cores=8)
+        threads = generate_from_utilization(profile, spec)
+        assert len(threads.threads) == 0
