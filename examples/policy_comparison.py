@@ -5,8 +5,15 @@ workload and prints hot spots, energy (normalized to LB (Air) chip
 energy), and relative throughput — the quickest way to see who wins
 where.
 
-Run:  python examples/policy_comparison.py
+The 14 runs execute through :class:`repro.runner.BatchRunner`: the
+flow-table/weight characterizations are derived once in the parent,
+then the runs fan out over worker processes (results are bit-identical
+to serial execution).
+
+Run:  python examples/policy_comparison.py [--workers N]
 """
+
+import argparse
 
 from repro.experiments import common
 from repro.metrics.energy import EnergyBreakdown
@@ -14,17 +21,41 @@ from repro.metrics.thermal_metrics import (
     hotspot_frequency,
     spatial_gradient_frequency,
 )
+from repro.runner import BatchRunner
+from repro.sim.config import SimulationConfig
 
 WORKLOADS = ("Web-high", "gzip")
 DURATION = 12.0
 
 
 def main() -> None:
-    results = common.run_matrix(
-        combos=common.POLICY_MATRIX,
-        workloads=WORKLOADS,
-        duration=DURATION,
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=BatchRunner.suggested_workers(),
+        help="worker processes for the 14-run batch (default: all cores)",
     )
+    args = parser.parse_args()
+
+    configs = [
+        SimulationConfig(
+            benchmark_name=workload,
+            policy=policy,
+            cooling=cooling,
+            duration=DURATION,
+        )
+        for policy, cooling in common.POLICY_MATRIX
+        for workload in WORKLOADS
+    ]
+    batch = BatchRunner(configs, max_workers=args.workers).run()
+    # Key by the same combo_label the lookups below use, so the two
+    # can never drift apart.
+    results = {
+        (common.combo_label(cfg.policy, cfg.cooling), cfg.benchmark_name): res
+        for cfg, res in zip(batch.configs, batch.results)
+    }
+
     baseline_label = common.combo_label(*common.POLICY_MATRIX[0])
     base_chip = sum(
         results[(baseline_label, w)].chip_energy() for w in WORKLOADS
@@ -53,7 +84,11 @@ def main() -> None:
                 "performance": thr / base_thr,
             }
         )
-    print(f"Workloads: {', '.join(WORKLOADS)} - {DURATION:.0f} s each\n")
+    print(
+        f"Workloads: {', '.join(WORKLOADS)} - {DURATION:.0f} s each "
+        f"({len(batch)} runs, {batch.n_workers} worker(s), "
+        f"{batch.wall_time:.1f} s)\n"
+    )
     print(common.format_rows(rows))
     print(
         "\nReading: liquid cooling removes the air system's hot spots;"

@@ -61,7 +61,9 @@ from repro.sched import (
     ThermalWeights,
     WeightedLoadBalancer,
 )
+from repro.runner import BatchResult, BatchRunner
 from repro.sim import (
+    CharacterizationCache,
     ControllerKind,
     CoolingMode,
     PolicyKind,
@@ -133,6 +135,9 @@ __all__ = [
     "FlowRateController",
     "StepwiseFlowController",
     "SimulationConfig",
+    "CharacterizationCache",
+    "BatchRunner",
+    "BatchResult",
     "PolicyKind",
     "CoolingMode",
     "ControllerKind",

@@ -4,8 +4,12 @@ Commands mirror the library's entry points so the whole evaluation can
 be driven without writing Python:
 
 * ``simulate`` — one configured run, with optional JSON/CSV export;
+* ``batch`` — a (workload x policy x cooling) sweep through the
+  :class:`repro.runner.BatchRunner`, optionally fanned out over worker
+  processes, with JSON/CSV export of the whole batch;
 * ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
-  — regenerate a table/figure and print its rows;
+  — regenerate a table/figure and print its rows (the multi-run
+  figures accept ``--workers`` for process fan-out);
 * ``calibrate`` — re-derive the documented resistance scales;
 * ``workloads`` — list the Table II benchmarks.
 """
@@ -81,6 +85,54 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--save-json", metavar="PATH", help="write the full result as JSON")
     sim.add_argument("--save-csv", metavar="PATH", help="write the time series as CSV")
 
+    batch = sub.add_parser(
+        "batch",
+        help="run a (workload x policy x cooling) sweep, optionally in parallel",
+        description="Cross-product sweep through the BatchRunner: every "
+        "combination of --workloads, --policies, and --cooling becomes one "
+        "run. Characterizations are derived once in the parent and shipped "
+        "to the workers; results are identical for any --workers value.",
+    )
+    batch.add_argument(
+        "--workloads",
+        default="all",
+        help="comma-separated Table II benchmarks, or 'all' (default)",
+    )
+    batch.add_argument(
+        "--policies",
+        default="TALB",
+        help="comma-separated policies (%s), or 'all'"
+        % ",".join(p.value for p in PolicyKind),
+    )
+    batch.add_argument(
+        "--cooling",
+        default="Var",
+        help="comma-separated cooling modes (%s), or 'all'"
+        % ",".join(c.value for c in CoolingMode),
+    )
+    batch.add_argument("--layers", type=int, default=2, choices=(2, 4))
+    batch.add_argument("--duration", type=float, default=common.DEFAULT_DURATION)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--dpm", action="store_true", help="enable the 200 ms DPM policy")
+    batch.add_argument(
+        "--reseed",
+        type=int,
+        metavar="BASE",
+        help="give run i the seed BASE+i (distinct stochastic instances)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    batch.add_argument(
+        "--save-json", metavar="PATH", help="write the batch summaries as JSON"
+    )
+    batch.add_argument(
+        "--save-csv", metavar="PATH", help="write one CSV row per run"
+    )
+
     for name, help_text in (
         ("fig3", "pump power and per-cavity flows"),
         ("fig6", "hot spots and energy, all policies"),
@@ -93,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
         if name != "fig3":
             p.add_argument("--duration", type=float, default=common.DEFAULT_DURATION)
             p.add_argument("--seed", type=int, default=0)
+        if name in ("fig6", "fig7", "fig8", "headline"):
+            # table2 is generator statistics only — nothing to fan out.
+            p.add_argument(
+                "--workers",
+                type=int,
+                default=1,
+                help="worker processes for the sweep (results are identical)",
+            )
 
     f5 = sub.add_parser("fig5", help="flow required to cool a given T_max")
     f5.add_argument("--layers", type=int, default=2, choices=(2, 4))
@@ -159,6 +219,79 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validated_workers(args: argparse.Namespace) -> int:
+    """Uniform --workers validation across batch and figure commands."""
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1 (1 = serial)")
+    return args.workers
+
+
+def _split_choices(raw: str, values: list[str], what: str) -> list[str]:
+    """Parse a comma-separated choice list ('all' = every value)."""
+    if raw.strip().lower() == "all":
+        return list(values)
+    chosen = [item.strip() for item in raw.split(",") if item.strip()]
+    for item in chosen:
+        if item not in values:
+            raise SystemExit(
+                f"unknown {what} {item!r}; choose from {', '.join(values)} or 'all'"
+            )
+    if not chosen:
+        raise SystemExit(f"no {what} selected")
+    return chosen
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.io.batch import save_batch, write_batch_csv
+    from repro.runner import BatchRunner, reseeded
+
+    workloads = _split_choices(args.workloads, list(TABLE_II), "workload")
+    policies = _split_choices(
+        args.policies, [p.value for p in PolicyKind], "policy"
+    )
+    cooling_modes = _split_choices(
+        args.cooling, [c.value for c in CoolingMode], "cooling mode"
+    )
+    configs = [
+        SimulationConfig(
+            benchmark_name=workload,
+            policy=PolicyKind(policy),
+            cooling=CoolingMode(cooling),
+            n_layers=args.layers,
+            duration=args.duration,
+            seed=args.seed,
+            dpm_enabled=args.dpm,
+        )
+        for workload in workloads
+        for policy in policies
+        for cooling in cooling_modes
+    ]
+    if args.reseed is not None:
+        configs = reseeded(configs, args.reseed)
+    runner = BatchRunner(configs, max_workers=_validated_workers(args))
+    batch = runner.run()
+    print(
+        f"batch: {len(batch)} runs x {args.duration:.0f}s, "
+        f"{batch.n_workers} worker(s), warm {batch.warm_time:.2f}s, "
+        f"run {batch.wall_time:.2f}s"
+    )
+    columns = [
+        "run", "label", "benchmark", "seed", "peak_temperature_sensor",
+        "hotspot_pct", "total_energy_j", "throughput_tps", "elapsed_s",
+    ]
+    rows = [
+        {k: row[k] for k in columns} for row in batch.summary_rows()
+    ]
+    _print_rows(rows)
+    if args.save_json:
+        save_batch(batch, args.save_json)
+        print(f"wrote JSON -> {args.save_json}")
+    if args.save_csv:
+        write_batch_csv(batch, args.save_csv)
+        print(f"wrote CSV  -> {args.save_csv}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.sim.calibration import calibrate_air_scale, calibrate_liquid_scale
 
@@ -187,6 +320,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     command = args.command
     if command == "simulate":
         return _cmd_simulate(args)
+    if command == "batch":
+        return _cmd_batch(args)
     if command == "fig3":
         _print_rows(fig3.run())
         return 0
@@ -196,19 +331,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
     if command == "fig6":
-        _print_rows(fig6.run(duration=args.duration, seed=args.seed))
+        _print_rows(
+            fig6.run(duration=args.duration, seed=args.seed,
+                     workers=_validated_workers(args))
+        )
         return 0
     if command == "fig7":
-        _print_rows(fig7.run(duration=args.duration, seed=args.seed))
+        _print_rows(
+            fig7.run(duration=args.duration, seed=args.seed,
+                     workers=_validated_workers(args))
+        )
         return 0
     if command == "fig8":
-        _print_rows(fig8.run(duration=args.duration, seed=args.seed))
+        _print_rows(
+            fig8.run(duration=args.duration, seed=args.seed,
+                     workers=_validated_workers(args))
+        )
         return 0
     if command == "table2":
         _print_rows(table2.run(duration=max(args.duration, 60.0), seed=args.seed))
         return 0
     if command == "headline":
-        _print_rows(headline.run(duration=args.duration, seed=args.seed))
+        _print_rows(
+            headline.run(duration=args.duration, seed=args.seed,
+                     workers=_validated_workers(args))
+        )
         return 0
     if command == "ablations":
         return _cmd_ablations(args)

@@ -2,15 +2,18 @@
 
 Figure 6's seven policy/cooling combinations, the eight Table II
 workloads, and a memoized runner so Figures 6-8 (which share the same
-underlying sweep) only simulate each point once per process.
+underlying sweep) only simulate each point once per process. Multi-run
+sweeps execute through :class:`repro.runner.BatchRunner`, so any
+figure/table regeneration can fan out over worker processes by passing
+``workers=N``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.runner import BatchRunner
 from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
-from repro.sim.engine import simulate
 from repro.sim.results import SimulationResult
 from repro.workload.benchmarks import TABLE_II
 
@@ -49,6 +52,26 @@ def combo_label(policy: PolicyKind, cooling: CoolingMode) -> str:
     return f"{policy.value} ({cooling.value})"
 
 
+def _point_config(
+    policy: PolicyKind,
+    cooling: CoolingMode,
+    workload: str,
+    duration: float,
+    dpm: bool,
+    n_layers: int,
+    seed: int,
+) -> SimulationConfig:
+    return SimulationConfig(
+        benchmark_name=workload,
+        policy=policy,
+        cooling=cooling,
+        n_layers=n_layers,
+        duration=duration,
+        dpm_enabled=dpm,
+        seed=seed,
+    )
+
+
 def run_point(
     policy: PolicyKind,
     cooling: CoolingMode,
@@ -59,19 +82,14 @@ def run_point(
     seed: int = 0,
 ) -> SimulationResult:
     """Simulate one (policy, cooling, workload) point, memoized."""
-    key = (policy, cooling, workload, duration, dpm, n_layers, seed)
-    if key not in _run_cache:
-        config = SimulationConfig(
-            benchmark_name=workload,
-            policy=policy,
-            cooling=cooling,
-            n_layers=n_layers,
-            duration=duration,
-            dpm_enabled=dpm,
-            seed=seed,
-        )
-        _run_cache[key] = simulate(config)
-    return _run_cache[key]
+    return run_matrix(
+        combos=[(policy, cooling)],
+        workloads=[workload],
+        duration=duration,
+        dpm=dpm,
+        n_layers=n_layers,
+        seed=seed,
+    )[(combo_label(policy, cooling), workload)]
 
 
 def run_matrix(
@@ -81,15 +99,36 @@ def run_matrix(
     dpm: bool = False,
     n_layers: int = 2,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> dict[tuple[str, str], SimulationResult]:
-    """Simulate a full (combo x workload) sweep; keys are (label, workload)."""
-    out: dict[tuple[str, str], SimulationResult] = {}
-    for policy, cooling in combos:
-        for workload in workloads:
-            out[(combo_label(policy, cooling), workload)] = run_point(
-                policy, cooling, workload, duration, dpm, n_layers, seed
+    """Simulate a full (combo x workload) sweep; keys are (label, workload).
+
+    Points already memoized in the run cache are reused; the missing
+    ones execute through :class:`repro.runner.BatchRunner` — serially
+    by default, or fanned out over ``workers`` processes. Results are
+    identical either way (runs are fully determined by their configs).
+    """
+    points = [(p, c, w) for p, c in combos for w in workloads]
+    missing: list[tuple[tuple, SimulationConfig]] = []
+    pending: set[tuple] = set()
+    for policy, cooling, workload in points:
+        key = (policy, cooling, workload, duration, dpm, n_layers, seed)
+        if key not in _run_cache and key not in pending:
+            pending.add(key)
+            missing.append(
+                (key, _point_config(policy, cooling, workload, duration,
+                                    dpm, n_layers, seed))
             )
-    return out
+    if missing:
+        batch = BatchRunner(
+            [config for _, config in missing], max_workers=workers
+        ).run()
+        for (key, _), result in zip(missing, batch.results):
+            _run_cache[key] = result
+    return {
+        (combo_label(p, c), w): _run_cache[(p, c, w, duration, dpm, n_layers, seed)]
+        for p, c, w in points
+    }
 
 
 def clear_cache() -> None:

@@ -28,6 +28,7 @@ def run(
     duration: float = common.DEFAULT_DURATION,
     workloads: tuple[str, ...] = common.ALL_WORKLOADS,
     seed: int = 0,
+    workers: "int | None" = None,
 ) -> list[dict]:
     """Regenerate Figure 6's bars."""
     results = common.run_matrix(
@@ -36,6 +37,7 @@ def run(
         duration=duration,
         dpm=False,
         seed=seed,
+        workers=workers,
     )
     baseline_label = common.combo_label(*common.POLICY_MATRIX[0])  # LB (Air)
     baseline_chip = np.mean(

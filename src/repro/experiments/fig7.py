@@ -22,6 +22,7 @@ def run(
     duration: float = common.DEFAULT_DURATION,
     workloads: tuple[str, ...] = common.ALL_WORKLOADS,
     seed: int = 0,
+    workers: "int | None" = None,
 ) -> list[dict]:
     """Regenerate Figure 7's bars (DPM on)."""
     results = common.run_matrix(
@@ -30,6 +31,7 @@ def run(
         duration=duration,
         dpm=True,
         seed=seed,
+        workers=workers,
     )
     rows = []
     for policy, cooling in common.POLICY_MATRIX:

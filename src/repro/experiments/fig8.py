@@ -21,6 +21,7 @@ def run(
     duration: float = common.DEFAULT_DURATION,
     workloads: tuple[str, ...] = common.ALL_WORKLOADS,
     seed: int = 0,
+    workers: "int | None" = None,
 ) -> list[dict]:
     """Regenerate Figure 8's bars."""
     results = common.run_matrix(
@@ -29,6 +30,7 @@ def run(
         duration=duration,
         dpm=False,
         seed=seed,
+        workers=workers,
     )
     baseline_label = common.combo_label(*common.FIG8_MATRIX[0])  # LB (Air)
     baseline_chip = float(

@@ -33,6 +33,7 @@ def run(
     duration: float = common.DEFAULT_DURATION,
     workloads: tuple[str, ...] = ("Database", "gzip", "MPlayer"),
     seed: int = 0,
+    workers: "int | None" = None,
 ) -> list[dict]:
     """Policy sweep on the 4-layer stack (light workloads).
 
@@ -42,13 +43,14 @@ def run(
     ``examples/stack_design_sweep.py``), so the sweep uses the light
     rows of Table II where the controller has room to work.
     """
-    results = {
-        (common.combo_label(p, c), w): common.run_point(
-            p, c, w, duration=duration, n_layers=4, seed=seed
-        )
-        for p, c in LIQUID_MATRIX
-        for w in workloads
-    }
+    results = common.run_matrix(
+        combos=LIQUID_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        n_layers=4,
+        seed=seed,
+        workers=workers,
+    )
     baseline_label = common.combo_label(*LIQUID_MATRIX[0])
     baseline_chip = float(
         np.mean([results[(baseline_label, w)].chip_energy() for w in workloads])

@@ -26,16 +26,25 @@ def run(
     duration: float = common.DEFAULT_DURATION,
     workloads: tuple[str, ...] = common.ALL_WORKLOADS,
     seed: int = 0,
+    workers: "int | None" = None,
 ) -> list[dict]:
     """Regenerate the headline per-workload savings."""
+    results = common.run_matrix(
+        combos=(
+            (PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE),
+            (PolicyKind.TALB, CoolingMode.LIQUID_MAX),
+        ),
+        workloads=workloads,
+        duration=duration,
+        seed=seed,
+        workers=workers,
+    )
+    var_label = common.combo_label(PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE)
+    max_label = common.combo_label(PolicyKind.TALB, CoolingMode.LIQUID_MAX)
     rows = []
     for workload in workloads:
-        variable = common.run_point(
-            PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE, workload, duration, seed=seed
-        )
-        max_flow = common.run_point(
-            PolicyKind.TALB, CoolingMode.LIQUID_MAX, workload, duration, seed=seed
-        )
+        variable = results[(var_label, workload)]
+        max_flow = results[(max_label, workload)]
         e_var = EnergyBreakdown.from_result(variable)
         e_max = EnergyBreakdown.from_result(max_flow)
         rows.append(

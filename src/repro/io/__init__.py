@@ -1,7 +1,12 @@
-"""Result and trace serialization (JSON summaries, CSV time series)."""
+"""Result and trace serialization (JSON summaries, CSV time series),
+for single runs (:mod:`repro.io.serialize`) and batch sweeps
+(:mod:`repro.io.batch`)."""
 
+from repro.io.batch import config_descriptor, save_batch, write_batch_csv
 from repro.io.serialize import (
     load_result,
+    result_from_payload,
+    result_payload,
     result_summary,
     save_result,
     write_timeseries_csv,
@@ -9,7 +14,12 @@ from repro.io.serialize import (
 
 __all__ = [
     "result_summary",
+    "result_payload",
+    "result_from_payload",
     "save_result",
     "load_result",
     "write_timeseries_csv",
+    "config_descriptor",
+    "save_batch",
+    "write_batch_csv",
 ]

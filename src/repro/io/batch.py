@@ -1,0 +1,98 @@
+"""Serialization of batch results (:class:`repro.runner.BatchResult`).
+
+Two forms, matching how sweeps get consumed:
+
+* :func:`save_batch` — JSON with one entry per run (config descriptor +
+  scalar summary, optionally the full time series), for archiving a
+  sweep and reloading individual runs;
+* :func:`write_batch_csv` — one CSV row per run (config columns then
+  summary columns), for spreadsheets and plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from repro.sim.config import SimulationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.runner.batch import BatchResult
+
+_BATCH_FORMAT_VERSION = 1
+
+
+def config_descriptor(config: SimulationConfig) -> dict:
+    """Flat, JSON-friendly identity of a run configuration.
+
+    Captures the experiment-matrix axes (workload, policy, cooling,
+    controller, layers, duration, seed, DPM); thermal/grid parameters
+    are omitted because they are constant across a sweep — archive the
+    code revision for those.
+    """
+    return {
+        "benchmark": config.benchmark_name,
+        "policy": config.policy.value,
+        "cooling": config.cooling.value,
+        "controller": config.controller.value,
+        "n_layers": config.n_layers,
+        "duration": config.duration,
+        "seed": config.seed,
+        "dpm": config.dpm_enabled,
+        "label": config.label(),
+    }
+
+
+def save_batch(
+    batch: "BatchResult",
+    path: Union[str, Path],
+    include_series: bool = False,
+) -> None:
+    """Write a batch as JSON (summaries; full series when requested)."""
+    from repro.io.serialize import result_payload, result_summary
+
+    entries = []
+    for run in batch.runs:
+        entry = {
+            "run": run.index,
+            "config": config_descriptor(run.config),
+            "summary": result_summary(run.result),
+            "elapsed_s": run.elapsed,
+        }
+        if include_series:
+            # The single-result schema, so runs reload via
+            # :func:`repro.io.serialize.result_from_payload`.
+            entry["result"] = result_payload(run.result)
+        entries.append(entry)
+    payload = {
+        "format_version": _BATCH_FORMAT_VERSION,
+        "n_runs": len(batch.runs),
+        "n_workers": batch.n_workers,
+        "wall_time_s": batch.wall_time,
+        "warm_time_s": batch.warm_time,
+        "runs": entries,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def write_batch_csv(batch: "BatchResult", path: Union[str, Path]) -> None:
+    """Write one CSV row per run: config columns then summary columns."""
+    rows = batch.summary_rows()
+    if not rows:
+        raise ValueError("batch has no runs to write")
+    header = list(rows[0])
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow([_cell(row.get(column)) for column in header])
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

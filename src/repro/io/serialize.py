@@ -48,9 +48,9 @@ def result_summary(result: SimulationResult) -> dict:
     }
 
 
-def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
-    """Write the full result (summary + time series) as JSON."""
-    payload = {
+def result_payload(result: SimulationResult) -> dict:
+    """The full JSON-serializable payload (summary + time series)."""
+    return {
         "format_version": _FORMAT_VERSION,
         "summary": result_summary(result),
         "core_names": result.core_names,
@@ -72,12 +72,20 @@ def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
             "migrations": result.migrations.tolist(),
         },
     }
-    Path(path).write_text(json.dumps(payload))
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write the full result (summary + time series) as JSON."""
+    Path(path).write_text(json.dumps(result_payload(result)))
 
 
 def load_result(path: Union[str, Path]) -> SimulationResult:
     """Read a result written by :func:`save_result`."""
-    payload = json.loads(Path(path).read_text())
+    return result_from_payload(json.loads(Path(path).read_text()))
+
+
+def result_from_payload(payload: dict) -> SimulationResult:
+    """Rebuild a result from a :func:`result_payload` dict."""
     version = payload.get("format_version")
     if version != _FORMAT_VERSION:
         raise ConfigurationError(

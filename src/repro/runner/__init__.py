@@ -1,0 +1,16 @@
+"""Batch orchestration: run many simulations, serially or in parallel.
+
+See :mod:`repro.runner.batch` for the design; the experiments layer
+(:func:`repro.experiments.common.run_matrix`), the ``repro batch`` CLI
+command, and ``benchmarks/bench_batch.py`` all route multi-run work
+through :class:`BatchRunner`.
+"""
+
+from repro.runner.batch import BatchResult, BatchRun, BatchRunner, reseeded
+
+__all__ = [
+    "BatchRunner",
+    "BatchResult",
+    "BatchRun",
+    "reseeded",
+]

@@ -1,0 +1,247 @@
+"""Batch simulation runner with process fan-out.
+
+The paper's evaluation is inherently a batch problem — Table II
+workloads x policies x cooling modes x 2/4-layer stacks — and every
+design-space sweep built on top of it (hysteresis, inlet-temperature,
+stack-depth studies) multiplies that matrix further. This module runs
+such batches:
+
+* :class:`BatchRunner` takes a list of
+  :class:`~repro.sim.config.SimulationConfig` (plus optional
+  pre-generated traces), pre-warms one
+  :class:`~repro.sim.cache.CharacterizationCache` in the parent
+  process, and fans the runs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* results come back as a structured :class:`BatchResult` in input
+  order, bit-identical to serial execution: every run is fully
+  determined by its config (the trace is generated from
+  ``config.seed`` inside the worker) and the characterizations are
+  finished artifacts shipped to the workers, never re-derived;
+* :mod:`repro.io.batch` exports a :class:`BatchResult` as JSON or CSV.
+
+Deterministic per-run seeding: configs carry their own seeds; when a
+sweep wants distinct stochastic instances of one scenario,
+:func:`reseeded` derives ``seed = base_seed + index`` replacements so a
+batch is reproducible run-for-run regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim import engine
+from repro.sim.cache import CharacterizationCache
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.workload.generator import ThreadTrace
+
+
+def reseeded(
+    configs: Sequence[SimulationConfig], base_seed: int
+) -> list[SimulationConfig]:
+    """Copies of ``configs`` with deterministic per-run seeds.
+
+    Run ``i`` gets ``seed = base_seed + i``, so a batch of otherwise
+    identical configs becomes distinct-but-reproducible stochastic
+    instances (and the assignment never depends on worker scheduling).
+    """
+    return [replace(config, seed=base_seed + i) for i, config in enumerate(configs)]
+
+
+@dataclass
+class BatchRun:
+    """One completed run of a batch.
+
+    Attributes
+    ----------
+    index:
+        Position in the submitted config list.
+    config:
+        The run's configuration.
+    result:
+        The simulation output.
+    elapsed:
+        Wall-clock seconds the run took in its process (excludes
+        queueing and transport).
+    """
+
+    index: int
+    config: SimulationConfig
+    result: SimulationResult
+    elapsed: float
+
+
+@dataclass
+class BatchResult:
+    """All runs of a batch, in submission order.
+
+    Attributes
+    ----------
+    runs:
+        One :class:`BatchRun` per submitted config.
+    wall_time:
+        Wall-clock seconds for the whole batch (excluding cache
+        warm-up, which is shared and reported separately).
+    warm_time:
+        Seconds spent pre-warming the characterization cache.
+    n_workers:
+        Worker processes used (1 = serial in-process execution).
+    """
+
+    runs: list[BatchRun]
+    wall_time: float
+    warm_time: float
+    n_workers: int
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    @property
+    def results(self) -> list[SimulationResult]:
+        """The bare simulation results, in submission order."""
+        return [run.result for run in self.runs]
+
+    @property
+    def configs(self) -> list[SimulationConfig]:
+        """The run configurations, in submission order."""
+        return [run.config for run in self.runs]
+
+    def summary_rows(self) -> list[dict]:
+        """One flat dict per run: config descriptor + scalar digest.
+
+        The row layout feeds :func:`repro.io.batch.write_batch_csv`
+        and the ``repro batch`` CLI table.
+        """
+        from repro.io.batch import config_descriptor
+        from repro.io.serialize import result_summary
+
+        rows = []
+        for run in self.runs:
+            row = {"run": run.index}
+            row.update(config_descriptor(run.config))
+            row.update(result_summary(run.result))
+            row["elapsed_s"] = run.elapsed
+            rows.append(row)
+        return rows
+
+
+def _execute_one(
+    task: tuple[int, SimulationConfig, Optional[ThreadTrace]],
+) -> BatchRun:
+    """Run one configured simulation (worker side and serial path)."""
+    index, config, trace = task
+    start = time.perf_counter()
+    result = engine.Simulator(config, trace=trace).run()
+    return BatchRun(
+        index=index,
+        config=config,
+        result=result,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def _worker_init(cache: CharacterizationCache) -> None:
+    """Install the parent's pre-warmed cache as the worker's default.
+
+    Redundant under the ``fork`` start method (the child inherits the
+    parent's module state) but required for ``spawn``/``forkserver``.
+    """
+    engine.set_default_cache(cache)
+
+
+class BatchRunner:
+    """Runs a list of simulation configs, serially or across processes.
+
+    Parameters
+    ----------
+    configs:
+        The runs to execute, in order.
+    traces:
+        Optional pre-generated traces, one per config (``None`` entries
+        fall back to the config's own seeded generator). Useful for
+        replayed mpstat traces or the diurnal scenario shared across
+        policies.
+    max_workers:
+        ``None`` or ``<= 1`` executes serially in-process; otherwise a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with that many
+        workers is used (capped at the batch size).
+    cache:
+        The characterization cache to warm and ship to workers;
+        defaults to the process-wide engine cache so batches share
+        characterizations with prior in-process runs.
+    warm:
+        Pre-derive all needed characterizations in the parent before
+        fanning out (strongly recommended for parallel runs: the
+        artifacts are computed once instead of once per worker).
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SimulationConfig],
+        traces: Optional[Sequence[Optional[ThreadTrace]]] = None,
+        max_workers: Optional[int] = None,
+        cache: Optional[CharacterizationCache] = None,
+        warm: bool = True,
+    ) -> None:
+        if not configs:
+            raise ConfigurationError("a batch needs at least one config")
+        if traces is not None and len(traces) != len(configs):
+            raise ConfigurationError(
+                f"got {len(traces)} traces for {len(configs)} configs"
+            )
+        self.configs = list(configs)
+        self.traces: list[Optional[ThreadTrace]] = (
+            list(traces) if traces is not None else [None] * len(configs)
+        )
+        self.cache = cache if cache is not None else engine.default_cache()
+        self.warm = warm
+        if max_workers is None:
+            self.max_workers = 1
+        elif max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        else:
+            self.max_workers = min(max_workers, len(self.configs))
+
+    @classmethod
+    def suggested_workers(cls) -> int:
+        """A sensible default worker count for this machine."""
+        return max(1, os.cpu_count() or 1)
+
+    def warm_cache(self) -> float:
+        """Pre-warm the cache for every config; returns elapsed seconds."""
+        start = time.perf_counter()
+        self.cache.warm(self.configs)
+        return time.perf_counter() - start
+
+    def run(self) -> BatchResult:
+        """Execute the batch; results come back in submission order."""
+        warm_time = self.warm_cache() if self.warm else 0.0
+        tasks = list(zip(range(len(self.configs)), self.configs, self.traces))
+        start = time.perf_counter()
+        if self.max_workers <= 1:
+            # Serial path: run in-process against the (now warm) cache.
+            previous = engine.default_cache()
+            engine.set_default_cache(self.cache)
+            try:
+                runs = [_execute_one(task) for task in tasks]
+            finally:
+                engine.set_default_cache(previous)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_worker_init,
+                initargs=(self.cache,),
+            ) as pool:
+                runs = list(pool.map(_execute_one, tasks, chunksize=1))
+        runs.sort(key=lambda run: run.index)
+        return BatchResult(
+            runs=runs,
+            wall_time=time.perf_counter() - start,
+            warm_time=warm_time,
+            n_workers=self.max_workers,
+        )

@@ -26,7 +26,7 @@ from repro.errors import SchedulingError
 from repro.geometry.floorplan import UnitKind
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.rc_network import RCNetwork
-from repro.thermal.solver import SteadyStateSolver
+from repro.thermal.solver import steady_solver_for
 
 
 class ThermalWeights:
@@ -92,7 +92,10 @@ class ThermalWeights:
         if not core_keys:
             raise SchedulingError("stack has no cores")
 
-        solver = SteadyStateSolver(network)
+        # Networks are cached per pump setting upstream; the solver memo
+        # reuses one LU factorization across repeated derivations (e.g.
+        # weight-target sweeps over the same network).
+        solver = steady_solver_for(network)
         base_powers: dict[tuple[int, str], float] = {}
         if background_power > 0.0:
             for die_index, die in enumerate(stack.dies):

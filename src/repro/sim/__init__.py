@@ -1,5 +1,6 @@
 """Co-simulation of workload, scheduling, power, thermal, and control."""
 
+from repro.sim.cache import CharacterizationCache
 from repro.sim.config import (
     ControllerKind,
     CoolingMode,
@@ -11,6 +12,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.system import ThermalSystem
 
 __all__ = [
+    "CharacterizationCache",
     "SimulationConfig",
     "CoolingMode",
     "PolicyKind",

@@ -1,0 +1,239 @@
+"""Explicit, picklable cache of offline characterizations.
+
+The paper's controller and TALB policy both rely on offline
+pre-processing: the flow-rate look-up table (Figure 5), the burst-floor
+setting (DESIGN.md section 8), and the per-setting thermal weight sets
+(Eq. 8). Historically these lived in module-level dictionaries inside
+``repro.sim.engine``, which had two defects:
+
+* the cache key omitted the pump model, so two systems with different
+  pumps but otherwise equal configurations would share one
+  characterized flow table;
+* module globals cannot be handed to worker processes explicitly, so a
+  process fan-out re-derived every characterization in every worker.
+
+:class:`CharacterizationCache` fixes both: keys include the pump
+signature, and the object holds only plain picklable values
+(:class:`~repro.control.flow_table.FlowRateTable`, ints,
+:class:`~repro.sched.weights.ThermalWeights`), so a pre-warmed cache
+can be shipped to ``ProcessPoolExecutor`` workers by
+:class:`repro.runner.BatchRunner`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.control.flow_table import FlowRateTable
+from repro.geometry.stack import CoolingKind
+from repro.power.components import PowerModel
+from repro.power.leakage import LeakageModel
+from repro.sched.weights import ThermalWeights
+from repro.sim.config import ControllerKind, CoolingMode, SimulationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.sim.system import ThermalSystem
+
+
+def system_for(config: SimulationConfig) -> tuple["ThermalSystem", "PowerModel"]:
+    """The thermal system and power model a config specifies.
+
+    The single construction path shared by
+    :class:`repro.sim.engine.Simulator` and
+    :meth:`CharacterizationCache.warm`, so a pre-warmed cache is always
+    derived from exactly the system a cold simulator would build.
+    """
+    from repro.sim.system import ThermalSystem
+
+    cooling = (
+        CoolingKind.AIR if config.cooling is CoolingMode.AIR else CoolingKind.LIQUID
+    )
+    system = ThermalSystem(
+        n_layers=config.n_layers,
+        cooling=cooling,
+        nx=config.nx,
+        ny=config.ny,
+        params=config.thermal_params,
+    )
+    return system, PowerModel(system.stack, leakage=LeakageModel())
+
+
+def system_key(
+    config: SimulationConfig,
+    cooling: CoolingKind,
+    pump_signature: Optional[tuple] = None,
+) -> tuple:
+    """Hashable identity of a characterized thermal system.
+
+    Includes the pump signature so systems that differ only in their
+    pump (setting ladder, cavity split, derating) never share a cached
+    flow table or weight set.
+    """
+    return (
+        config.n_layers,
+        cooling,
+        config.nx,
+        config.ny,
+        config.thermal_params,
+        config.target_temperature,
+        config.characterization_guard,
+        pump_signature,
+    )
+
+
+class CharacterizationCache:
+    """Caches the offline pre-processing artifacts of the paper.
+
+    All values are plain data (numpy arrays, dicts of floats, ints), so
+    instances pickle cleanly; the sparse LU factorizations stay inside
+    :class:`~repro.sim.system.ThermalSystem` and are rebuilt per
+    process.
+    """
+
+    def __init__(self) -> None:
+        self.tables: dict[tuple, FlowRateTable] = {}
+        self.floors: dict[tuple, int] = {}
+        self.weight_sets: dict[tuple, ThermalWeights] = {}
+
+    # --- key helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _key(config: SimulationConfig, cooling: CoolingKind, system) -> tuple:
+        pump = getattr(system, "pump", None)
+        return system_key(
+            config, cooling, pump.signature() if pump is not None else None
+        )
+
+    # --- cached characterizations -------------------------------------------
+
+    def table(
+        self,
+        system: "ThermalSystem",
+        power_model: "PowerModel",
+        config: SimulationConfig,
+    ) -> FlowRateTable:
+        """The (cached) offline flow-table characterization (Figure 5)."""
+        key = self._key(config, CoolingKind.LIQUID, system)
+        if key not in self.tables:
+            self.tables[key] = FlowRateTable.characterize(
+                steady_tmax=lambda setting, util: system.steady_tmax(
+                    power_model, util, setting_index=setting
+                ),
+                n_settings=system.pump.n_settings,
+                per_cavity_flows=system.pump.per_cavity_flows(),
+                target=config.target_temperature - config.characterization_guard,
+            )
+        return self.tables[key]
+
+    def floor(
+        self,
+        system: "ThermalSystem",
+        power_model: "PowerModel",
+        config: SimulationConfig,
+    ) -> int:
+        """Lowest setting that holds one fully loaded core below target.
+
+        The characterization assumes uniform utilization; a single long
+        thread concentrates its core's power and runs locally hotter,
+        so the controller never drops below this floor (DESIGN.md
+        section 8).
+        """
+        key = self._key(config, CoolingKind.LIQUID, system)
+        if key not in self.floors:
+            floor = system.pump.n_settings - 1
+            for k in range(system.pump.n_settings):
+                tmax = system.steady_tmax_concentrated(power_model, setting_index=k)
+                if tmax <= config.target_temperature - 0.5:
+                    floor = k
+                    break
+            self.floors[key] = floor
+        return self.floors[key]
+
+    def thermal_weights(
+        self,
+        system: "ThermalSystem",
+        setting_index: int,
+        config: SimulationConfig,
+        cooling: CoolingKind,
+    ) -> ThermalWeights:
+        """The (cached) pre-processed TALB weights for one cooling
+        condition (pump setting, or -1 for air)."""
+        key = self._key(config, cooling, system) + (
+            setting_index,
+            config.talb_weight_target,
+        )
+        if key not in self.weight_sets:
+            self.weight_sets[key] = ThermalWeights.from_network(
+                system.network(setting_index),
+                target_temperature=config.talb_weight_target,
+                # Probe with the non-core units at a representative power
+                # so crossbar/L2 heating is reflected in the per-core
+                # budgets.
+                background_power=1.0,
+            )
+        return self.weight_sets[key]
+
+    # --- warm-up and composition ----------------------------------------------
+
+    def warm(self, configs: Iterable[SimulationConfig]) -> "CharacterizationCache":
+        """Pre-derive every characterization a set of runs will need.
+
+        Builds each unique thermal system once in the calling process
+        (through the same :func:`system_for` path a cold
+        :class:`~repro.sim.engine.Simulator` uses) and populates the
+        flow table, burst floor, and (for TALB) the needed weight sets,
+        so worker processes receive finished artifacts instead of
+        re-deriving them. Returns ``self``.
+        """
+        from repro.sim.config import PolicyKind
+
+        systems: dict[tuple, tuple["ThermalSystem", "PowerModel"]] = {}
+        for config in configs:
+            sys_id = (config.n_layers, config.cooling is CoolingMode.AIR,
+                      config.nx, config.ny, config.thermal_params)
+            if sys_id not in systems:
+                systems[sys_id] = system_for(config)
+            system, power_model = systems[sys_id]
+            cooling = system.cooling
+            needs_lut = (
+                config.cooling is CoolingMode.LIQUID_VARIABLE
+                and config.controller is ControllerKind.LUT
+            )
+            if needs_lut:
+                self.table(system, power_model, config)
+                self.floor(system, power_model, config)
+            if config.policy is PolicyKind.TALB:
+                if cooling is CoolingKind.AIR:
+                    self.thermal_weights(system, -1, config, cooling)
+                elif config.cooling is CoolingMode.LIQUID_MAX:
+                    # The pump never leaves the top setting.
+                    top = system.pump.n_settings - 1
+                    self.thermal_weights(system, top, config, cooling)
+                else:
+                    for k in range(system.pump.n_settings):
+                        self.thermal_weights(system, k, config, cooling)
+        return self
+
+    def merge(self, other: "CharacterizationCache") -> None:
+        """Fold another cache's entries into this one (first writer wins)."""
+        for name in ("tables", "floors", "weight_sets"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            for key, value in theirs.items():
+                mine.setdefault(key, value)
+
+    def clear(self) -> None:
+        """Drop every cached characterization."""
+        self.tables.clear()
+        self.floors.clear()
+        self.weight_sets.clear()
+
+    def __len__(self) -> int:
+        return len(self.tables) + len(self.floors) + len(self.weight_sets)
+
+    def stats(self) -> dict[str, int]:
+        """Entry counts per artifact kind (for logging/tests)."""
+        return {
+            "tables": len(self.tables),
+            "floors": len(self.floors),
+            "weight_sets": len(self.weight_sets),
+        }

@@ -15,12 +15,15 @@ Each control interval (100 ms):
 
 The engine caches flow-table characterizations and TALB weight sets per
 thermal-system signature, since these are offline pre-processing steps
-in the paper.
+in the paper. The cache is an explicit
+:class:`~repro.sim.cache.CharacterizationCache`: a process-wide default
+instance backs the module-level helpers below, and a pre-warmed cache
+can be injected per :class:`Simulator` (or installed with
+:func:`set_default_cache` in a worker process) for batch fan-out.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np
@@ -30,77 +33,58 @@ from repro.control.controller import FlowRateController
 from repro.control.flow_table import FlowRateTable
 from repro.control.forecaster import TemperatureForecaster
 from repro.control.stepwise import StepwiseFlowController
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.geometry.stack import CoolingKind
-from repro.power.components import CoreState, PowerModel
+from repro.power.components import PowerModel
 from repro.power.dpm import DpmPolicy
-from repro.power.leakage import LeakageModel
 from repro.pump.laing_ddc import PumpState
 from repro.sched.base import CoreQueues
 from repro.sched.load_balancer import LoadBalancer
 from repro.sched.migration import ReactiveMigration
 from repro.sched.talb import WeightedLoadBalancer
 from repro.sched.weights import ThermalWeights
+from repro.sim.cache import CharacterizationCache, system_for
 from repro.sim.config import ControllerKind, CoolingMode, PolicyKind, SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.sim.system import ThermalSystem
 from repro.workload.generator import ThreadTrace, WorkloadGenerator
 
-_table_cache: dict[tuple, FlowRateTable] = {}
-_weights_cache: dict[tuple, ThermalWeights] = {}
+_default_cache = CharacterizationCache()
 
 
-def _system_key(config: SimulationConfig, cooling: CoolingKind) -> tuple:
-    return (
-        config.n_layers,
-        cooling,
-        config.nx,
-        config.ny,
-        config.thermal_params,
-        config.target_temperature,
-        config.characterization_guard,
-    )
+def default_cache() -> CharacterizationCache:
+    """The process-wide characterization cache."""
+    return _default_cache
+
+
+def set_default_cache(cache: CharacterizationCache) -> None:
+    """Replace the process-wide cache (e.g. with a pre-warmed one
+    shipped to a :class:`repro.runner.BatchRunner` worker)."""
+    global _default_cache
+    _default_cache = cache
 
 
 def characterized_table(
-    system: ThermalSystem, power_model: PowerModel, config: SimulationConfig
+    system: ThermalSystem,
+    power_model: PowerModel,
+    config: SimulationConfig,
+    cache: Optional[CharacterizationCache] = None,
 ) -> FlowRateTable:
     """The (cached) offline characterization for a system (Figure 5)."""
-    key = _system_key(config, CoolingKind.LIQUID)
-    if key not in _table_cache:
-        _table_cache[key] = FlowRateTable.characterize(
-            steady_tmax=lambda setting, util: system.steady_tmax(
-                power_model, util, setting_index=setting
-            ),
-            n_settings=system.pump.n_settings,
-            per_cavity_flows=system.pump.per_cavity_flows(),
-            target=config.target_temperature - config.characterization_guard,
-        )
-    return _table_cache[key]
-
-
-_floor_cache: dict[tuple, int] = {}
+    return (cache or _default_cache).table(system, power_model, config)
 
 
 def burst_floor_setting(
-    system: ThermalSystem, power_model: PowerModel, config: SimulationConfig
+    system: ThermalSystem,
+    power_model: PowerModel,
+    config: SimulationConfig,
+    cache: Optional[CharacterizationCache] = None,
 ) -> int:
     """Lowest setting that holds one fully loaded core below the target.
 
-    The characterization assumes uniform utilization; a single long
-    thread concentrates its core's power and runs locally hotter, so
-    the controller never drops below this floor (DESIGN.md section 8).
+    See :meth:`repro.sim.cache.CharacterizationCache.floor`.
     """
-    key = _system_key(config, CoolingKind.LIQUID)
-    if key not in _floor_cache:
-        floor = system.pump.n_settings - 1
-        for k in range(system.pump.n_settings):
-            tmax = system.steady_tmax_concentrated(power_model, setting_index=k)
-            if tmax <= config.target_temperature - 0.5:
-                floor = k
-                break
-        _floor_cache[key] = floor
-    return _floor_cache[key]
+    return (cache or _default_cache).floor(system, power_model, config)
 
 
 def thermal_weights(
@@ -108,18 +92,12 @@ def thermal_weights(
     setting_index: int,
     config: SimulationConfig,
     cooling: CoolingKind,
+    cache: Optional[CharacterizationCache] = None,
 ) -> ThermalWeights:
     """The (cached) pre-processed TALB weights for one cooling condition."""
-    key = _system_key(config, cooling) + (setting_index, config.talb_weight_target)
-    if key not in _weights_cache:
-        _weights_cache[key] = ThermalWeights.from_network(
-            system.network(setting_index),
-            target_temperature=config.talb_weight_target,
-            # Probe with the non-core units at a representative power so
-            # crossbar/L2 heating is reflected in the per-core budgets.
-            background_power=1.0,
-        )
-    return _weights_cache[key]
+    return (cache or _default_cache).thermal_weights(
+        system, setting_index, config, cooling
+    )
 
 
 class Simulator:
@@ -132,21 +110,22 @@ class Simulator:
     trace:
         Optional pre-generated thread trace (e.g. the diurnal trace);
         defaults to a fresh trace of the configured benchmark.
+    cache:
+        Optional :class:`~repro.sim.cache.CharacterizationCache` to
+        draw offline characterizations from (defaults to the
+        process-wide cache).
     """
 
-    def __init__(self, config: SimulationConfig, trace: Optional[ThreadTrace] = None) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        trace: Optional[ThreadTrace] = None,
+        cache: Optional[CharacterizationCache] = None,
+    ) -> None:
         self.config = config
-        cooling = (
-            CoolingKind.AIR if config.cooling is CoolingMode.AIR else CoolingKind.LIQUID
-        )
-        self.system = ThermalSystem(
-            n_layers=config.n_layers,
-            cooling=cooling,
-            nx=config.nx,
-            ny=config.ny,
-            params=config.thermal_params,
-        )
-        self.power_model = PowerModel(self.system.stack, leakage=LeakageModel())
+        self.cache = cache if cache is not None else _default_cache
+        self.system, self.power_model = system_for(config)
+        cooling = self.system.cooling
         self.trace = trace or WorkloadGenerator(
             config.spec, n_cores=config.n_cores, seed=config.seed
         ).generate(config.duration)
@@ -162,8 +141,8 @@ class Simulator:
                     # The prior-work [6] baseline: reactive ladder.
                     self._controller = StepwiseFlowController(self._pump_state)
                 else:
-                    table = characterized_table(self.system, self.power_model, config)
-                    floor = burst_floor_setting(self.system, self.power_model, config)
+                    table = self.cache.table(self.system, self.power_model, config)
+                    floor = self.cache.floor(self.system, self.power_model, config)
                     self._controller = FlowRateController(
                         table,
                         self._pump_state,
@@ -188,7 +167,9 @@ class Simulator:
             setting = -1
         else:
             setting = self._pump_state.current_index if self._pump_state else -1
-        return thermal_weights(self.system, setting, self.config, self._cooling_kind)
+        return self.cache.thermal_weights(
+            self.system, setting, self.config, self._cooling_kind
+        )
 
     # --- main loop -------------------------------------------------------------
 
@@ -217,7 +198,6 @@ class Simulator:
 
         arrivals = list(self.trace.threads)
         arrival_ptr = 0
-        completed_in_interval = 0
         migrations_total = 0
         sojourn_sum = 0.0
         sojourn_count = 0
@@ -252,18 +232,31 @@ class Simulator:
                     queues.enqueue(target, thread)
                     dpm.wake(target, now)
                     arrival_ptr += 1
-                # Execute queue heads.
+                # Execute queue heads. A thread dispatched mid-quantum
+                # only gets the post-arrival fraction of the quantum:
+                # without the clamp it would execute before its own
+                # arrival and could complete with a negative sojourn.
                 busy = {}
                 for name in core_names:
                     q = queues.queue(name)
                     if q:
-                        used = q[0].execute(config.quantum)
+                        head = q[0]
+                        start = now if head.arrival <= now else head.arrival
+                        available = max(0.0, (now + config.quantum) - start)
+                        used = head.execute(available)
                         busy_time[name] += used
                         busy[name] = used > 0.0
-                        if q[0].done:
+                        if head.done:
                             finished = q.popleft()
                             completed_in_interval += 1
-                            sojourn_sum += (now + used) - finished.arrival
+                            sojourn = (start + used) - finished.arrival
+                            if sojourn < 0.0:
+                                raise SchedulingError(
+                                    f"negative sojourn {sojourn:.6f}s for thread "
+                                    f"{finished.thread_id} (arrival "
+                                    f"{finished.arrival:.6f}s)"
+                                )
+                            sojourn_sum += sojourn
                             sojourn_count += 1
                     else:
                         busy[name] = False
@@ -346,6 +339,10 @@ class Simulator:
         )
 
 
-def simulate(config: SimulationConfig, trace: Optional[ThreadTrace] = None) -> SimulationResult:
+def simulate(
+    config: SimulationConfig,
+    trace: Optional[ThreadTrace] = None,
+    cache: Optional[CharacterizationCache] = None,
+) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(config, trace=trace).run()
+    return Simulator(config, trace=trace, cache=cache).run()

@@ -13,6 +13,7 @@ setting is cached and each step costs a pair of triangular solves.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -101,9 +102,38 @@ class TransientSolver:
         return state
 
 
+_steady_solver_memo: "OrderedDict[int, SteadyStateSolver]" = OrderedDict()
+_MEMO_CAPACITY = 8
+"""Small LRU of steady solvers keyed by ``id(network)``. The identity
+check below guards against id reuse after garbage collection; the
+bound keeps the memo (which pins its networks) from growing without
+limit."""
+
+
+def steady_solver_for(network: RCNetwork) -> SteadyStateSolver:
+    """A cached :class:`SteadyStateSolver` for a network.
+
+    Callers that own a :class:`~repro.sim.system.ThermalSystem` should
+    prefer its ``steady_solver`` cache; this memo serves callers that
+    only hold a bare network, so repeated :func:`initial_state` calls
+    reuse one LU factorization instead of re-factorizing every time.
+    """
+    key = id(network)
+    solver = _steady_solver_memo.get(key)
+    if solver is not None and solver.network is network:
+        _steady_solver_memo.move_to_end(key)
+        return solver
+    solver = SteadyStateSolver(network)
+    _steady_solver_memo[key] = solver
+    _steady_solver_memo.move_to_end(key)
+    while len(_steady_solver_memo) > _MEMO_CAPACITY:
+        _steady_solver_memo.popitem(last=False)
+    return solver
+
+
 def initial_state(network: RCNetwork, power: Optional[np.ndarray] = None) -> np.ndarray:
     """Steady-state initialization (the paper initializes all simulations
     "with steady state temperature values")."""
     if power is None:
         power = np.zeros(network.n_nodes)
-    return SteadyStateSolver(network).solve(power)
+    return steady_solver_for(network).solve(power)

@@ -1,0 +1,125 @@
+"""The explicit characterization cache: pump-aware keys, pickling, warm-up."""
+
+import pickle
+
+from repro.geometry.stack import CoolingKind
+from repro.power.components import PowerModel
+from repro.power.leakage import LeakageModel
+from repro.pump.laing_ddc import PumpModel, laing_ddc
+from repro.sim.cache import CharacterizationCache, system_key
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import Simulator
+from repro.sim.system import ThermalSystem
+
+
+def _liquid_config(**overrides):
+    defaults = dict(
+        benchmark_name="gzip",
+        policy=PolicyKind.TALB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def _system_with(pump=None):
+    return ThermalSystem(2, CoolingKind.LIQUID, pump=pump)
+
+
+class TestPumpAwareKeys:
+    def test_same_pump_shares_one_table(self):
+        cache = CharacterizationCache()
+        config = _liquid_config()
+        sys_a, sys_b = _system_with(), _system_with()
+        model_a = PowerModel(sys_a.stack, leakage=LeakageModel())
+        model_b = PowerModel(sys_b.stack, leakage=LeakageModel())
+        table_a = cache.table(sys_a, model_a, config)
+        table_b = cache.table(sys_b, model_b, config)
+        assert table_a is table_b
+        assert len(cache.tables) == 1
+
+    def test_different_pumps_get_distinct_tables(self):
+        """Regression: the old module-level cache keyed only on the
+        config, so a second system with a different pump silently
+        reused the first pump's characterized flow table."""
+        cache = CharacterizationCache()
+        config = _liquid_config()
+        stock = _system_with()
+        upsized = _system_with(
+            pump=PumpModel(
+                settings_lh=(150.0, 300.0, 450.0, 600.0, 750.0), n_cavities=3
+            )
+        )
+        model_s = PowerModel(stock.stack, leakage=LeakageModel())
+        model_u = PowerModel(upsized.stack, leakage=LeakageModel())
+        table_s = cache.table(stock, model_s, config)
+        table_u = cache.table(upsized, model_u, config)
+        assert len(cache.tables) == 2
+        assert table_s is not table_u
+        assert table_s.char.per_cavity_flows != table_u.char.per_cavity_flows
+
+    def test_pump_signature_drives_the_key(self):
+        config = _liquid_config()
+        key_stock = system_key(config, CoolingKind.LIQUID, laing_ddc(3).signature())
+        key_same = system_key(config, CoolingKind.LIQUID, laing_ddc(3).signature())
+        key_other = system_key(config, CoolingKind.LIQUID, laing_ddc(5).signature())
+        assert key_stock == key_same
+        assert key_stock != key_other
+
+    def test_air_system_keys_have_no_pump(self):
+        config = SimulationConfig(
+            benchmark_name="gzip", cooling=CoolingMode.AIR, duration=1.0
+        )
+        cache = CharacterizationCache()
+        system = ThermalSystem(2, CoolingKind.AIR)
+        weights = cache.thermal_weights(system, -1, config, CoolingKind.AIR)
+        (key,) = cache.weight_sets
+        assert key[7] is None  # pump signature slot
+        assert weights is cache.thermal_weights(system, -1, config, CoolingKind.AIR)
+
+
+class TestWarmAndPickle:
+    def test_warm_covers_a_variable_flow_talb_run(self):
+        config = _liquid_config()
+        cache = CharacterizationCache().warm([config])
+        warmed = cache.stats()
+        assert warmed["tables"] == 1
+        assert warmed["floors"] == 1
+        assert warmed["weight_sets"] == laing_ddc(3).n_settings
+        # A simulation drawing from the warmed cache adds nothing new.
+        Simulator(config, cache=cache).run()
+        assert cache.stats() == warmed
+
+    def test_warmed_cache_pickles(self):
+        cache = CharacterizationCache().warm([_liquid_config()])
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.stats() == cache.stats()
+        assert set(clone.tables) == set(cache.tables)
+
+    def test_merge_first_writer_wins(self):
+        config = _liquid_config()
+        a = CharacterizationCache().warm([config])
+        b = CharacterizationCache().warm([config])
+        table_a = next(iter(a.tables.values()))
+        a.merge(b)
+        assert a.stats() == b.stats()
+        assert next(iter(a.tables.values())) is table_a
+
+    def test_clear_and_len(self):
+        cache = CharacterizationCache().warm([_liquid_config()])
+        assert len(cache) > 0
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestEngineDelegation:
+    def test_module_helpers_share_the_default_cache(self):
+        from repro.sim import engine
+
+        config = _liquid_config()
+        system = _system_with()
+        model = PowerModel(system.stack, leakage=LeakageModel())
+        table_a = engine.characterized_table(system, model, config)
+        table_b = engine.default_cache().table(system, model, config)
+        assert table_a is table_b

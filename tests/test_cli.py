@@ -90,3 +90,52 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "intervals                 : 30" in out  # 3 s, not 99 s.
+
+
+class TestBatchCommand:
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.workloads == "all"
+        assert args.policies == "TALB"
+        assert args.cooling == "Var"
+        assert args.workers == 1
+
+    def test_batch_runs_and_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "batch.json"
+        csv_path = tmp_path / "batch.csv"
+        code = main(
+            [
+                "batch",
+                "--workloads", "gzip,MPlayer",
+                "--policies", "LB",
+                "--cooling", "Air,Max",
+                "--duration", "2.0",
+                "--save-json", str(json_path),
+                "--save-csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: 4 runs" in out
+        assert "LB (Air)" in out and "LB (Max)" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["n_runs"] == 4
+        assert csv_path.read_text().startswith("run,benchmark,")
+
+    def test_batch_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--workloads", "NotABenchmark", "--duration", "1.0"])
+
+    def test_batch_reseed(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--workloads", "gzip",
+                "--policies", "LB",
+                "--cooling", "Air",
+                "--duration", "2.0",
+                "--reseed", "40",
+            ]
+        )
+        assert code == 0
+        assert "batch: 1 runs" in capsys.readouterr().out
