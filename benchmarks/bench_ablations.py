@@ -4,7 +4,6 @@ Extension study (DESIGN.md): proactive forecasting vs reactive control,
 the 2 degC hysteresis, TALB's weight target, and grid resolution.
 """
 
-import pytest
 
 from repro.experiments import ablations, common
 

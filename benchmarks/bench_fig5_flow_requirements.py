@@ -5,7 +5,6 @@ the continuous minimum-flow curve for the 2-layer system.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import common, fig5
 

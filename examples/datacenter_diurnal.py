@@ -9,7 +9,6 @@ pump tracked the load and how often the forecaster re-fit itself.
 Run:  python examples/datacenter_diurnal.py
 """
 
-import numpy as np
 
 from repro import CoolingMode, PolicyKind, SimulationConfig
 from repro.sim.engine import Simulator

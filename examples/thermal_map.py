@@ -14,7 +14,6 @@ Run:  python examples/thermal_map.py
 """
 
 from repro import units
-from repro.geometry.stack import build_stack
 from repro.power.components import CoreState, PowerModel
 from repro.power.leakage import LeakageModel
 from repro.sim.system import ThermalSystem
@@ -61,7 +60,7 @@ def main() -> None:
     tau = response.time_constant()
     print(f"thermal time constant   : {units.to_ms(tau):.0f} ms "
           "(paper: 'typically less than 100 ms')")
-    print(f"pump transition         : 250-300 ms")
+    print("pump transition         : 250-300 ms")
     print(f"=> a reactive controller is {250.0 / units.to_ms(tau):.0f}x too slow; "
           "forecasting 500 ms ahead closes the gap.")
 

@@ -62,6 +62,12 @@ from repro.sched import (
     WeightedLoadBalancer,
 )
 from repro.runner import BatchResult, BatchRunner
+from repro.sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+)
 from repro.sim import (
     CharacterizationCache,
     ControllerKind,
@@ -138,6 +144,10 @@ __all__ = [
     "CharacterizationCache",
     "BatchRunner",
     "BatchResult",
+    "SweepSpec",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepResult",
     "PolicyKind",
     "CoolingMode",
     "ControllerKind",

@@ -7,6 +7,12 @@ be driven without writing Python:
 * ``batch`` — a (workload x policy x cooling) sweep through the
   :class:`repro.runner.BatchRunner`, optionally fanned out over worker
   processes, with JSON/CSV export of the whole batch;
+* ``sweep run | resume | status`` — declarative checkpointed campaigns
+  through :class:`repro.sweep.SweepRunner`: ``--spec`` names a built-in
+  declaration (``fig6``, ``fig7``, ``fig8``, ``fourlayer``,
+  ``headline``) or a JSON/YAML spec file, progress streams as runs
+  fold, and an interrupted campaign resumes from its checkpoint with
+  bit-identical aggregates and exports;
 * ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
   — regenerate a table/figure and print its rows (the multi-run
   figures accept ``--workers`` for process fan-out);
@@ -18,8 +24,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
     common,
@@ -28,6 +36,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    fourlayer,
     headline,
     table2,
 )
@@ -40,6 +49,15 @@ from repro.sim.config import (
 )
 from repro.sim.engine import simulate
 from repro.workload.benchmarks import TABLE_II
+
+#: Built-in sweep declarations ``repro sweep run --spec <name>`` accepts.
+BUILTIN_SPECS = {
+    "fig6": fig6.sweep_spec,
+    "fig7": fig7.sweep_spec,
+    "fig8": fig8.sweep_spec,
+    "fourlayer": fourlayer.sweep_spec,
+    "headline": headline.sweep_spec,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +151,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-csv", metavar="PATH", help="write one CSV row per run"
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative checkpointed sweeps (run / resume / status)",
+        description="Declarative sweep campaigns: a spec (built-in name or "
+        "JSON/YAML file) expands to runs, results stream into incremental "
+        "aggregators, and progress journals to a checkpoint so interrupted "
+        "campaigns resume without recomputation (bit-identical exports).",
+    )
+    swsub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes (1 = serial; results are identical)",
+        )
+        p.add_argument(
+            "--checkpoint", metavar="PATH",
+            help="journal file for checkpoint/resume",
+        )
+        p.add_argument(
+            "--stop-after", type=int, metavar="K",
+            help="fold at most K runs this session, then checkpoint and exit",
+        )
+        p.add_argument(
+            "--snapshot-every", type=int, default=1, metavar="K",
+            help="aggregator snapshot cadence in the journal (default 1)",
+        )
+        p.add_argument(
+            "--save-json", metavar="PATH",
+            help="write rows + aggregates as JSON when the sweep completes",
+        )
+        p.add_argument(
+            "--save-csv", metavar="PATH",
+            help="stream one CSV row per run as the sweep folds",
+        )
+        p.add_argument(
+            "--quiet", action="store_true", help="suppress per-run progress"
+        )
+
+    sw_run = swsub.add_parser(
+        "run",
+        help="start a sweep",
+        description="Start a declared sweep. --spec is a built-in name "
+        f"({', '.join(BUILTIN_SPECS)}) or a JSON/YAML spec file with "
+        "base/grid/zip/points/reseed keys.",
+    )
+    sw_run.add_argument("--spec", required=True, metavar="NAME|FILE")
+    sw_run.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per run (built-in specs only)",
+    )
+    sw_run.add_argument(
+        "--seed", type=int, default=None, help="base seed (built-in specs only)"
+    )
+    sw_run.add_argument(
+        "--resume", action="store_true",
+        help="continue from --checkpoint if it already exists",
+    )
+    _sweep_exec_args(sw_run)
+
+    sw_resume = swsub.add_parser(
+        "resume",
+        help="continue an interrupted sweep from its checkpoint",
+    )
+    sw_resume.add_argument("--spec", required=True, metavar="NAME|FILE")
+    sw_resume.add_argument("--duration", type=float, default=None)
+    sw_resume.add_argument("--seed", type=int, default=None)
+    _sweep_exec_args(sw_resume)
+
+    sw_status = swsub.add_parser(
+        "status", help="report a checkpoint's progress"
+    )
+    sw_status.add_argument("--checkpoint", required=True, metavar="PATH")
+
     for name, help_text in (
         ("fig3", "pump power and per-cavity flows"),
         ("fig6", "hot spots and energy, all policies"),
@@ -182,6 +276,8 @@ def _print_rows(rows: list[dict]) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _checked_output(args.save_json, "JSON output")
+    _checked_output(args.save_csv, "CSV output")
     thread_trace = None
     duration = args.duration
     if args.trace_csv:
@@ -226,6 +322,24 @@ def _validated_workers(args: argparse.Namespace) -> int:
     return args.workers
 
 
+def _checked_output(path_str: Optional[str], what: str) -> Optional[str]:
+    """Fail fast — with a clear message, not a traceback — when an
+    output path's parent directory does not exist.
+
+    Validated before any simulation starts, so a typo'd path surfaces
+    immediately instead of after an hours-long sweep.
+    """
+    if path_str is None:
+        return None
+    parent = Path(path_str).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(
+            f"error: cannot write {what} {path_str!r}: "
+            f"directory {str(parent)!r} does not exist"
+        )
+    return path_str
+
+
 def _split_choices(raw: str, values: list[str], what: str) -> list[str]:
     """Parse a comma-separated choice list ('all' = every value)."""
     if raw.strip().lower() == "all":
@@ -245,6 +359,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.io.batch import save_batch, write_batch_csv
     from repro.runner import BatchRunner, reseeded
 
+    _checked_output(args.save_json, "JSON output")
+    _checked_output(args.save_csv, "CSV output")
     workloads = _split_choices(args.workloads, list(TABLE_II), "workload")
     policies = _split_choices(
         args.policies, [p.value for p in PolicyKind], "policy"
@@ -292,6 +408,159 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_spec(args: argparse.Namespace):
+    """--spec: a built-in declaration name or a JSON/YAML spec file.
+
+    Any declaration problem (missing file, malformed JSON/YAML, unknown
+    field, bad value) becomes a clear ``SystemExit`` message — never a
+    traceback.
+    """
+    import json
+
+    from repro.sweep import SweepSpec
+
+    raw = args.spec
+    try:
+        if raw in BUILTIN_SPECS:
+            kwargs = {}
+            if args.duration is not None:
+                kwargs["duration"] = args.duration
+            if args.seed is not None:
+                kwargs["seed"] = args.seed
+            return BUILTIN_SPECS[raw](**kwargs)
+        path = Path(raw)
+        if not path.exists():
+            raise SystemExit(
+                f"error: spec {raw!r} is neither a built-in name "
+                f"({', '.join(BUILTIN_SPECS)}) nor an existing file"
+            )
+        if args.duration is not None or args.seed is not None:
+            raise SystemExit(
+                "error: --duration/--seed apply to built-in specs only; "
+                "set them inside the spec file's 'base' section"
+            )
+        return SweepSpec.from_file(path)
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: bad sweep spec {raw!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"error: spec file {raw!r} is not valid JSON: {exc}"
+        ) from None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read spec {raw!r}: {exc}") from None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepRunner, read_status
+
+    if args.sweep_command == "status":
+        try:
+            status = read_status(_existing_file(args.checkpoint, "checkpoint"))
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(f"sweep:      {status.name or '(unnamed)'}")
+        print(f"fingerprint {status.fingerprint[:16]}...")
+        print(f"progress:   {status.folded}/{status.n_runs} runs "
+              f"({status.pct:.1f}%), {status.remaining} remaining")
+        print(f"sim time:   {status.elapsed_s:.1f}s across folded runs")
+        if status.last_key:
+            print(f"last run:   {status.last_key}")
+        return 0
+
+    resume = args.sweep_command == "resume" or args.resume
+    if args.sweep_command == "resume":
+        if not args.checkpoint:
+            raise SystemExit("error: sweep resume needs --checkpoint")
+        # A typo'd path must not silently restart an hours-long sweep
+        # from scratch (`run --resume` stays permissive by contract:
+        # "continue from --checkpoint if it already exists").
+        _existing_file(args.checkpoint, "checkpoint")
+    spec = _resolve_spec(args)
+    _checked_output(args.save_json, "JSON output")
+    _checked_output(args.save_csv, "CSV output")
+    _checked_output(args.checkpoint, "checkpoint")
+    if args.stop_after is not None and args.stop_after < 1:
+        raise SystemExit("--stop-after must be >= 1")
+    if args.snapshot_every < 1:
+        raise SystemExit("--snapshot-every must be >= 1")
+
+    def _progress(folded: int, total: int, point, elapsed: float) -> None:
+        print(
+            f"  [{folded}/{total}] {point.key}  ({elapsed:.1f}s)",
+            file=sys.stderr,
+        )
+
+    print(spec.describe())
+    runner = SweepRunner(
+        spec,
+        max_workers=_validated_workers(args),
+        checkpoint=args.checkpoint,
+        snapshot_every=args.snapshot_every,
+        csv_path=args.save_csv,
+        progress=None if args.quiet else _progress,
+        stop_after=args.stop_after,
+    )
+    try:
+        result = runner.run(resume=resume)
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    executed = result.folded - result.resumed
+    print(
+        f"sweep: {result.folded}/{result.n_runs} folded "
+        f"({result.resumed} restored from checkpoint, {executed} run now) "
+        f"in {result.wall_time:.2f}s"
+    )
+    for kind, rows in result.aggregate_rows().items():
+        if rows:
+            print(f"\n-- {kind} aggregates --")
+            _print_rows(rows)
+    if args.save_csv:
+        print(f"\nwrote CSV  -> {args.save_csv}")
+    if result.complete:
+        if args.save_json:
+            result.save_json(args.save_json)
+            print(f"wrote JSON -> {args.save_json}")
+    else:
+        left = result.n_runs - result.folded
+        if args.checkpoint:
+            # Echo every flag that shapes the spec fingerprint or the
+            # outputs, so the printed command works verbatim.
+            hint = ["repro sweep resume", "--spec", str(args.spec)]
+            if args.duration is not None:
+                hint += ["--duration", str(args.duration)]
+            if args.seed is not None:
+                hint += ["--seed", str(args.seed)]
+            hint += ["--checkpoint", str(args.checkpoint)]
+            if args.workers != 1:
+                hint += ["--workers", str(args.workers)]
+            if args.snapshot_every != 1:
+                hint += ["--snapshot-every", str(args.snapshot_every)]
+            if args.save_csv:
+                hint += ["--save-csv", str(args.save_csv)]
+            if args.save_json:
+                hint += ["--save-json", str(args.save_json)]
+            print(
+                f"sweep incomplete ({left} runs left); continue with: "
+                + " ".join(hint)
+            )
+        else:
+            print(
+                f"sweep incomplete ({left} runs left) and no --checkpoint "
+                "was given, so this session's progress is NOT saved; "
+                "rerun with --checkpoint to make the sweep resumable"
+            )
+        if args.save_json:
+            print("JSON export skipped (written only when the sweep completes)")
+    return 0
+
+
+def _existing_file(path_str: str, what: str) -> str:
+    if not Path(path_str).is_file():
+        raise SystemExit(f"error: {what} {path_str!r} does not exist")
+    return path_str
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.sim.calibration import calibrate_air_scale, calibrate_liquid_scale
 
@@ -322,6 +591,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_simulate(args)
     if command == "batch":
         return _cmd_batch(args)
+    if command == "sweep":
+        return _cmd_sweep(args)
     if command == "fig3":
         _print_rows(fig3.run())
         return 0

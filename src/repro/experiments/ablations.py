@@ -18,12 +18,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import CONTROL
+from repro.experiments import common
 from repro.geometry.stack import CoolingKind
 from repro.power.components import PowerModel
 from repro.power.leakage import LeakageModel
 from repro.sim.config import ControllerKind, CoolingMode, PolicyKind, SimulationConfig
-from repro.sim.engine import simulate
 from repro.sim.system import ThermalSystem
+from repro.sweep import SweepSpec
 
 
 def _setting_switches(flow_setting: np.ndarray) -> int:
@@ -33,28 +34,44 @@ def _setting_switches(flow_setting: np.ndarray) -> int:
     return int(np.sum(np.diff(valid) != 0))
 
 
-def run_controller_ablation(
+#: The controller ablation variants: (label, forecast_enabled, hysteresis).
+ABLATION_VARIANTS: tuple[tuple[str, bool, float], ...] = (
+    ("proactive+hysteresis (paper)", True, CONTROL.hysteresis),
+    ("reactive+hysteresis", False, CONTROL.hysteresis),
+    ("proactive, no hysteresis", True, 0.0),
+    ("reactive, no hysteresis", False, 0.0),
+)
+
+
+def controller_ablation_spec(
     workload: str = "Web-med", duration: float = 20.0, seed: int = 0
-) -> list[dict]:
-    """Compare the full controller against its ablated variants."""
-    variants = [
-        ("proactive+hysteresis (paper)", True, CONTROL.hysteresis),
-        ("reactive+hysteresis", False, CONTROL.hysteresis),
-        ("proactive, no hysteresis", True, 0.0),
-        ("reactive, no hysteresis", False, 0.0),
-    ]
-    rows = []
-    for label, forecast, hysteresis in variants:
-        config = SimulationConfig(
+) -> SweepSpec:
+    """The four ablated controller variants as lock-step (zip) axes."""
+    return SweepSpec(
+        base=SimulationConfig(
             benchmark_name=workload,
             policy=PolicyKind.TALB,
             cooling=CoolingMode.LIQUID_VARIABLE,
             duration=duration,
             seed=seed,
-            forecast_enabled=forecast,
-            hysteresis=hysteresis,
-        )
-        result = simulate(config)
+        ),
+        zip_axes={
+            "forecast_enabled": [v[1] for v in ABLATION_VARIANTS],
+            "hysteresis": [v[2] for v in ABLATION_VARIANTS],
+        },
+        name="controller-ablation",
+    )
+
+
+def run_controller_ablation(
+    workload: str = "Web-med", duration: float = 20.0, seed: int = 0
+) -> list[dict]:
+    """Compare the full controller against its ablated variants."""
+    spec = controller_ablation_spec(workload=workload, duration=duration, seed=seed)
+    rows = []
+    for (label, _, _), (_, result) in zip(
+        ABLATION_VARIANTS, common.run_spec(spec)
+    ):
         rows.append(
             {
                 "variant": label,
@@ -83,33 +100,37 @@ def run_controller_comparison(
     should match or beat the stepwise ladder on pump energy while
     keeping the temperature guarantee the reactive ladder cannot give.
     """
+    labels = {
+        ControllerKind.LUT: "LUT+ARMA (paper)",
+        ControllerKind.STEPWISE: "stepwise (prior work [6])",
+    }
+    spec = SweepSpec(
+        base=SimulationConfig(
+            policy=PolicyKind.TALB,
+            cooling=CoolingMode.LIQUID_VARIABLE,
+            duration=duration,
+            seed=seed,
+        ),
+        grid={
+            "benchmark_name": list(workloads),
+            "controller": [ControllerKind.LUT, ControllerKind.STEPWISE],
+        },
+        name="controller-comparison",
+    )
     rows = []
-    for workload in workloads:
-        for kind, label in (
-            (ControllerKind.LUT, "LUT+ARMA (paper)"),
-            (ControllerKind.STEPWISE, "stepwise (prior work [6])"),
-        ):
-            config = SimulationConfig(
-                benchmark_name=workload,
-                policy=PolicyKind.TALB,
-                cooling=CoolingMode.LIQUID_VARIABLE,
-                duration=duration,
-                seed=seed,
-                controller=kind,
-            )
-            result = simulate(config)
-            rows.append(
-                {
-                    "workload": workload,
-                    "controller": label,
-                    "peak_temperature": result.peak_temperature(),
-                    "pct_above_target": 100.0
-                    * result.time_above(CONTROL.target_temperature),
-                    "pump_energy": result.pump_energy(),
-                    "mean_setting": result.mean_flow_setting(),
-                    "setting_switches": _setting_switches(result.flow_setting),
-                }
-            )
+    for point, result in common.run_spec(spec):
+        rows.append(
+            {
+                "workload": point.config.benchmark_name,
+                "controller": labels[point.config.controller],
+                "peak_temperature": result.peak_temperature(),
+                "pct_above_target": 100.0
+                * result.time_above(CONTROL.target_temperature),
+                "pump_energy": result.pump_energy(),
+                "mean_setting": result.mean_flow_setting(),
+                "setting_switches": _setting_switches(result.flow_setting),
+            }
+        )
     return rows
 
 
@@ -141,23 +162,25 @@ def run_weight_sensitivity(
     workload: str = "Web-med", duration: float = 20.0, seed: int = 0
 ) -> list[dict]:
     """TALB weight target sensitivity (the paper balances at 75 degC)."""
-    rows = []
-    for target in (70.0, 75.0, 80.0):
-        config = SimulationConfig(
+    spec = SweepSpec(
+        base=SimulationConfig(
             benchmark_name=workload,
             policy=PolicyKind.TALB,
             cooling=CoolingMode.LIQUID_MAX,
             duration=duration,
             seed=seed,
-            talb_weight_target=target,
-        )
-        result = simulate(config)
+        ),
+        grid={"talb_weight_target": [70.0, 75.0, 80.0]},
+        name="talb-weight-sensitivity",
+    )
+    rows = []
+    for point, result in common.run_spec(spec):
         spread = result.unit_temperatures.max(axis=1) - result.unit_temperatures.min(
             axis=1
         )
         rows.append(
             {
-                "weight_target": target,
+                "weight_target": point.config.talb_weight_target,
                 "mean_spatial_spread": float(spread.mean()),
                 "peak_temperature": result.peak_temperature(),
             }

@@ -1,20 +1,24 @@
-"""Shared experiment infrastructure: the policy matrix and run cache.
+"""Shared experiment infrastructure: sweep declarations and run cache.
 
 Figure 6's seven policy/cooling combinations, the eight Table II
 workloads, and a memoized runner so Figures 6-8 (which share the same
-underlying sweep) only simulate each point once per process. Multi-run
-sweeps execute through :class:`repro.runner.BatchRunner`, so any
-figure/table regeneration can fan out over worker processes by passing
-``workers=N``.
+underlying sweep) only simulate each point once per process. Every
+multi-run experiment is declared as a
+:class:`~repro.sweep.spec.SweepSpec` (:func:`matrix_spec`, or the
+per-figure ``sweep_spec()`` functions) and executes through
+:class:`~repro.sweep.runner.SweepRunner` streaming
+(:func:`run_spec`), so any figure/table regeneration can fan out over
+worker processes by passing ``workers=N`` and large campaigns can be
+checkpointed via the ``repro sweep`` CLI.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.runner import BatchRunner
 from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
 from repro.sim.results import SimulationResult
+from repro.sweep import SweepPoint, SweepRunner, SweepSpec
 from repro.workload.benchmarks import TABLE_II
 
 #: Figure 6's policy/cooling combinations, in the paper's bar order.
@@ -44,7 +48,7 @@ ALL_WORKLOADS: tuple[str, ...] = tuple(TABLE_II)
 #: for the benchmark suite, long enough for stationary statistics.
 DEFAULT_DURATION = 20.0
 
-_run_cache: dict[tuple, SimulationResult] = {}
+_run_cache: dict[SimulationConfig, SimulationResult] = {}
 
 
 def combo_label(policy: PolicyKind, cooling: CoolingMode) -> str:
@@ -52,24 +56,50 @@ def combo_label(policy: PolicyKind, cooling: CoolingMode) -> str:
     return f"{policy.value} ({cooling.value})"
 
 
-def _point_config(
-    policy: PolicyKind,
-    cooling: CoolingMode,
-    workload: str,
-    duration: float,
-    dpm: bool,
-    n_layers: int,
-    seed: int,
-) -> SimulationConfig:
-    return SimulationConfig(
-        benchmark_name=workload,
-        policy=policy,
-        cooling=cooling,
-        n_layers=n_layers,
-        duration=duration,
-        dpm_enabled=dpm,
-        seed=seed,
+def matrix_spec(
+    combos: Iterable[tuple[PolicyKind, CoolingMode]] = POLICY_MATRIX,
+    workloads: Iterable[str] = ALL_WORKLOADS,
+    duration: float = DEFAULT_DURATION,
+    dpm: bool = False,
+    n_layers: int = 2,
+    seed: int = 0,
+    name: str = "matrix",
+) -> SweepSpec:
+    """The (combo x workload) figure sweeps as a declarative spec.
+
+    The policy/cooling combos become explicit sweep ``points`` (they
+    are an irregular set, not a product) crossed with a workload grid
+    axis — the declaration the ``repro sweep`` CLI and the figure
+    modules share.
+    """
+    return SweepSpec(
+        base=SimulationConfig(
+            duration=duration, dpm_enabled=dpm, n_layers=n_layers, seed=seed
+        ),
+        points=[{"policy": p, "cooling": c} for p, c in combos],
+        grid={"benchmark_name": list(workloads)},
+        name=name,
     )
+
+
+def run_spec(
+    spec: SweepSpec, workers: Optional[int] = None
+) -> list[tuple[SweepPoint, SimulationResult]]:
+    """Execute a spec, streaming, and collect (point, result) in order.
+
+    The direct execution path for the modest experiment sweeps that
+    need full results in memory; long campaigns should instead go
+    through :class:`~repro.sweep.runner.SweepRunner` with aggregators
+    and a checkpoint (``repro sweep run``).
+    """
+    collected: list[tuple[SweepPoint, SimulationResult]] = []
+    SweepRunner(
+        spec,
+        aggregators=(),
+        max_workers=workers,
+        on_result=lambda point, result: collected.append((point, result)),
+    ).run()
+    return collected
 
 
 def run_point(
@@ -103,31 +133,36 @@ def run_matrix(
 ) -> dict[tuple[str, str], SimulationResult]:
     """Simulate a full (combo x workload) sweep; keys are (label, workload).
 
-    Points already memoized in the run cache are reused; the missing
-    ones execute through :class:`repro.runner.BatchRunner` — serially
-    by default, or fanned out over ``workers`` processes. Results are
-    identical either way (runs are fully determined by their configs).
+    The sweep is declared via :func:`matrix_spec` and executed
+    streaming through :class:`~repro.sweep.runner.SweepRunner` —
+    serially by default, or fanned out over ``workers`` processes
+    (results are identical either way: runs are fully determined by
+    their configs). Points already memoized in the run cache are not
+    re-simulated: the missing subset re-expands as a ``points``-only
+    spec over the same base config, which assembles exactly the same
+    :class:`~repro.sim.config.SimulationConfig` objects.
     """
-    points = [(p, c, w) for p, c in combos for w in workloads]
-    missing: list[tuple[tuple, SimulationConfig]] = []
-    pending: set[tuple] = set()
-    for policy, cooling, workload in points:
-        key = (policy, cooling, workload, duration, dpm, n_layers, seed)
-        if key not in _run_cache and key not in pending:
-            pending.add(key)
-            missing.append(
-                (key, _point_config(policy, cooling, workload, duration,
-                                    dpm, n_layers, seed))
-            )
+    spec = matrix_spec(
+        combos=combos, workloads=workloads, duration=duration,
+        dpm=dpm, n_layers=n_layers, seed=seed,
+    )
+    missing: list[SweepPoint] = []
+    pending: set[SimulationConfig] = set()
+    for point in spec.iter_points():
+        if point.config not in _run_cache and point.config not in pending:
+            pending.add(point.config)
+            missing.append(point)
     if missing:
-        batch = BatchRunner(
-            [config for _, config in missing], max_workers=workers
-        ).run()
-        for (key, _), result in zip(missing, batch.results):
-            _run_cache[key] = result
+        subset = SweepSpec(
+            base=spec.base,
+            points=[point.overrides for point in missing],
+            name=spec.name,
+        )
+        for point, result in run_spec(subset, workers=workers):
+            _run_cache[point.config] = result
     return {
-        (combo_label(p, c), w): _run_cache[(p, c, w, duration, dpm, n_layers, seed)]
-        for p, c, w in points
+        (point.config.label(), point.config.benchmark_name): _run_cache[point.config]
+        for point in spec.iter_points()
     }
 
 

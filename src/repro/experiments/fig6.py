@@ -22,6 +22,23 @@ import numpy as np
 from repro.experiments import common
 from repro.metrics.energy import EnergyBreakdown
 from repro.metrics.thermal_metrics import hotspot_frequency
+from repro.sweep import SweepSpec
+
+
+def sweep_spec(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = common.ALL_WORKLOADS,
+    seed: int = 0,
+) -> SweepSpec:
+    """Figure 6's 7-combo x 8-workload sweep as a declarative spec."""
+    return common.matrix_spec(
+        combos=common.POLICY_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        dpm=False,
+        seed=seed,
+        name="fig6",
+    )
 
 
 def run(

@@ -16,6 +16,23 @@ from repro.metrics.thermal_metrics import (
     spatial_gradient_frequency,
     thermal_cycle_frequency,
 )
+from repro.sweep import SweepSpec
+
+
+def sweep_spec(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = common.ALL_WORKLOADS,
+    seed: int = 0,
+) -> SweepSpec:
+    """Figure 7's sweep (the Figure 6 matrix with DPM enabled)."""
+    return common.matrix_spec(
+        combos=common.POLICY_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        dpm=True,
+        seed=seed,
+        name="fig7",
+    )
 
 
 def run(

@@ -15,6 +15,23 @@ import numpy as np
 
 from repro.experiments import common
 from repro.metrics.energy import EnergyBreakdown
+from repro.sweep import SweepSpec
+
+
+def sweep_spec(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = common.ALL_WORKLOADS,
+    seed: int = 0,
+) -> SweepSpec:
+    """Figure 8's reduced 5-combo x 8-workload comparison sweep."""
+    return common.matrix_spec(
+        combos=common.FIG8_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        dpm=False,
+        seed=seed,
+        name="fig8",
+    )
 
 
 def run(

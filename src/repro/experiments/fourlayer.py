@@ -29,6 +29,22 @@ LIQUID_MATRIX: tuple[tuple[PolicyKind, CoolingMode], ...] = (
 )
 
 
+def sweep_spec(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = ("Database", "gzip", "MPlayer"),
+    seed: int = 0,
+):
+    """The 4-layer liquid-policy sweep as a declarative spec."""
+    return common.matrix_spec(
+        combos=LIQUID_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        n_layers=4,
+        seed=seed,
+        name="fourlayer",
+    )
+
+
 def run(
     duration: float = common.DEFAULT_DURATION,
     workloads: tuple[str, ...] = ("Database", "gzip", "MPlayer"),

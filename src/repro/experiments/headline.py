@@ -21,6 +21,27 @@ from repro.metrics.energy import (
 )
 from repro.sim.config import CoolingMode, PolicyKind
 
+#: The headline comparison pair: the controller vs worst-case flow.
+HEADLINE_MATRIX: tuple[tuple[PolicyKind, CoolingMode], ...] = (
+    (PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE),
+    (PolicyKind.TALB, CoolingMode.LIQUID_MAX),
+)
+
+
+def sweep_spec(
+    duration: float = common.DEFAULT_DURATION,
+    workloads: tuple[str, ...] = common.ALL_WORKLOADS,
+    seed: int = 0,
+):
+    """The headline Var-vs-Max savings sweep as a declarative spec."""
+    return common.matrix_spec(
+        combos=HEADLINE_MATRIX,
+        workloads=workloads,
+        duration=duration,
+        seed=seed,
+        name="headline",
+    )
+
 
 def run(
     duration: float = common.DEFAULT_DURATION,
@@ -30,10 +51,7 @@ def run(
 ) -> list[dict]:
     """Regenerate the headline per-workload savings."""
     results = common.run_matrix(
-        combos=(
-            (PolicyKind.TALB, CoolingMode.LIQUID_VARIABLE),
-            (PolicyKind.TALB, CoolingMode.LIQUID_MAX),
-        ),
+        combos=HEADLINE_MATRIX,
         workloads=workloads,
         duration=duration,
         seed=seed,

@@ -7,13 +7,13 @@ assumptions move — the robustness analysis a reviewer would ask for.
 
 from __future__ import annotations
 
-from repro.constants import CONTROL
+from repro.experiments import common
 from repro.geometry.stack import CoolingKind
 from repro.power.components import PowerModel
 from repro.power.leakage import LeakageModel
 from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
-from repro.sim.engine import simulate
 from repro.sim.system import ThermalSystem
+from repro.sweep import SweepSpec
 from repro.thermal.rc_network import ThermalParams
 
 
@@ -62,22 +62,24 @@ def hysteresis_sweep(
     """
     import numpy as np
 
-    rows = []
-    for hysteresis in values:
-        config = SimulationConfig(
+    spec = SweepSpec(
+        base=SimulationConfig(
             benchmark_name=workload,
             policy=PolicyKind.TALB,
             cooling=CoolingMode.LIQUID_VARIABLE,
             duration=duration,
             seed=seed,
-            hysteresis=hysteresis,
-        )
-        result = simulate(config)
+        ),
+        grid={"hysteresis": list(values)},
+        name="hysteresis",
+    )
+    rows = []
+    for point, result in common.run_spec(spec):
         settings = result.flow_setting[result.flow_setting >= 0]
         switches = int(np.sum(np.diff(settings) != 0)) if len(settings) > 1 else 0
         rows.append(
             {
-                "hysteresis_K": hysteresis,
+                "hysteresis_K": point.config.hysteresis,
                 "setting_switches": switches,
                 "mean_setting": result.mean_flow_setting(),
                 "pump_energy": result.pump_energy(),

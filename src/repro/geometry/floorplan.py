@@ -14,7 +14,7 @@ L2 19 mm^2, layer 115 mm^2, central crossbar); see DESIGN.md section 8.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Optional
 

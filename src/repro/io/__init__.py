@@ -1,6 +1,7 @@
 """Result and trace serialization (JSON summaries, CSV time series),
-for single runs (:mod:`repro.io.serialize`) and batch sweeps
-(:mod:`repro.io.batch`)."""
+for single runs (:mod:`repro.io.serialize`), batches
+(:mod:`repro.io.batch`), and streaming sweep exports
+(:mod:`repro.io.sweep`)."""
 
 from repro.io.batch import config_descriptor, save_batch, write_batch_csv
 from repro.io.serialize import (
@@ -10,6 +11,12 @@ from repro.io.serialize import (
     result_summary,
     save_result,
     write_timeseries_csv,
+)
+from repro.io.sweep import (
+    SweepCsvWriter,
+    save_sweep_json,
+    sweep_row,
+    write_sweep_csv,
 )
 
 __all__ = [
@@ -22,4 +29,8 @@ __all__ = [
     "config_descriptor",
     "save_batch",
     "write_batch_csv",
+    "sweep_row",
+    "SweepCsvWriter",
+    "write_sweep_csv",
+    "save_sweep_json",
 ]

@@ -130,8 +130,6 @@ class PowerModel:
         )
 
         for die_index, die in enumerate(self.stack.dies):
-            core_units = die.floorplan.units_of_kind(UnitKind.CORE)
-            l2_units = die.floorplan.units_of_kind(UnitKind.L2)
             # Each L2 bank serves two cores (T1: one shared L2 per two
             # cores); with cores and caches on different tiers we pair
             # bank k of a cache die with cores 2k, 2k+1 of the core die

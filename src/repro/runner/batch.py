@@ -31,7 +31,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim import engine
@@ -218,27 +218,51 @@ class BatchRunner:
         self.cache.warm(self.configs)
         return time.perf_counter() - start
 
-    def run(self) -> BatchResult:
-        """Execute the batch; results come back in submission order."""
-        warm_time = self.warm_cache() if self.warm else 0.0
+    def iter_runs(self) -> Iterator[BatchRun]:
+        """Stream completed runs in submission order.
+
+        The workhorse behind :meth:`run` and the sweep layer
+        (:class:`repro.sweep.SweepRunner`): each :class:`BatchRun` is
+        yielded as soon as it (and everything before it) has finished,
+        so a consumer holds O(in-flight) results instead of O(batch).
+        Yield order is always submission order — downstream folds
+        (aggregators, journals) are therefore deterministic regardless
+        of worker scheduling. Closing the generator early cancels the
+        unconsumed remainder of a parallel batch.
+        """
+        if self.warm:
+            self.warm_cache()
         tasks = list(zip(range(len(self.configs)), self.configs, self.traces))
-        start = time.perf_counter()
         if self.max_workers <= 1:
             # Serial path: run in-process against the (now warm) cache.
             previous = engine.default_cache()
             engine.set_default_cache(self.cache)
             try:
-                runs = [_execute_one(task) for task in tasks]
+                for task in tasks:
+                    yield _execute_one(task)
             finally:
                 engine.set_default_cache(previous)
         else:
-            with ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_worker_init,
                 initargs=(self.cache,),
-            ) as pool:
-                runs = list(pool.map(_execute_one, tasks, chunksize=1))
-        runs.sort(key=lambda run: run.index)
+            )
+            try:
+                # pool.map yields in submission order as results land.
+                yield from pool.map(_execute_one, tasks, chunksize=1)
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    def run(self) -> BatchResult:
+        """Execute the batch; results come back in submission order."""
+        warm_time = self.warm_cache() if self.warm else 0.0
+        was_warm, self.warm = self.warm, False
+        start = time.perf_counter()
+        try:
+            runs = list(self.iter_runs())
+        finally:
+            self.warm = was_warm
         return BatchResult(
             runs=runs,
             wall_time=time.perf_counter() - start,

@@ -13,7 +13,7 @@ raw thread count.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional
+from typing import Callable, Mapping
 
 from repro.errors import SchedulingError
 from repro.sched.base import CoreQueues

@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.errors import SchedulingError
 from repro.geometry.floorplan import UnitKind
-from repro.thermal.grid import ThermalGrid
 from repro.thermal.rc_network import RCNetwork
 from repro.thermal.solver import steady_solver_for
 

@@ -14,7 +14,6 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.geometry.floorplan import UnitKind
 from repro.geometry.stack import CoolingKind, Stack3D, build_stack
 from repro.microchannel.geometry import ChannelGeometry
 from repro.microchannel.model import MicrochannelModel

@@ -1,0 +1,51 @@
+"""Declarative sweeps: lazy axis expansion, streaming aggregation,
+checkpoint/resume.
+
+The layer the paper's evaluation actually is — figs 6-8, Table II, the
+four-layer study are all parameter sweeps over policies, workloads, and
+stack geometries. :class:`SweepSpec` declares such a campaign over any
+:class:`~repro.sim.config.SimulationConfig` field;
+:class:`SweepRunner` executes it through
+:class:`repro.runner.BatchRunner` process fan-out, folds results into
+incremental :class:`Aggregator`\\ s at O(aggregate) memory, and
+journals progress to a checkpoint so interrupted campaigns resume
+bit-identically. See :mod:`repro.sweep.runner` for the checkpoint
+format and :mod:`repro.io.sweep` for the streaming exporters.
+"""
+
+from repro.sweep.aggregate import (
+    DEFAULT_METRICS,
+    METRICS,
+    Aggregator,
+    CellAggregator,
+    RunningStats,
+    ScalarAggregator,
+    aggregator_from_spec,
+    default_aggregators,
+)
+from repro.sweep.runner import (
+    SweepResult,
+    SweepRunner,
+    SweepStatus,
+    read_status,
+)
+from repro.sweep.spec import SweepPoint, SweepSpec, config_signature, point_key
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepResult",
+    "SweepStatus",
+    "read_status",
+    "Aggregator",
+    "ScalarAggregator",
+    "CellAggregator",
+    "RunningStats",
+    "METRICS",
+    "DEFAULT_METRICS",
+    "aggregator_from_spec",
+    "default_aggregators",
+    "config_signature",
+    "point_key",
+]

@@ -1,0 +1,321 @@
+"""Incremental (streaming) aggregation of sweep results.
+
+A long sweep must not hold its :class:`~repro.sim.results.SimulationResult`
+time series in memory — a fig7-sized campaign is hundreds of runs and a
+pump-envelope study thousands. Aggregators fold each result as it
+streams out of the process pool and keep only O(aggregate) state:
+
+* :class:`ScalarAggregator` — named scalar metrics (peak/mean
+  temperature, energies, throughput, migrations, ...) reduced to
+  count/mean/min/max per group (grouped by any config-descriptor
+  fields, e.g. per policy label or per workload);
+* :class:`CellAggregator` — per-floorplan-unit reducers: the running
+  mean of each unit's time-average temperature and the running max of
+  its peak, across runs (the spatial-hot-spot view of a sweep).
+
+Folding is strictly in run-index order (the sweep runner guarantees
+this), and every aggregator's state round-trips losslessly through
+JSON (:meth:`Aggregator.state_dict` / :meth:`Aggregator.load_state`),
+so a checkpointed sweep resumes to *bit-identical* aggregates: Python
+floats survive JSON exactly, and the summation order is reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import CONTROL
+from repro.errors import ConfigurationError
+from repro.io.batch import config_descriptor
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+
+
+def _mean_tmax(result: SimulationResult) -> float:
+    return float(np.mean(result.tmax)) if len(result.tmax) else float("nan")
+
+
+#: The named scalar metrics a :class:`ScalarAggregator` can reduce.
+METRICS: dict[str, Callable[[SimulationResult], float]] = {
+    "peak_temperature": lambda r: r.peak_temperature(),
+    "mean_tmax": _mean_tmax,
+    "hotspot_pct": lambda r: 100.0 * r.time_above(CONTROL.hotspot_threshold),
+    "above_target_pct": lambda r: 100.0 * r.time_above(CONTROL.target_temperature),
+    "chip_energy_j": lambda r: r.chip_energy(),
+    "pump_energy_j": lambda r: r.pump_energy(),
+    "total_energy_j": lambda r: r.total_energy(),
+    "throughput_tps": lambda r: r.throughput(),
+    "completed_threads": lambda r: float(r.total_completed()),
+    "migrations": lambda r: float(r.migrations[-1]) if len(r.migrations) else 0.0,
+    "mean_flow_setting": lambda r: r.mean_flow_setting(),
+    "mean_sojourn_s": lambda r: r.mean_sojourn_time(),
+}
+
+#: The default scalar set (the quantities the paper's figures compare).
+DEFAULT_METRICS: tuple[str, ...] = (
+    "peak_temperature",
+    "mean_tmax",
+    "hotspot_pct",
+    "chip_energy_j",
+    "pump_energy_j",
+    "total_energy_j",
+    "throughput_tps",
+    "migrations",
+)
+
+
+class RunningStats:
+    """Count/sum/min/max of a scalar stream (NaN values are skipped).
+
+    Sums accumulate in arrival order, so two folds of the same ordered
+    stream — fresh, or checkpoint-restored mid-stream — end bit-equal.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def state_dict(self) -> list:
+        return [self.count, self.total, self.minimum, self.maximum]
+
+    @classmethod
+    def from_state(cls, state: Sequence) -> "RunningStats":
+        stats = cls()
+        stats.count = int(state[0])
+        stats.total = float(state[1])
+        stats.minimum = None if state[2] is None else float(state[2])
+        stats.maximum = None if state[3] is None else float(state[3])
+        return stats
+
+
+class Aggregator:
+    """Interface every streaming reducer implements.
+
+    Subclasses fold results one at a time (:meth:`update`), expose
+    their full state as a JSON-serializable payload
+    (:meth:`state_dict` / :meth:`load_state`) for checkpointing, and
+    render summary rows (:meth:`rows`) for export and the CLI.
+    """
+
+    kind: str = ""
+
+    def spec(self) -> dict:
+        """Constructor payload for :func:`aggregator_from_spec`."""
+        raise NotImplementedError
+
+    def update(self, config: SimulationConfig, result: SimulationResult) -> None:
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        raise NotImplementedError
+
+    def load_state(self, state: Mapping) -> None:
+        raise NotImplementedError
+
+    def rows(self) -> list[dict]:
+        raise NotImplementedError
+
+
+class ScalarAggregator(Aggregator):
+    """Grouped count/mean/min/max over named scalar metrics.
+
+    Parameters
+    ----------
+    metrics:
+        Names from :data:`METRICS` (checkpoint state refers to metrics
+        by name, so reducers restore without pickling callables).
+    group_by:
+        Config-descriptor fields that identify a group — default
+        ``("label",)`` reduces per policy/cooling combination; use
+        ``("benchmark",)`` for per-workload reductions or ``()`` for
+        one global group.
+    """
+
+    kind = "scalar"
+
+    def __init__(
+        self,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        group_by: Sequence[str] = ("label",),
+    ) -> None:
+        unknown = [m for m in metrics if m not in METRICS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown metrics {', '.join(unknown)}; "
+                f"choose from {', '.join(METRICS)}"
+            )
+        self.metrics = tuple(metrics)
+        self.group_by = tuple(group_by)
+        # group key -> metric name -> RunningStats; insertion-ordered so
+        # rows come out in first-seen order deterministically.
+        self._groups: dict[str, dict[str, RunningStats]] = {}
+
+    def spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "metrics": list(self.metrics),
+            "group_by": list(self.group_by),
+        }
+
+    def _group_key(self, config: SimulationConfig) -> str:
+        if not self.group_by:
+            return "all"
+        descriptor = config_descriptor(config)
+        missing = [f for f in self.group_by if f not in descriptor]
+        if missing:
+            raise ConfigurationError(
+                f"group_by fields not in the config descriptor: "
+                f"{', '.join(missing)}; choose from {', '.join(descriptor)}"
+            )
+        return "|".join(str(descriptor[f]) for f in self.group_by)
+
+    def update(self, config: SimulationConfig, result: SimulationResult) -> None:
+        group = self._groups.setdefault(
+            self._group_key(config), {m: RunningStats() for m in self.metrics}
+        )
+        for metric in self.metrics:
+            group[metric].add(METRICS[metric](result))
+
+    def state_dict(self) -> dict:
+        return {
+            key: {m: stats.state_dict() for m, stats in group.items()}
+            for key, group in self._groups.items()
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._groups = {
+            key: {
+                m: RunningStats.from_state(s) for m, s in group.items()
+            }
+            for key, group in state.items()
+        }
+
+    def rows(self) -> list[dict]:
+        """One row per group: identity columns, then mean/min/max stats."""
+        rows = []
+        for key, group in self._groups.items():
+            row: dict = {}
+            if self.group_by:
+                row.update(zip(self.group_by, key.split("|")))
+            else:
+                row["group"] = key
+            first = next(iter(group.values()), None)
+            row["runs"] = first.count if first is not None else 0
+            for metric in self.metrics:
+                stats = group[metric]
+                row[f"{metric}_mean"] = stats.mean
+                row[f"{metric}_min"] = (
+                    float("nan") if stats.minimum is None else stats.minimum
+                )
+                row[f"{metric}_max"] = (
+                    float("nan") if stats.maximum is None else stats.maximum
+                )
+            rows.append(row)
+        return rows
+
+
+class CellAggregator(Aggregator):
+    """Per-floorplan-unit temperature reducers across runs.
+
+    For every unit name seen in the sweep, keeps the running mean of
+    the unit's time-average temperature and the running max of its
+    per-run peak — the sweep-wide spatial hot-spot map, at O(units)
+    memory however long the campaign runs.
+    """
+
+    kind = "cells"
+
+    def __init__(self) -> None:
+        self._mean = {}  # unit -> RunningStats over per-run time-means
+        self._peak = {}  # unit -> RunningStats over per-run time-maxima
+
+    def spec(self) -> dict:
+        return {"kind": self.kind}
+
+    def update(self, config: SimulationConfig, result: SimulationResult) -> None:
+        if result.unit_temperatures.size == 0:
+            return
+        means = result.unit_temperatures.mean(axis=0)
+        peaks = result.unit_temperatures.max(axis=0)
+        for name, mean, peak in zip(result.unit_names, means, peaks):
+            self._mean.setdefault(name, RunningStats()).add(float(mean))
+            self._peak.setdefault(name, RunningStats()).add(float(peak))
+
+    def state_dict(self) -> dict:
+        return {
+            name: {
+                "mean": self._mean[name].state_dict(),
+                "peak": self._peak[name].state_dict(),
+            }
+            for name in self._mean
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._mean = {
+            name: RunningStats.from_state(entry["mean"])
+            for name, entry in state.items()
+        }
+        self._peak = {
+            name: RunningStats.from_state(entry["peak"])
+            for name, entry in state.items()
+        }
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "unit": name,
+                "runs": self._mean[name].count,
+                "mean_temperature": self._mean[name].mean,
+                "peak_temperature": (
+                    float("nan")
+                    if self._peak[name].maximum is None
+                    else self._peak[name].maximum
+                ),
+            }
+            for name in self._mean
+        ]
+
+
+_AGGREGATOR_KINDS = {"scalar": ScalarAggregator, "cells": CellAggregator}
+
+
+def aggregator_from_spec(spec: Mapping) -> Aggregator:
+    """Rebuild an aggregator from its :meth:`Aggregator.spec` payload
+    (how a checkpoint reconstructs its reducers on resume)."""
+    kind = spec.get("kind")
+    if kind == "scalar":
+        return ScalarAggregator(
+            metrics=spec.get("metrics", DEFAULT_METRICS),
+            group_by=spec.get("group_by", ("label",)),
+        )
+    if kind == "cells":
+        return CellAggregator()
+    raise ConfigurationError(
+        f"unknown aggregator kind {kind!r}; "
+        f"choose from {', '.join(_AGGREGATOR_KINDS)}"
+    )
+
+
+def default_aggregators() -> list[Aggregator]:
+    """The standard reduction set: per-label scalars plus the cell map."""
+    return [ScalarAggregator(), CellAggregator()]

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.constants import STACK
 from repro.errors import GeometryError
-from repro.geometry.floorplan import Unit, UnitKind
+from repro.geometry.floorplan import UnitKind
 from repro.geometry.stack import CoolingKind, Stack3D
 
 

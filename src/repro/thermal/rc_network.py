@@ -23,7 +23,7 @@ the absorbed heat, i.e. Eq. 4/5 generalized to non-uniform power.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,7 +39,6 @@ from repro.constants import (
 from repro.errors import ConfigurationError, SolverError
 from repro.geometry.floorplan import UnitKind
 from repro.geometry.stack import CoolingKind
-from repro.microchannel.coolant import WATER
 from repro.microchannel.geometry import ChannelGeometry
 from repro.microchannel.model import MicrochannelModel
 from repro.thermal.grid import SlabKind, ThermalGrid

@@ -18,7 +18,6 @@ import numpy as np
 from repro.geometry.stack import build_stack
 from repro.microchannel.geometry import ChannelGeometry
 from repro.microchannel.model import MicrochannelModel
-from repro.thermal.analytic import AnalyticUnitCell
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.rc_network import ThermalParams, build_network
 from repro.thermal.solver import SteadyStateSolver
@@ -66,8 +65,6 @@ def sensible_heat_validation(
     model = MicrochannelModel(
         geometry=ChannelGeometry(length=stack.width), die_height=stack.height
     )
-    cell = AnalyticUnitCell(model=model)
-
     rows = []
     for flow in flows:
         net = build_network(grid, ThermalParams(), cavity_flows=[flow])

@@ -5,7 +5,6 @@ the paper's qualitative claims, evaluated on short runs of a reduced
 workload set so the suite stays fast.
 """
 
-import numpy as np
 import pytest
 
 from repro.constants import CONTROL

@@ -1,13 +1,10 @@
 """Floorplan geometry: T1-like layers, rasterization, validation."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro import units
 from repro.constants import STACK
 from repro.errors import GeometryError
 from repro.geometry.floorplan import (

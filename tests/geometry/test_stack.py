@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GeometryError
-from repro.geometry.floorplan import t1_cache_layer, t1_core_layer
+from repro.geometry.floorplan import t1_core_layer
 from repro.geometry.stack import CoolingKind, Die, Stack3D, build_stack
 
 

@@ -9,7 +9,6 @@ from repro.constants import MICROCHANNEL
 from repro.errors import ModelError
 from repro.microchannel.model import (
     MicrochannelModel,
-    graetz_number,
     nusselt_developing,
     reynolds_number,
 )

@@ -4,7 +4,7 @@ import pytest
 
 from repro import units
 from repro.errors import SchedulingError
-from repro.geometry.stack import CoolingKind, build_stack
+from repro.geometry.stack import build_stack
 from repro.sched.weights import ThermalWeights
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.rc_network import ThermalParams, build_network

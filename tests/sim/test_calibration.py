@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.calibration import (
-    CalibrationTargets,
     _bisect,
     calibrate_air_scale,
     calibrate_liquid_scale,

@@ -1,6 +1,5 @@
 """Controller-engine interaction details."""
 
-import numpy as np
 import pytest
 
 from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig

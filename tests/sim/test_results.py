@@ -52,6 +52,6 @@ class TestDerivedQuantities:
 
 class TestValidation:
     def test_rejects_length_mismatch(self):
-        r = make_result(np.full(5, 70.0))
+        make_result(np.full(5, 70.0))
         with pytest.raises(ConfigurationError):
             make_result(np.full(5, 70.0), chip_power=np.ones(3))

@@ -1,0 +1,149 @@
+"""Streaming aggregators: reduction math and lossless state round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import simulate
+from repro.sweep import (
+    CellAggregator,
+    RunningStats,
+    ScalarAggregator,
+    aggregator_from_spec,
+    default_aggregators,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Three tiny runs spanning two policy labels."""
+    configs = [
+        SimulationConfig(benchmark_name="gzip", policy=PolicyKind.TALB,
+                         cooling=CoolingMode.LIQUID_VARIABLE, duration=1.0, seed=1),
+        SimulationConfig(benchmark_name="Web-med", policy=PolicyKind.TALB,
+                         cooling=CoolingMode.LIQUID_VARIABLE, duration=1.0, seed=2),
+        SimulationConfig(benchmark_name="gzip", policy=PolicyKind.LB,
+                         cooling=CoolingMode.AIR, duration=1.0, seed=3),
+    ]
+    return [(config, simulate(config)) for config in configs]
+
+
+class TestRunningStats:
+    def test_count_mean_min_max(self):
+        stats = RunningStats()
+        for v in (2.0, 4.0, 9.0):
+            stats.add(v)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_nan_values_are_skipped(self):
+        stats = RunningStats()
+        stats.add(float("nan"))
+        stats.add(1.0)
+        assert stats.count == 1
+        assert stats.mean == 1.0
+
+    def test_empty_mean_is_nan(self):
+        assert np.isnan(RunningStats().mean)
+
+    def test_state_round_trip_is_exact(self):
+        stats = RunningStats()
+        for v in (0.1, 0.2, 0.30000000000000004):
+            stats.add(v)
+        restored = RunningStats.from_state(
+            json.loads(json.dumps(stats.state_dict()))
+        )
+        assert restored.total == stats.total  # bit-equal, not approx
+        assert restored.count == stats.count
+        assert restored.minimum == stats.minimum
+        assert restored.maximum == stats.maximum
+
+
+class TestScalarAggregator:
+    def test_groups_by_label(self, runs):
+        agg = ScalarAggregator(metrics=("peak_temperature", "total_energy_j"))
+        for config, result in runs:
+            agg.update(config, result)
+        rows = {row["label"]: row for row in agg.rows()}
+        assert set(rows) == {"TALB (Var)", "LB (Air)"}
+        assert rows["TALB (Var)"]["runs"] == 2
+        expected = np.mean(
+            [r.peak_temperature() for c, r in runs if c.policy is PolicyKind.TALB]
+        )
+        assert rows["TALB (Var)"]["peak_temperature_mean"] == pytest.approx(expected)
+
+    def test_group_by_benchmark(self, runs):
+        agg = ScalarAggregator(
+            metrics=("chip_energy_j",), group_by=("benchmark",)
+        )
+        for config, result in runs:
+            agg.update(config, result)
+        rows = {row["benchmark"]: row for row in agg.rows()}
+        assert rows["gzip"]["runs"] == 2
+        assert rows["Web-med"]["runs"] == 1
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown metrics"):
+            ScalarAggregator(metrics=("nope",))
+
+    def test_state_round_trip_preserves_rows_exactly(self, runs):
+        agg = ScalarAggregator()
+        for config, result in runs:
+            agg.update(config, result)
+        clone = aggregator_from_spec(agg.spec())
+        clone.load_state(json.loads(json.dumps(agg.state_dict())))
+        assert clone.rows() == agg.rows()
+
+    def test_mid_stream_restore_matches_uninterrupted(self, runs):
+        full = ScalarAggregator()
+        for config, result in runs:
+            full.update(config, result)
+        half = ScalarAggregator()
+        half.update(*runs[0])
+        restored = aggregator_from_spec(half.spec())
+        restored.load_state(json.loads(json.dumps(half.state_dict())))
+        for config, result in runs[1:]:
+            restored.update(config, result)
+        assert restored.rows() == full.rows()  # bit-equal sums
+
+
+class TestCellAggregator:
+    def test_tracks_per_unit_extremes(self, runs):
+        agg = CellAggregator()
+        for config, result in runs:
+            agg.update(config, result)
+        rows = {row["unit"]: row for row in agg.rows()}
+        config, result = runs[0]
+        name = result.unit_names[0]
+        assert rows[name]["runs"] == len(runs)
+        peaks = [r.unit_temperatures[:, 0].max() for _, r in runs]
+        assert rows[name]["peak_temperature"] == pytest.approx(max(peaks))
+
+    def test_state_round_trip(self, runs):
+        agg = CellAggregator()
+        for config, result in runs:
+            agg.update(config, result)
+        clone = CellAggregator()
+        clone.load_state(json.loads(json.dumps(agg.state_dict())))
+        assert clone.rows() == agg.rows()
+
+
+class TestFactory:
+    def test_default_set(self):
+        kinds = [agg.kind for agg in default_aggregators()]
+        assert kinds == ["scalar", "cells"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown aggregator"):
+            aggregator_from_spec({"kind": "nope"})
+
+    def test_spec_round_trip(self):
+        agg = ScalarAggregator(metrics=("migrations",), group_by=("benchmark",))
+        clone = aggregator_from_spec(json.loads(json.dumps(agg.spec())))
+        assert clone.metrics == ("migrations",)
+        assert clone.group_by == ("benchmark",)

@@ -1,0 +1,286 @@
+"""SweepRunner: streaming folds, checkpoint journal, bit-identical resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import BatchRunner
+from repro.sim.config import SimulationConfig
+from repro.sweep import Aggregator, SweepRunner, SweepSpec, read_status
+
+
+def small_spec(name="small", duration=1.0):
+    """A 4-run sweep small enough for test budgets."""
+    return SweepSpec(
+        base=SimulationConfig(duration=duration),
+        grid={"benchmark_name": ["gzip", "Web-med"], "cooling": ["Var", "Max"]},
+        name=name,
+    )
+
+
+class TestStreamingRun:
+    def test_rows_match_batch_runner(self):
+        spec = small_spec()
+        result = SweepRunner(spec).run()
+        assert result.complete
+        assert result.folded == result.n_runs == 4
+        batch = BatchRunner([p.config for p in spec.iter_points()]).run()
+        for row, run in zip(result.rows, batch.runs):
+            assert row["run"] == run.index
+            assert row["peak_temperature_sensor"] == run.result.peak_temperature()
+            assert row["total_energy_j"] == run.result.total_energy()
+
+    def test_parallel_folds_equal_serial(self):
+        spec = small_spec()
+        serial = SweepRunner(spec).run()
+        parallel = SweepRunner(spec, max_workers=2).run()
+        assert parallel.rows == serial.rows
+        for agg_s, agg_p in zip(serial.aggregators, parallel.aggregators):
+            assert agg_p.rows() == agg_s.rows()
+
+    def test_chunked_execution_changes_nothing(self, tmp_path):
+        """chunk_size bounds memory; folds/rows/exports are invariant."""
+        spec = small_spec()
+        whole = SweepRunner(spec, csv_path=tmp_path / "a.csv").run()
+        chunked = SweepRunner(
+            spec, csv_path=tmp_path / "b.csv", chunk_size=1
+        ).run()
+        assert chunked.rows == whole.rows
+        assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "b.csv").read_bytes()
+        for agg_a, agg_b in zip(whole.aggregators, chunked.aggregators):
+            assert agg_a.rows() == agg_b.rows()
+
+    def test_resume_with_chunking_is_bit_identical(self, tmp_path):
+        spec = small_spec()
+        whole = SweepRunner(spec, csv_path=tmp_path / "a.csv").run()
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(
+            spec, checkpoint=ck, csv_path=tmp_path / "b.csv",
+            stop_after=3, chunk_size=2,
+        ).run()
+        resumed = SweepRunner(
+            spec, checkpoint=ck, csv_path=tmp_path / "b.csv", chunk_size=2
+        ).run(resume=True)
+        assert resumed.complete and resumed.resumed == 3
+        assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "b.csv").read_bytes()
+        assert resumed.rows == whole.rows
+
+    def test_on_result_streams_in_index_order(self):
+        spec = small_spec()
+        seen = []
+        SweepRunner(
+            spec,
+            aggregators=(),
+            on_result=lambda point, result: seen.append(point.index),
+        ).run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_stop_after_folds_prefix_only(self, tmp_path):
+        result = SweepRunner(
+            small_spec(), checkpoint=tmp_path / "ck.jsonl", stop_after=2
+        ).run()
+        assert not result.complete
+        assert result.folded == 2
+        assert [row["run"] for row in result.rows] == [0, 1]
+
+    def test_bad_later_axis_value_fails_before_any_run(self):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=1.0),
+            grid={"benchmark_name": ["gzip"], "layers": [2, 3]},
+        )
+        executed = []
+        with pytest.raises(ConfigurationError, match="invalid"):
+            SweepRunner(
+                spec,
+                aggregators=(),
+                on_result=lambda p, r: executed.append(p.index),
+            ).run()
+        assert executed == []  # Nothing simulated before the failure.
+
+    def test_iter_runs_streams_serially(self):
+        spec = small_spec()
+        runner = BatchRunner([p.config for p in spec.iter_points()])
+        iterator = runner.iter_runs()
+        first = next(iterator)
+        assert first.index == 0  # Available before the batch finishes.
+        iterator.close()  # Early close must not raise.
+
+
+class TestCheckpointResume:
+    def test_interrupt_at_half_then_resume_is_bit_identical(self, tmp_path):
+        """The acceptance criterion: interrupted-at-50% == uninterrupted."""
+        spec = small_spec()
+        fresh_dir = tmp_path / "fresh"
+        part_dir = tmp_path / "part"
+        fresh_dir.mkdir()
+        part_dir.mkdir()
+
+        fresh = SweepRunner(spec, csv_path=fresh_dir / "out.csv").run()
+        fresh.save_json(fresh_dir / "out.json")
+
+        ck = part_dir / "ck.jsonl"
+        first = SweepRunner(
+            spec, checkpoint=ck, csv_path=part_dir / "out.csv", stop_after=2
+        ).run()
+        assert first.folded == 2
+        second = SweepRunner(
+            spec, checkpoint=ck, csv_path=part_dir / "out.csv"
+        ).run(resume=True)
+        assert second.complete
+        assert second.resumed == 2
+        second.save_json(part_dir / "out.json")
+
+        assert (part_dir / "out.csv").read_bytes() == (
+            fresh_dir / "out.csv"
+        ).read_bytes()
+        assert (part_dir / "out.json").read_bytes() == (
+            fresh_dir / "out.json"
+        ).read_bytes()
+        # Aggregates are bit-equal too, not merely close.
+        assert [a.rows() for a in second.aggregators] == [
+            a.rows() for a in fresh.aggregators
+        ]
+
+    def test_resume_skips_finished_runs(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(), checkpoint=ck, stop_after=3).run()
+        executed = []
+        result = SweepRunner(
+            small_spec(),
+            checkpoint=ck,
+            on_result=lambda p, r: executed.append(p.index),
+        ).run(resume=True)
+        assert result.complete
+        assert executed == [3]  # Only the unfinished tail ran.
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(), checkpoint=ck, stop_after=2).run()
+        with open(ck, "a") as handle:
+            handle.write('{"kind": "run", "index": 2, "key": "tr')  # torn
+        status = read_status(ck)
+        assert status.folded == 2
+        result = SweepRunner(small_spec(), checkpoint=ck).run(resume=True)
+        assert result.complete
+
+    def test_run_line_without_snapshot_is_rerun(self, tmp_path):
+        """A kill between the run append and its snapshot loses at most
+        that run; the resume recomputes it."""
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(), checkpoint=ck, stop_after=3).run()
+        lines = ck.read_text().splitlines()
+        assert json.loads(lines[-1])["kind"] == "snapshot"
+        ck.write_text("\n".join(lines[:-1]) + "\n")  # Drop the last snapshot.
+        executed = []
+        result = SweepRunner(
+            small_spec(),
+            checkpoint=ck,
+            on_result=lambda p, r: executed.append(p.index),
+        ).run(resume=True)
+        assert result.complete
+        assert executed == [2, 3]
+
+    def test_existing_checkpoint_without_resume_is_refused(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(), checkpoint=ck, stop_after=1).run()
+        with pytest.raises(ConfigurationError, match="already exists"):
+            SweepRunner(small_spec(), checkpoint=ck).run()
+
+    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(), checkpoint=ck, stop_after=1).run()
+        other = SweepSpec(
+            base=SimulationConfig(duration=1.0),
+            grid={"benchmark_name": ["Database"]},
+        )
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            SweepRunner(other, checkpoint=ck).run(resume=True)
+
+    def test_snapshot_every_reduces_journal_snapshots(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(), checkpoint=ck, snapshot_every=2).run()
+        kinds = [json.loads(line)["kind"] for line in ck.read_text().splitlines()]
+        assert kinds.count("snapshot") == 2  # After runs 2 and 4.
+
+    def test_stop_after_snapshots_at_session_end(self, tmp_path):
+        """A deliberate session end must not lose cleanly-folded runs
+        to the snapshot cadence."""
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(
+            small_spec(), checkpoint=ck, stop_after=3, snapshot_every=2
+        ).run()
+        assert read_status(ck).folded == 3  # Not 2.
+        result = SweepRunner(
+            small_spec(), checkpoint=ck, snapshot_every=2
+        ).run(resume=True)
+        assert result.resumed == 3
+
+    def test_custom_aggregator_instances_survive_resume(self, tmp_path):
+        class CompletedCounter(Aggregator):
+            kind = "completed-counter"
+
+            def __init__(self):
+                self.total = 0
+
+            def spec(self):
+                return {"kind": self.kind}
+
+            def update(self, config, result):
+                self.total += result.total_completed()
+
+            def state_dict(self):
+                return {"total": self.total}
+
+            def load_state(self, state):
+                self.total = int(state["total"])
+
+            def rows(self):
+                return [{"total_completed": self.total}]
+
+        spec = small_spec()
+        reference = SweepRunner(spec, aggregators=[CompletedCounter()]).run()
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(
+            spec, aggregators=[CompletedCounter()], checkpoint=ck, stop_after=2
+        ).run()
+        # The factory cannot build this kind; the caller's matching
+        # instance must be kept and restored instead.
+        resumed = SweepRunner(
+            spec, aggregators=[CompletedCounter()], checkpoint=ck
+        ).run(resume=True)
+        assert resumed.complete
+        assert isinstance(resumed.aggregators[0], CompletedCounter)
+        assert resumed.aggregators[0].rows() == reference.aggregators[0].rows()
+
+    def test_status_reports_progress(self, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(small_spec(name="statussweep"), checkpoint=ck, stop_after=2).run()
+        status = read_status(ck)
+        assert status.name == "statussweep"
+        assert (status.folded, status.n_runs, status.remaining) == (2, 4, 2)
+        assert status.pct == pytest.approx(50.0)
+        assert status.last_key.startswith("00001")
+
+
+class TestAggregateCorrectness:
+    def test_scalar_aggregates_match_direct_computation(self):
+        spec = small_spec()
+        result = SweepRunner(spec).run()
+        batch = BatchRunner([p.config for p in spec.iter_points()]).run()
+        scalar_rows = {
+            row["label"]: row for row in result.aggregators[0].rows()
+        }
+        for label in ("TALB (Var)", "TALB (Max)"):
+            expected = np.mean(
+                [
+                    run.result.peak_temperature()
+                    for run in batch.runs
+                    if run.config.label() == label
+                ]
+            )
+            assert scalar_rows[label]["peak_temperature_mean"] == pytest.approx(
+                expected
+            )
+            assert scalar_rows[label]["runs"] == 2

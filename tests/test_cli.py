@@ -139,3 +139,175 @@ class TestBatchCommand:
         )
         assert code == 0
         assert "batch: 1 runs" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    @staticmethod
+    def _spec_file(tmp_path, duration=1.0):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "clitest",
+            "base": {"duration": duration},
+            "grid": {"workload": ["gzip", "MPlayer"], "cooling": ["Var", "Max"]},
+        }))
+        return str(path)
+
+    def test_sweep_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_run_with_spec_file_and_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "sweep", "run",
+            "--spec", self._spec_file(tmp_path),
+            "--save-json", str(json_path),
+            "--save-csv", str(csv_path),
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clitest: 4 runs" in out
+        assert "sweep: 4/4 folded" in out
+        assert "scalar aggregates" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["n_runs"] == 4
+        assert len(payload["rows"]) == 4
+        assert "scalar" in payload["aggregates"]
+        assert csv_path.read_text().startswith("run,key,")
+
+    def test_run_builtin_spec_name(self, capsys):
+        # One folded run of the headline declaration keeps this cheap.
+        code = main([
+            "sweep", "run",
+            "--spec", "headline",
+            "--duration", "1.0",
+            "--stop-after", "1",
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "headline: 16 runs" in out
+        assert "sweep incomplete" in out
+
+    def test_interrupt_resume_status_round_trip(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        ck = tmp_path / "ck.jsonl"
+        code = main([
+            "sweep", "run", "--spec", spec,
+            "--checkpoint", str(ck), "--stop-after", "2", "--quiet",
+        ])
+        assert code == 0
+        assert "sweep incomplete (2 runs left)" in capsys.readouterr().out
+
+        code = main(["sweep", "status", "--checkpoint", str(ck)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/4 runs (50.0%)" in out
+
+        code = main([
+            "sweep", "resume", "--spec", spec,
+            "--checkpoint", str(ck), "--quiet",
+        ])
+        assert code == 0
+        assert "2 restored from checkpoint, 2 run now" in capsys.readouterr().out
+
+    def test_unknown_spec_is_clear_error(self):
+        with pytest.raises(SystemExit, match="neither a built-in name"):
+            main(["sweep", "run", "--spec", "not-a-spec"])
+
+    def test_status_missing_checkpoint_is_clear_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["sweep", "status", "--checkpoint", str(tmp_path / "no.jsonl")])
+
+    def test_malformed_spec_file_is_clear_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["sweep", "run", "--spec", str(path)])
+
+    def test_unknown_spec_field_is_clear_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"grid": {"bogus_field": [1]}}))
+        with pytest.raises(SystemExit, match="bad sweep spec"):
+            main(["sweep", "run", "--spec", str(path)])
+
+    def test_bad_builtin_duration_is_clear_error(self):
+        with pytest.raises(SystemExit, match="bad sweep spec"):
+            main(["sweep", "run", "--spec", "headline", "--duration", "-1"])
+
+    def test_stop_after_without_checkpoint_warns(self, tmp_path, capsys):
+        code = main([
+            "sweep", "run", "--spec", self._spec_file(tmp_path),
+            "--stop-after", "1", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "progress is NOT saved" in out
+        assert "resume" not in out  # No unusable resume hint.
+
+    def test_resume_with_missing_checkpoint_is_clear_error(self, tmp_path):
+        # A typo'd path must error, not silently restart from scratch.
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "sweep", "resume", "--spec", self._spec_file(tmp_path),
+                "--checkpoint", str(tmp_path / "typo.jsonl"),
+            ])
+
+    def test_duration_rejected_for_spec_files(self, tmp_path):
+        with pytest.raises(SystemExit, match="built-in specs only"):
+            main([
+                "sweep", "run",
+                "--spec", self._spec_file(tmp_path),
+                "--duration", "5.0",
+            ])
+
+
+class TestMissingOutputDirectoryErrors:
+    """A typo'd output path fails fast with a message, not a traceback."""
+
+    def test_batch_save_csv(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "batch", "--workloads", "gzip", "--policies", "LB",
+                "--cooling", "Air", "--duration", "1.0",
+                "--save-csv", str(tmp_path / "missing" / "out.csv"),
+            ])
+
+    def test_batch_save_json(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "batch", "--workloads", "gzip", "--policies", "LB",
+                "--cooling", "Air", "--duration", "1.0",
+                "--save-json", str(tmp_path / "missing" / "out.json"),
+            ])
+
+    def test_sweep_save_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "base": {"duration": 1.0}, "grid": {"workload": ["gzip"]},
+        }))
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "sweep", "run", "--spec", str(path), "--quiet",
+                "--save-json", str(tmp_path / "missing" / "out.json"),
+            ])
+
+    def test_sweep_checkpoint_parent(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "base": {"duration": 1.0}, "grid": {"workload": ["gzip"]},
+        }))
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "sweep", "run", "--spec", str(path), "--quiet",
+                "--checkpoint", str(tmp_path / "missing" / "ck.jsonl"),
+            ])
+
+    def test_simulate_save_json(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([
+                "simulate", "--duration", "1.0",
+                "--save-json", str(tmp_path / "missing" / "out.json"),
+            ])

@@ -1,7 +1,5 @@
 """Table I, Table III, and Section IV/V constants match the paper."""
 
-import math
-
 import pytest
 
 from repro import units

@@ -6,7 +6,6 @@ monotonicity on arbitrary monotone characterizations.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

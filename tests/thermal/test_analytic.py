@@ -9,7 +9,7 @@ from repro import units
 from repro.constants import MICROCHANNEL
 from repro.errors import ModelError
 from repro.microchannel.model import MicrochannelModel
-from repro.thermal.analytic import AnalyticUnitCell, UnitCellResult
+from repro.thermal.analytic import AnalyticUnitCell
 
 FLOW = units.litres_per_minute(0.5)
 
