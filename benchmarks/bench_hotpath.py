@@ -1,0 +1,195 @@
+"""Machine-readable hot-path timing baseline (PR 3).
+
+Times the thermal substrate's hot path — unit<->cell operators,
+network assembly, factorization, transient steps, and a warm full
+control interval — and emits a JSON document, so future PRs have a
+perf trajectory to compare against::
+
+    python benchmarks/bench_hotpath.py --out hotpath-timings.json
+
+CI uploads the JSON as a dedicated artifact per commit. The file is
+also importable as a pytest module: ``test_hotpath_baseline`` runs the
+same measurements (fewer repetitions) and sanity-checks the payload,
+without asserting absolute timings (they depend on the runner).
+
+Reference numbers from the PR 3 development machine (medians; the
+pre-vectorization seed in parentheses):
+
+* ``assembly_64x64``: ~0.03-0.05 s (seed ~0.14-0.23 s)
+* ``control_interval_32x32``: ~0.002 s (seed ~0.023-0.043 s) — the
+  repeated-run cost every sweep/batch run pays after the first; the
+  system memo shares assembled networks and factorizations across
+  ``Simulator`` instances of the same configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import units  # noqa: E402
+from repro.geometry.stack import build_stack  # noqa: E402
+from repro.sim.cache import CharacterizationCache  # noqa: E402
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.thermal.grid import ThermalGrid  # noqa: E402
+from repro.thermal.rc_network import ThermalParams, build_network  # noqa: E402
+from repro.thermal.solver import SteadyStateSolver, TransientSolver  # noqa: E402
+
+FLOW = units.ml_per_minute(400.0)
+
+SCHEMA_VERSION = 1
+
+
+def _median_time(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
+    """Run the hot-path measurements and return the JSON payload."""
+    results: dict[str, float] = {}
+
+    sizes = [16, 32, 64] + ([107] if include_107 else [])
+    grids = {}
+    for n in sizes:
+        results[f"grid_construction_{n}x{n}"] = _median_time(
+            lambda n=n: ThermalGrid(build_stack(2), nx=n, ny=n), max(3, repeats // 2)
+        )
+        grids[n] = ThermalGrid(build_stack(2), nx=n, ny=n)
+
+    for n in sizes:
+        results[f"assembly_{n}x{n}"] = _median_time(
+            lambda n=n: build_network(grids[n], ThermalParams(), cavity_flows=[FLOW]),
+            repeats if n < 107 else max(2, repeats // 2),
+        )
+
+    # Per-interval operators at 64x64.
+    grid = grids[64]
+    network = build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+    temps = np.full(grid.n_nodes, 65.0)
+    unit_powers = np.full(grid.n_units, 2.0)
+    results["power_scatter_64x64"] = _median_time(
+        lambda: grid.power_vector_from_array(unit_powers), repeats * 20
+    )
+    results["unit_gather_64x64"] = _median_time(
+        lambda: grid.unit_temperature_vector(temps), repeats * 20
+    )
+    results["max_die_temperature_64x64"] = _median_time(
+        lambda: grid.max_die_temperature(temps), repeats * 20
+    )
+
+    results["steady_factorization_32x32"] = _median_time(
+        lambda: SteadyStateSolver(
+            build_network(grids[32], ThermalParams(), cavity_flows=[FLOW])
+        ),
+        max(3, repeats // 2),
+    )
+
+    for n in (32, 64):
+        net_n = build_network(grids[n], ThermalParams(), cavity_flows=[FLOW])
+        solver = TransientSolver(net_n, dt=0.1)
+        power = grids[n].power_vector({(0, f"core{i}"): 3.0 for i in range(8)})
+        state = np.full(net_n.n_nodes, 60.0)
+        results[f"transient_step_{n}x{n}"] = _median_time(
+            lambda solver=solver, state=state, power=power: solver.step(state, power),
+            repeats * 4,
+        )
+
+    # Full control interval at 32x32: fresh Simulator.run of 1 simulated
+    # second (10 intervals) with warm characterizations — includes the
+    # per-run grid/assembly/factorization cost every sweep run pays.
+    # gzip crosses one pump boundary, so two settings get assembled.
+    config = SimulationConfig(
+        benchmark_name="gzip",
+        policy=PolicyKind.TALB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=1.0,
+        nx=32,
+        ny=32,
+    )
+    cache = CharacterizationCache()
+    Simulator(config, cache=cache).run()  # warm
+    run_1s = _median_time(
+        lambda: Simulator(config, cache=cache).run(), max(3, repeats // 2)
+    )
+    results["simulated_second_32x32"] = run_1s
+    results["control_interval_32x32"] = run_1s / 10.0
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "hotpath",
+        "units": "seconds (median wall clock)",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def test_hotpath_baseline(tmp_path):
+    """Pytest entry: payload is well-formed; no absolute-time gates."""
+    payload = collect_timings(repeats=2, include_107=False)
+    out = tmp_path / "hotpath-timings.json"
+    out.write_text(json.dumps(payload))
+    loaded = json.loads(out.read_text())
+    assert loaded["schema_version"] == SCHEMA_VERSION
+    assert loaded["results"]["assembly_64x64"] > 0.0
+    assert loaded["results"]["control_interval_32x32"] > 0.0
+    assert set(loaded["results"]) >= {
+        "assembly_16x16",
+        "assembly_32x32",
+        "assembly_64x64",
+        "transient_step_32x32",
+        "transient_step_64x64",
+        "power_scatter_64x64",
+        "unit_gather_64x64",
+        "simulated_second_32x32",
+        "control_interval_32x32",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("hotpath-timings.json"),
+        help="output JSON path (default: ./hotpath-timings.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="samples per measurement (median)"
+    )
+    parser.add_argument(
+        "--skip-107",
+        action="store_true",
+        help="skip the paper-resolution (107x107) cases",
+    )
+    args = parser.parse_args(argv)
+    payload = collect_timings(repeats=args.repeats, include_107=not args.skip_107)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for name, seconds in sorted(payload["results"].items()):
+        print(f"{name:32s} {seconds * 1e3:10.3f} ms")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,13 @@ from repro.errors import ControlError
 
 SteadyTmaxFn = Callable[[int, float], float]
 """Evaluator: (pump setting index, utilization) -> steady-state T_max."""
+
+SteadyTmaxBatchFn = Callable[[int, np.ndarray], np.ndarray]
+"""Batch evaluator: (pump setting index, utilizations) -> T_max array.
+
+One call per setting instead of one per (setting, utilization) point;
+:meth:`repro.sim.system.ThermalSystem.steady_tmax_batch` implements it
+with a single multi-RHS solve per leakage iteration."""
 
 
 @dataclass(frozen=True)
@@ -90,24 +97,52 @@ class FlowRateTable:
                     "T_max must be non-increasing in the flow setting "
                     f"(utilization index {u})"
                 )
+        # Per-setting caps are pure functions of the characterization;
+        # precompute them so the controller's per-interval lookups
+        # (required_setting -> utilization_cap per setting) cost an
+        # index instead of an interpolation.
+        self._caps = tuple(
+            self._compute_utilization_cap(k)
+            for k in range(characterization.n_settings)
+        )
 
     @classmethod
     def characterize(
         cls,
-        steady_tmax: SteadyTmaxFn,
-        n_settings: int,
-        per_cavity_flows: Sequence[float],
+        steady_tmax: Optional[SteadyTmaxFn] = None,
+        n_settings: int = 0,
+        per_cavity_flows: Sequence[float] = (),
         utilizations: Sequence[float] = tuple(np.linspace(0.0, 1.0, 11)),
         target: float = CONTROL.target_temperature,
+        steady_tmax_batch: Optional[SteadyTmaxBatchFn] = None,
     ) -> "FlowRateTable":
-        """Run the offline characterization sweep and build the table."""
+        """Run the offline characterization sweep and build the table.
+
+        Pass either ``steady_tmax`` (one evaluation per point) or
+        ``steady_tmax_batch`` (one call per setting, evaluating every
+        utilization at once — preferred; the batch path amortizes the
+        factorized solves). When both are given the batch form wins.
+        """
+        if steady_tmax is None and steady_tmax_batch is None:
+            raise ControlError("characterize needs a steady_tmax evaluator")
+        if n_settings <= 0:
+            raise ControlError("characterize needs a positive n_settings")
         utils = np.asarray(sorted(set(float(u) for u in utilizations)))
         if len(utils) < 2:
             raise ControlError("need at least two utilization points")
         tmax = np.empty((n_settings, len(utils)))
         for k in range(n_settings):
-            for i, u in enumerate(utils):
-                tmax[k, i] = steady_tmax(k, float(u))
+            if steady_tmax_batch is not None:
+                row = np.asarray(steady_tmax_batch(k, utils), dtype=float)
+                if row.shape != utils.shape:
+                    raise ControlError(
+                        f"batch evaluator returned shape {row.shape}, "
+                        f"expected {utils.shape}"
+                    )
+                tmax[k] = row
+            else:
+                for i, u in enumerate(utils):
+                    tmax[k, i] = steady_tmax(k, float(u))
         return cls(
             CharacterizationResult(
                 utilizations=utils,
@@ -140,9 +175,13 @@ class FlowRateTable:
         """Highest utilization a setting can hold at/below the target.
 
         ``inf`` when the setting holds the whole sweep below target;
-        0 when it cannot hold even the idle point.
+        0 when it cannot hold even the idle point. Precomputed at
+        construction (the characterization is immutable).
         """
         self._check_setting(setting)
+        return self._caps[setting]
+
+    def _compute_utilization_cap(self, setting: int) -> float:
         temps = self.char.tmax[setting]
         utils = self.char.utilizations
         if temps[-1] <= self.char.target:

@@ -197,20 +197,26 @@ class Floorplan:
             raise GeometryError("grid dimensions must be positive")
         cell_w = self.width / nx
         cell_h = self.height / ny
-        out = np.empty((ny, nx), dtype=np.int64)
-        centers = [u.center for u in self.units]
-        for j in range(ny):
-            yc = (j + 0.5) * cell_h
-            for i in range(nx):
-                xc = (i + 0.5) * cell_w
-                unit = self.unit_at(xc, yc)
-                if unit is not None:
-                    out[j, i] = self.units.index(unit)
-                else:
-                    dists = [
-                        (xc - cx) ** 2 + (yc - cy) ** 2 for cx, cy in centers
-                    ]
-                    out[j, i] = int(np.argmin(dists))
+        xc = (np.arange(nx) + 0.5) * cell_w
+        yc = (np.arange(ny) + 0.5) * cell_h
+        xg = xc[None, :]
+        yg = yc[:, None]
+        out = np.full((ny, nx), -1, dtype=np.int64)
+        # Units never overlap, so per-unit box masks are disjoint and
+        # assignment order does not matter.
+        for idx, unit in enumerate(self.units):
+            inside = (
+                (xg >= unit.x) & (xg < unit.x2) & (yg >= unit.y) & (yg < unit.y2)
+            )
+            out[inside] = idx
+        orphan = out < 0
+        if np.any(orphan):
+            cx = np.array([u.center[0] for u in self.units])
+            cy = np.array([u.center[1] for u in self.units])
+            ox = np.broadcast_to(xg, (ny, nx))[orphan]
+            oy = np.broadcast_to(yg, (ny, nx))[orphan]
+            dists = (ox[:, None] - cx[None, :]) ** 2 + (oy[:, None] - cy[None, :]) ** 2
+            out[orphan] = np.argmin(dists, axis=1)
         return out
 
     def area_fractions(self, nx: int, ny: int) -> np.ndarray:

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Mapping, Optional
+from functools import cached_property
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.constants import POWER
 from repro.errors import ModelError
-from repro.geometry.floorplan import UnitKind
+from repro.geometry.floorplan import Unit, UnitKind
 from repro.geometry.stack import Stack3D
 from repro.power.leakage import LeakageModel
 
@@ -93,6 +96,66 @@ class PowerModel:
             raise ModelError("memory intensity outside [0, 1]")
         return self.crossbar_peak * (0.2 + 0.8 * active_fraction * memory_intensity)
 
+    @cached_property
+    def _unit_lookup(self) -> dict[tuple[int, str], Unit]:
+        """``(die_index, unit_name) -> Unit`` for every floorplan unit."""
+        return {
+            (die_index, unit.name): unit
+            for die_index, die in enumerate(self.stack.dies)
+            for unit in die.floorplan
+        }
+
+    def _active_fraction(
+        self,
+        core_utilization: Mapping[str, float],
+        core_states: Mapping[str, CoreState],
+    ) -> float:
+        awake = [
+            name
+            for name, state in core_states.items()
+            if state is not CoreState.SLEEP
+        ]
+        total_cores = max(len(core_states), 1)
+        return sum(core_utilization.get(name, 0.0) for name in awake) / total_cores
+
+    def _unit_power(
+        self,
+        unit: Unit,
+        temperature: float,
+        core_utilization: Mapping[str, float],
+        core_states: Mapping[str, CoreState],
+        memory_intensity: float,
+        active_fraction: float,
+    ) -> float:
+        """Total (dynamic + leakage) power of one unit."""
+        # Each L2 bank serves two cores (T1: one shared L2 per two
+        # cores); with cores and caches on different tiers we pair
+        # bank k of a cache die with cores 2k, 2k+1 of the core die
+        # below it in stacking order.
+        if unit.kind is UnitKind.CORE:
+            state = core_states.get(unit.name, CoreState.IDLE)
+            util = core_utilization.get(unit.name, 0.0)
+            dynamic = self.core_power(util, state)
+            asleep = state is CoreState.SLEEP
+        elif unit.kind is UnitKind.L2:
+            pair_util = self._bank_pair_utilization(
+                unit.name, core_utilization, core_states
+            )
+            dynamic = self.l2_bank_power(pair_util)
+            asleep = False
+        elif unit.kind is UnitKind.CROSSBAR:
+            dynamic = self.crossbar_power(active_fraction, memory_intensity)
+            asleep = False
+        else:
+            dynamic = self.misc_power
+            asleep = False
+        total = dynamic
+        if self.leakage is not None:
+            total += self.leakage.unit_leakage(
+                unit.kind, unit.area, temperature, asleep=asleep
+            )
+        return total
+
     def unit_powers(
         self,
         core_utilization: Mapping[str, float],
@@ -118,22 +181,9 @@ class PowerModel:
         -------
         ``{(die_index, unit_name): watts}`` covering every floorplan unit.
         """
+        active_fraction = self._active_fraction(core_utilization, core_states)
         powers: dict[tuple[int, str], float] = {}
-        awake = [
-            name
-            for name, state in core_states.items()
-            if state is not CoreState.SLEEP
-        ]
-        total_cores = max(len(core_states), 1)
-        active_fraction = (
-            sum(core_utilization.get(name, 0.0) for name in awake) / total_cores
-        )
-
         for die_index, die in enumerate(self.stack.dies):
-            # Each L2 bank serves two cores (T1: one shared L2 per two
-            # cores); with cores and caches on different tiers we pair
-            # bank k of a cache die with cores 2k, 2k+1 of the core die
-            # below it in stacking order.
             for unit in die.floorplan:
                 key = (die_index, unit.name)
                 temperature = (
@@ -141,30 +191,128 @@ class PowerModel:
                     if unit_temperatures
                     else self._leakage_ref()
                 )
-                if unit.kind is UnitKind.CORE:
-                    state = core_states.get(unit.name, CoreState.IDLE)
-                    util = core_utilization.get(unit.name, 0.0)
-                    dynamic = self.core_power(util, state)
-                    asleep = state is CoreState.SLEEP
-                elif unit.kind is UnitKind.L2:
-                    pair_util = self._bank_pair_utilization(
-                        unit.name, core_utilization, core_states
-                    )
-                    dynamic = self.l2_bank_power(pair_util)
-                    asleep = False
-                elif unit.kind is UnitKind.CROSSBAR:
-                    dynamic = self.crossbar_power(active_fraction, memory_intensity)
-                    asleep = False
-                else:
-                    dynamic = self.misc_power
-                    asleep = False
-                total = dynamic
-                if self.leakage is not None:
-                    total += self.leakage.unit_leakage(
-                        unit.kind, unit.area, temperature, asleep=asleep
-                    )
-                powers[key] = total
+                powers[key] = self._unit_power(
+                    unit,
+                    temperature,
+                    core_utilization,
+                    core_states,
+                    memory_intensity,
+                    active_fraction,
+                )
         return powers
+
+    @cached_property
+    def _vector_plans(self) -> dict:
+        """Per-``unit_keys`` static layout cache for the vector path."""
+        return {}
+
+    def _vector_plan(self, unit_keys: tuple) -> dict:
+        plan = self._vector_plans.get(unit_keys)
+        if plan is not None:
+            return plan
+        lookup = self._unit_lookup
+        core_pos, core_names = [], []
+        l2_pos, l2_names = [], []
+        xbar_pos, misc_pos = [], []
+        leak_base = np.empty(len(unit_keys))
+        for u, key in enumerate(unit_keys):
+            try:
+                unit = lookup[key]
+            except KeyError:
+                raise ModelError(f"unknown unit {key!r} for this stack")
+            if self.leakage is not None and unit.area <= 0.0:
+                raise ModelError("unit area must be positive")
+            leak_base[u] = (
+                self.leakage.density_for(unit.kind) * unit.area
+                if self.leakage is not None
+                else 0.0
+            )
+            if unit.kind is UnitKind.CORE:
+                core_pos.append(u)
+                core_names.append(unit.name)
+            elif unit.kind is UnitKind.L2:
+                l2_pos.append(u)
+                l2_names.append(unit.name)
+            elif unit.kind is UnitKind.CROSSBAR:
+                xbar_pos.append(u)
+            else:
+                misc_pos.append(u)
+        plan = {
+            "core_pos": np.array(core_pos, dtype=np.int64),
+            "core_names": core_names,
+            "l2_pos": np.array(l2_pos, dtype=np.int64),
+            "l2_names": l2_names,
+            "xbar_pos": np.array(xbar_pos, dtype=np.int64),
+            "misc_pos": np.array(misc_pos, dtype=np.int64),
+            "leak_base": leak_base,
+        }
+        self._vector_plans[unit_keys] = plan
+        return plan
+
+    def unit_power_vector(
+        self,
+        unit_keys: Sequence[tuple[int, str]],
+        core_utilization: Mapping[str, float],
+        core_states: Mapping[str, CoreState],
+        memory_intensity: float,
+        unit_temperatures: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-unit total power as an array aligned to ``unit_keys``.
+
+        The vector-native sibling of :meth:`unit_powers` used by the
+        engine hot path: ``unit_keys`` is the grid's stable unit
+        ordering (:attr:`repro.thermal.grid.ThermalGrid.unit_keys`) and
+        ``unit_temperatures`` the matching temperature vector from the
+        previous interval (``None`` evaluates leakage at its reference
+        point). Per-unit values are identical to :meth:`unit_powers`
+        (same elementwise arithmetic, applied over arrays).
+        """
+        plan = self._vector_plan(tuple(unit_keys))
+        active_fraction = self._active_fraction(core_utilization, core_states)
+        out = np.empty(len(unit_keys))
+
+        util = np.array(
+            [core_utilization.get(name, 0.0) for name in plan["core_names"]]
+        )
+        if np.any((util < 0.0) | (util > 1.0)):
+            bad = util[(util < 0.0) | (util > 1.0)][0]
+            raise ModelError(f"utilization {bad} outside [0, 1]")
+        asleep = np.array(
+            [
+                core_states.get(name, CoreState.IDLE) is CoreState.SLEEP
+                for name in plan["core_names"]
+            ]
+        )
+        out[plan["core_pos"]] = np.where(
+            asleep,
+            self.sleep_power,
+            util * self.active_power + (1.0 - util) * self.idle_power,
+        )
+        pair_util = np.array(
+            [
+                self._bank_pair_utilization(name, core_utilization, core_states)
+                for name in plan["l2_names"]
+            ]
+        )
+        if np.any((pair_util < 0.0) | (pair_util > 1.0)):
+            raise ModelError("pair utilization outside [0, 1]")
+        out[plan["l2_pos"]] = self.l2_power * (0.4 + 0.6 * pair_util)
+        out[plan["xbar_pos"]] = self.crossbar_power(active_fraction, memory_intensity)
+        out[plan["misc_pos"]] = self.misc_power
+
+        if self.leakage is not None:
+            lk = self.leakage
+            if unit_temperatures is None:
+                leak = plan["leak_base"].copy()  # factor(T_ref) == 1.0 exactly
+            else:
+                t = np.asarray(unit_temperatures, dtype=float)
+                dt = t - lk.reference_temperature
+                factor = np.maximum(1.0 + lk.linear * dt + lk.quadratic * dt * dt, 0.1)
+                leak = plan["leak_base"] * factor
+            if np.any(asleep):
+                leak[plan["core_pos"][asleep]] = 0.0  # power-gated cores
+            out += leak
+        return out
 
     def _leakage_ref(self) -> float:
         if self.leakage is None:

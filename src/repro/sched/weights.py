@@ -23,7 +23,6 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import SchedulingError
-from repro.geometry.floorplan import UnitKind
 from repro.thermal.rc_network import RCNetwork
 from repro.thermal.solver import steady_solver_for
 
@@ -83,11 +82,7 @@ class ThermalWeights:
             probing, so crossbar/L2 heating is reflected in the offsets.
         """
         grid = network.grid
-        stack = grid.stack
-        core_keys: list[tuple[int, str]] = []
-        for die_index, die in enumerate(stack.dies):
-            for unit in die.floorplan.units_of_kind(UnitKind.CORE):
-                core_keys.append((die_index, unit.name))
+        core_keys = list(grid.core_keys)
         if not core_keys:
             raise SchedulingError("stack has no cores")
 
@@ -95,27 +90,31 @@ class ThermalWeights:
         # reuses one LU factorization across repeated derivations (e.g.
         # weight-target sweeps over the same network).
         solver = steady_solver_for(network)
-        base_powers: dict[tuple[int, str], float] = {}
+        base_units = np.zeros(grid.n_units)
         if background_power > 0.0:
-            for die_index, die in enumerate(stack.dies):
-                for unit in die.floorplan:
-                    if (die_index, unit.name) not in core_keys:
-                        base_powers[(die_index, unit.name)] = background_power
-        t_base = solver.solve(grid.power_vector(base_powers) if base_powers else
-                              np.zeros(grid.n_nodes))
-        t0 = np.array(
-            [grid.unit_temperature(t_base, d, name) for d, name in core_keys]
-        )
+            non_core = np.setdiff1d(
+                np.arange(grid.n_units), grid.core_index, assume_unique=False
+            )
+            base_units[non_core] = background_power
+        t_base = solver.solve(grid.power_vector_from_array(base_units))
+        t0 = grid.unit_temperature_vector(t_base)[grid.core_index]
 
+        # One multi-RHS solve covers every per-core probe injection.
         n = len(core_keys)
-        a = np.zeros((n, n))
         probe_watts = 1.0
-        for j, (die_index, name) in enumerate(core_keys):
-            probe = dict(base_powers)
-            probe[(die_index, name)] = probe.get((die_index, name), 0.0) + probe_watts
-            temps = solver.solve(grid.power_vector(probe))
-            for i, (d_i, n_i) in enumerate(core_keys):
-                a[i, j] = (grid.unit_temperature(temps, d_i, n_i) - t0[i]) / probe_watts
+        probes = np.empty((grid.n_nodes, n))
+        for j, core_position in enumerate(grid.core_index):
+            probe = base_units.copy()
+            probe[core_position] += probe_watts
+            probes[:, j] = grid.power_vector_from_array(probe)
+        temps = solver.solve_many(probes)
+        core_responses = np.column_stack(
+            [
+                grid.unit_temperature_vector(temps[:, j])[grid.core_index]
+                for j in range(n)
+            ]
+        )
+        a = (core_responses - t0[:, None]) / probe_watts
 
         rhs = target_temperature - t0
         if np.any(rhs <= 0.0):

@@ -22,6 +22,7 @@ can be shipped to ``ProcessPoolExecutor`` workers by
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.control.flow_table import FlowRateTable
@@ -35,6 +36,41 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.sim.system import ThermalSystem
 
 
+_system_memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+_SYSTEM_MEMO_CAPACITY = 4
+"""Process-local LRU of (ThermalSystem, PowerModel) pairs keyed by
+their config identity. Simulators for the same system share assembled
+networks and LU factorizations — sweep/batch runs that revisit a
+configuration skip the per-run assembly+factorization cost entirely.
+Safe to share: ThermalSystem holds no per-run mutable state (pump
+state, controllers, and queues live in the Simulator), and a rebuilt
+system is bit-identical to a cached one (canonical assembly +
+deterministic factorization), so results never depend on memo hits.
+The small capacity bounds resident LU memory at paper-scale grids."""
+
+
+def clear_system_memo() -> None:
+    """Drop all memoized thermal systems (frees their factorizations)."""
+    _system_memo.clear()
+
+
+def _system_memo_key(config: SimulationConfig) -> tuple:
+    """Identity of the thermal system a config constructs.
+
+    Must cover every ``SimulationConfig`` field that
+    :func:`system_for` feeds into ``ThermalSystem.__init__`` — shared
+    by the memo and :meth:`CharacterizationCache.warm` so the two can
+    never disagree about which configs share a system.
+    """
+    return (
+        config.n_layers,
+        config.cooling is CoolingMode.AIR,
+        config.nx,
+        config.ny,
+        config.thermal_params,
+    )
+
+
 def system_for(config: SimulationConfig) -> tuple["ThermalSystem", "PowerModel"]:
     """The thermal system and power model a config specifies.
 
@@ -42,9 +78,15 @@ def system_for(config: SimulationConfig) -> tuple["ThermalSystem", "PowerModel"]
     :class:`repro.sim.engine.Simulator` and
     :meth:`CharacterizationCache.warm`, so a pre-warmed cache is always
     derived from exactly the system a cold simulator would build.
+    Memoized per config identity (see ``_system_memo``).
     """
     from repro.sim.system import ThermalSystem
 
+    key = _system_memo_key(config)
+    hit = _system_memo.get(key)
+    if hit is not None:
+        _system_memo.move_to_end(key)
+        return hit
     cooling = (
         CoolingKind.AIR if config.cooling is CoolingMode.AIR else CoolingKind.LIQUID
     )
@@ -55,7 +97,11 @@ def system_for(config: SimulationConfig) -> tuple["ThermalSystem", "PowerModel"]
         ny=config.ny,
         params=config.thermal_params,
     )
-    return system, PowerModel(system.stack, leakage=LeakageModel())
+    pair = (system, PowerModel(system.stack, leakage=LeakageModel()))
+    _system_memo[key] = pair
+    while len(_system_memo) > _SYSTEM_MEMO_CAPACITY:
+        _system_memo.popitem(last=False)
+    return pair
 
 
 def system_key(
@@ -116,8 +162,8 @@ class CharacterizationCache:
         key = self._key(config, CoolingKind.LIQUID, system)
         if key not in self.tables:
             self.tables[key] = FlowRateTable.characterize(
-                steady_tmax=lambda setting, util: system.steady_tmax(
-                    power_model, util, setting_index=setting
+                steady_tmax_batch=lambda setting, utils: system.steady_tmax_batch(
+                    power_model, utils, setting_index=setting
                 ),
                 n_settings=system.pump.n_settings,
                 per_cavity_flows=system.pump.per_cavity_flows(),
@@ -189,8 +235,7 @@ class CharacterizationCache:
 
         systems: dict[tuple, tuple["ThermalSystem", "PowerModel"]] = {}
         for config in configs:
-            sys_id = (config.n_layers, config.cooling is CoolingMode.AIR,
-                      config.nx, config.ny, config.thermal_params)
+            sys_id = _system_memo_key(config)
             if sys_id not in systems:
                 systems[sys_id] = system_for(config)
             system, power_model = systems[sys_id]

@@ -189,9 +189,13 @@ class Simulator:
         temperatures = self.system.initial_temperatures(
             self.power_model, spec.utilization, setting_index=setting0
         )
-        core_temps = grid.core_temperatures(temperatures)
-        unit_temps = grid.unit_temperatures(temperatures)
-        unit_keys = sorted(unit_temps)
+        # Vector-native per-interval state: unit/core temperatures live
+        # in arrays aligned to the grid's stable unit ordering; the
+        # small per-core dict is rebuilt only for the policy interface.
+        unit_keys = list(grid.unit_keys)
+        unit_vec = grid.unit_temperature_vector(temperatures)
+        core_vec = unit_vec[grid.core_index]
+        core_temps = dict(zip(core_names, core_vec.tolist()))
         forecaster = TemperatureForecaster(
             horizon_steps=int(round(CONTROL.forecast_horizon / interval))
         )
@@ -269,20 +273,23 @@ class Simulator:
             core_util = {
                 name: min(1.0, busy_time[name] / interval) for name in core_names
             }
-            powers = self.power_model.unit_powers(
-                core_util, states, spec.memory_intensity, unit_temps
+            unit_powers = self.power_model.unit_power_vector(
+                unit_keys, core_util, states, spec.memory_intensity, unit_vec
             )
             setting = self._pump_state.current_index if self._pump_state else -1
             solver = self.system.transient_solver(setting, interval) \
                 if self._cooling_kind is CoolingKind.LIQUID \
                 else self.system.transient_solver(-1, interval)
-            temperatures = solver.step(temperatures, grid.power_vector(powers))
+            temperatures = solver.step(
+                temperatures, grid.power_vector_from_array(unit_powers)
+            )
 
-            core_temps = grid.core_temperatures(temperatures)
-            unit_temps = grid.unit_temperatures(temperatures)
+            unit_vec = grid.unit_temperature_vector(temperatures)
+            core_vec = unit_vec[grid.core_index]
+            core_temps = dict(zip(core_names, core_vec.tolist()))
             # Runtime policies observe sensors (unit means), as in the
             # paper; the cell-level peak is recorded as ground truth.
-            tmax = max(unit_temps.values())
+            tmax = float(unit_vec.max())
             tmax_cell = grid.max_die_temperature(temperatures)
 
             forecaster.observe(tmax)
@@ -309,9 +316,9 @@ class Simulator:
             rec_times[k] = t_end
             rec_tmax[k] = tmax
             rec_tmax_cell[k] = tmax_cell
-            rec_core_t[k] = [core_temps[name] for name in core_names]
-            rec_unit_t[k] = [unit_temps[key] for key in unit_keys]
-            rec_chip_p[k] = self.power_model.total_power(powers)
+            rec_core_t[k] = core_vec
+            rec_unit_t[k] = unit_vec
+            rec_chip_p[k] = float(unit_powers.sum())
             if self._pump_state is not None:
                 rec_pump_p[k] = self._pump_state.electrical_power()
                 rec_setting[k] = self._pump_state.commanded_index

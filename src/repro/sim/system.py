@@ -164,15 +164,82 @@ class ThermalSystem:
         core_states = {name: CoreState.IDLE if utilization == 0.0 else CoreState.ACTIVE
                        for name in core_names}
         solver = self.steady_solver(setting_index)
-        unit_temps: Optional[dict[tuple[int, str], float]] = None
-        temps = np.zeros(self.grid.n_nodes)
+        grid = self.grid
+        unit_vec: Optional[np.ndarray] = None
+        temps = np.zeros(grid.n_nodes)
         for _ in range(max(1, leakage_iterations)):
-            powers = power_model.unit_powers(
-                core_util, core_states, memory_intensity, unit_temps
+            unit_powers = power_model.unit_power_vector(
+                grid.unit_keys, core_util, core_states, memory_intensity, unit_vec
             )
-            temps = solver.solve(self.grid.power_vector(powers))
-            unit_temps = self.grid.unit_temperatures(temps)
+            temps = solver.solve(grid.power_vector_from_array(unit_powers))
+            unit_vec = grid.unit_temperature_vector(temps)
         return temps
+
+    def steady_temperature_fields(
+        self,
+        power_model: PowerModel,
+        utilizations: "np.ndarray | list[float]",
+        setting_index: int = -1,
+        memory_intensity: float = 0.5,
+        leakage_iterations: int = 6,
+    ) -> np.ndarray:
+        """Steady fields for many utilizations at once, shape ``(k, n_nodes)``.
+
+        Runs the leakage fixed point for all utilizations in lockstep
+        with one multi-RHS triangular solve per iteration; each row
+        matches a separate :meth:`steady_temperatures` call to within
+        LU roundoff (~1e-14 K). The flow-table characterization sweep
+        (Figure 5) uses this to amortize its ``settings x
+        utilizations`` grid.
+        """
+        utils = [float(u) for u in np.atleast_1d(np.asarray(utilizations, dtype=float))]
+        if any(not 0.0 <= u <= 1.0 for u in utils):
+            raise ConfigurationError("utilization must be in [0, 1]")
+        core_names = self.stack.core_names()
+        per_util = [
+            (
+                {name: u for name in core_names},
+                {name: CoreState.IDLE if u == 0.0 else CoreState.ACTIVE
+                 for name in core_names},
+            )
+            for u in utils
+        ]
+        solver = self.steady_solver(setting_index)
+        grid = self.grid
+        unit_vecs: list[Optional[np.ndarray]] = [None] * len(utils)
+        temps = np.zeros((grid.n_nodes, len(utils)))
+        for _ in range(max(1, leakage_iterations)):
+            injections = np.empty((grid.n_nodes, len(utils)))
+            for c, (core_util, core_states) in enumerate(per_util):
+                unit_powers = power_model.unit_power_vector(
+                    grid.unit_keys, core_util, core_states,
+                    memory_intensity, unit_vecs[c],
+                )
+                injections[:, c] = grid.power_vector_from_array(unit_powers)
+            temps = solver.solve_many(injections)
+            for c in range(len(utils)):
+                unit_vecs[c] = grid.unit_temperature_vector(temps[:, c])
+        return temps.T
+
+    def steady_tmax_batch(
+        self,
+        power_model: PowerModel,
+        utilizations: "np.ndarray | list[float]",
+        setting_index: int = -1,
+        memory_intensity: float = 0.5,
+        leakage_iterations: int = 6,
+    ) -> np.ndarray:
+        """Self-consistent steady T_max per utilization (sensor view)."""
+        fields = self.steady_temperature_fields(
+            power_model,
+            utilizations,
+            setting_index=setting_index,
+            memory_intensity=memory_intensity,
+            leakage_iterations=leakage_iterations,
+        )
+        return np.array(
+            [self.grid.max_unit_temperature(field) for field in fields]
+        )
 
     def steady_tmax_concentrated(
         self,
@@ -199,15 +266,16 @@ class ThermalSystem:
             core_util[name] = 1.0
             core_states[name] = CoreState.ACTIVE
         solver = self.steady_solver(setting_index)
-        unit_temps: Optional[dict[tuple[int, str], float]] = None
-        temps = np.zeros(self.grid.n_nodes)
+        grid = self.grid
+        unit_vec: Optional[np.ndarray] = None
+        temps = np.zeros(grid.n_nodes)
         for _ in range(max(1, leakage_iterations)):
-            powers = power_model.unit_powers(
-                core_util, core_states, memory_intensity, unit_temps
+            unit_powers = power_model.unit_power_vector(
+                grid.unit_keys, core_util, core_states, memory_intensity, unit_vec
             )
-            temps = solver.solve(self.grid.power_vector(powers))
-            unit_temps = self.grid.unit_temperatures(temps)
-        return self.grid.max_unit_temperature(temps)
+            temps = solver.solve(grid.power_vector_from_array(unit_powers))
+            unit_vec = grid.unit_temperature_vector(temps)
+        return float(unit_vec.max())
 
     # --- convenience ------------------------------------------------------------
 

@@ -6,9 +6,30 @@ slab carries an ``nx`` x ``ny`` grid of nodes; an air-cooled stack adds
 two lumped package nodes (heat spreader and heat sink) on top.
 
 The paper uses 100 um grid cells; for a 10.7 mm die that is a 107x107
-grid per slab. The default here is coarser (16x16, block-accurate and
-fast); the cell size is fully configurable and the network assembly is
-resolution-independent.
+grid per slab. The cell size is fully configurable and the network
+assembly is resolution-independent; the per-interval hot path is
+array-oriented so paper-resolution grids stay practical.
+
+Vector-native hot path
+----------------------
+``ThermalGrid`` precomputes, at construction, a stable unit ordering
+(:attr:`unit_keys`, sorted ``(die_index, unit_name)`` tuples) together
+with cached unit<->cell operators:
+
+* a *scatter* mapping (conceptually the sparse matrix ``S`` of shape
+  ``n_nodes x n_units`` whose column ``u`` is uniform ``1/count_u`` over
+  unit ``u``'s cells), applied by :meth:`power_vector_from_array` as a
+  gather of per-unit quotients so each cell receives exactly
+  ``watts / count`` with one IEEE division — bit-identical to the
+  historical per-unit loop;
+* a *mean-gather* operator (the sparse summing matrix ``M_sum`` of
+  shape ``n_units x n_nodes``; row ``u`` is 1 over unit ``u``'s cells),
+  so :meth:`unit_temperature_vector` is one sparse matvec plus an
+  elementwise division by the cell counts.
+
+The dict-returning APIs (:meth:`power_vector`, :meth:`unit_temperatures`,
+:meth:`core_temperatures`) are thin adapters over the vector forms; no
+per-unit or per-cell Python loops remain in the per-interval path.
 """
 
 from __future__ import annotations
@@ -18,6 +39,7 @@ from enum import Enum
 from typing import Mapping
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.constants import STACK
 from repro.errors import GeometryError
@@ -65,6 +87,20 @@ class ThermalGrid:
     rasters:
         For each die index, an ``(ny, nx)`` array of unit indices into
         that die's floorplan (cell centre assignment).
+    unit_keys:
+        Stable unit ordering: sorted ``(die_index, unit_name)`` tuples.
+        All vector-native APIs are aligned to this order.
+    n_units:
+        ``len(unit_keys)``.
+    core_keys:
+        ``(die_index, core_name)`` for every core unit, bottom die
+        first, in floorplan order — the same order as
+        ``stack.core_names()``.
+    core_index:
+        Positions of :attr:`core_keys` within :attr:`unit_keys`, as an
+        index array (``unit_vector[core_index]`` gives per-core values).
+    unit_cell_counts:
+        Grid cells assigned to each unit, aligned to :attr:`unit_keys`.
     """
 
     def __init__(self, stack: Stack3D, nx: int = 16, ny: int = 16) -> None:
@@ -91,6 +127,20 @@ class ThermalGrid:
             self.spreader_node = -1
             self.sink_node = -1
             self.n_nodes = n_grid
+
+        # O(1) slab lookups (these used to be linear scans called from
+        # the inner assembly loops).
+        self._die_slab: dict[int, int] = {}
+        self._cavity_slab: dict[int, int] = {}
+        for s, slab in enumerate(self.slabs):
+            if slab.kind is SlabKind.DIE:
+                self._die_slab[slab.die_index] = s
+            elif slab.kind is SlabKind.CAVITY:
+                self._cavity_slab[slab.cavity_index] = s
+        self._die_slab_list = sorted(self._die_slab.values())
+        self._cavity_slab_list = sorted(self._cavity_slab.values())
+
+        self._build_unit_operators()
 
     def _build_slabs(self) -> list[Slab]:
         slabs: list[Slab] = []
@@ -131,6 +181,64 @@ class ThermalGrid:
                 )
         return slabs
 
+    def _build_unit_operators(self) -> None:
+        """Precompute the unit<->cell index arrays and sparse operators."""
+        self.unit_keys: tuple[tuple[int, str], ...] = tuple(
+            sorted(
+                (d, unit.name)
+                for d, die in enumerate(self.stack.dies)
+                for unit in die.floorplan
+            )
+        )
+        self.n_units = len(self.unit_keys)
+        self.unit_index: dict[tuple[int, str], int] = {
+            key: u for u, key in enumerate(self.unit_keys)
+        }
+
+        cells: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * self.n_units
+        for d, die in enumerate(self.stack.dies):
+            slab_nodes = self.slab_nodes(self._die_slab[d])
+            raster = self.rasters[d]
+            for floorplan_idx, unit in enumerate(die.floorplan.units):
+                u = self.unit_index[(d, unit.name)]
+                cells[u] = np.ascontiguousarray(slab_nodes[raster == floorplan_idx])
+        self._unit_cells: list[np.ndarray] = cells
+        self.unit_cell_counts = np.array([c.size for c in cells], dtype=np.int64)
+        # Units that received no cells (possible at very coarse grids);
+        # tolerated at construction, rejected at first use — matching
+        # the historical lazy behaviour of ``unit_cells``.
+        self._empty_units = [
+            self.unit_keys[u] for u in np.flatnonzero(self.unit_cell_counts == 0)
+        ]
+        counts_safe = np.maximum(self.unit_cell_counts, 1)
+        self._counts_safe = counts_safe.astype(float)
+
+        # Mean-gather operator: M_sum[u, node] = 1.0 over unit u's cells.
+        flat_cells = np.concatenate(cells) if cells else np.empty(0, dtype=np.int64)
+        owner = np.repeat(np.arange(self.n_units), self.unit_cell_counts)
+        self._unit_cells_flat = flat_cells
+        self._cell_owner = owner
+        indptr = np.concatenate(([0], np.cumsum(self.unit_cell_counts)))
+        self._m_sum = sp.csr_matrix(
+            (np.ones(flat_cells.size), flat_cells, indptr),
+            shape=(self.n_units, self.n_nodes),
+        )
+
+        # Cores in stack order (== stack.core_names() order).
+        self.core_keys: tuple[tuple[int, str], ...] = tuple(
+            (d, unit.name)
+            for d, die in enumerate(self.stack.dies)
+            for unit in die.floorplan.units_of_kind(UnitKind.CORE)
+        )
+        self.core_index = np.array(
+            [self.unit_index[key] for key in self.core_keys], dtype=np.int64
+        )
+
+        # All die-slab node indices, for the masked junction max.
+        self._die_nodes = np.concatenate(
+            [self.slab_nodes(s).ravel() for s in self._die_slab_list]
+        ) if self._die_slab_list else np.empty(0, dtype=np.int64)
+
     # --- node indexing ------------------------------------------------------
 
     def node(self, slab_idx: int, i: int, j: int) -> int:
@@ -148,84 +256,159 @@ class ThermalGrid:
         return np.arange(base, base + self._cells_per_slab).reshape(self.ny, self.nx)
 
     def die_slab_index(self, die_index: int) -> int:
-        """Slab index of the given die."""
-        for s, slab in enumerate(self.slabs):
-            if slab.kind is SlabKind.DIE and slab.die_index == die_index:
-                return s
-        raise GeometryError(f"no die {die_index} in this grid")
+        """Slab index of the given die (O(1) lookup)."""
+        try:
+            return self._die_slab[die_index]
+        except KeyError:
+            raise GeometryError(f"no die {die_index} in this grid")
 
     def cavity_slab_index(self, cavity_index: int) -> int:
-        """Slab index of the given cavity (liquid cooling only)."""
-        for s, slab in enumerate(self.slabs):
-            if slab.kind is SlabKind.CAVITY and slab.cavity_index == cavity_index:
-                return s
-        raise GeometryError(f"no cavity {cavity_index} in this grid")
+        """Slab index of the given cavity (liquid cooling only; O(1))."""
+        try:
+            return self._cavity_slab[cavity_index]
+        except KeyError:
+            raise GeometryError(f"no cavity {cavity_index} in this grid")
 
     def die_slab_indices(self) -> list[int]:
         """Slab indices of all dies, bottom to top."""
-        return [s for s, slab in enumerate(self.slabs) if slab.kind is SlabKind.DIE]
+        return list(self._die_slab_list)
 
     def cavity_slab_indices(self) -> list[int]:
         """Slab indices of all cavities, bottom to top."""
-        return [s for s, slab in enumerate(self.slabs) if slab.kind is SlabKind.CAVITY]
+        return list(self._cavity_slab_list)
 
     # --- unit <-> cell mapping -----------------------------------------------
 
+    def unit_position(self, die_index: int, unit_name: str) -> int:
+        """Position of a unit within :attr:`unit_keys`."""
+        try:
+            return self.unit_index[(die_index, unit_name)]
+        except KeyError:
+            raise GeometryError(
+                f"no unit {unit_name!r} on die {die_index} in this grid"
+            )
+
     def unit_cells(self, die_index: int, unit_name: str) -> np.ndarray:
         """Node indices of the cells of one floorplan unit."""
-        floorplan = self.stack.dies[die_index].floorplan
-        unit_idx = floorplan.units.index(floorplan.unit(unit_name))
-        mask = self.rasters[die_index] == unit_idx
-        if not mask.any():
+        u = self.unit_position(die_index, unit_name)
+        cells = self._unit_cells[u]
+        if cells.size == 0:
             raise GeometryError(
                 f"unit {unit_name!r} on die {die_index} received no grid cells; "
                 "increase the grid resolution"
             )
-        return self.slab_nodes(self.die_slab_index(die_index))[mask]
+        return cells
+
+    def _require_cells(self, keys) -> None:
+        for die_index, unit_name in keys:
+            raise GeometryError(
+                f"unit {unit_name!r} on die {die_index} received no grid cells; "
+                "increase the grid resolution"
+            )
+
+    def power_vector_from_array(self, unit_powers: np.ndarray) -> np.ndarray:
+        """Per-node power injection (W) from a per-unit power vector.
+
+        ``unit_powers`` is aligned to :attr:`unit_keys`; each unit's
+        power is spread uniformly over its grid cells (cell value
+        ``watts / count``, one IEEE division — identical to the
+        historical per-unit loop).
+        """
+        p = np.asarray(unit_powers, dtype=float)
+        if p.shape != (self.n_units,):
+            raise GeometryError(
+                f"unit power vector has shape {p.shape}, expected ({self.n_units},)"
+            )
+        if self._empty_units:
+            bad = [
+                key for key in self._empty_units
+                if p[self.unit_index[key]] != 0.0
+            ]
+            if bad:
+                self._require_cells(bad)
+        out = np.zeros(self.n_nodes)
+        out[self._unit_cells_flat] = (p / self._counts_safe)[self._cell_owner]
+        return out
 
     def power_vector(self, unit_powers: Mapping[tuple[int, str], float]) -> np.ndarray:
         """Per-node power injection (W) from per-unit powers.
 
         ``unit_powers`` maps ``(die_index, unit_name)`` to watts; each
-        unit's power is spread uniformly over its grid cells.
+        unit's power is spread uniformly over its grid cells. Thin
+        adapter over :meth:`power_vector_from_array`.
         """
-        p = np.zeros(self.n_nodes)
+        p = np.zeros(self.n_units)
         for (die_index, unit_name), watts in unit_powers.items():
-            cells = self.unit_cells(die_index, unit_name)
-            p[cells] += watts / cells.size
-        return p
+            u = self.unit_position(die_index, unit_name)
+            if self._unit_cells[u].size == 0:
+                self._require_cells([(die_index, unit_name)])
+            p[u] = watts
+        return self.power_vector_from_array(p)
 
     # --- temperature extraction -----------------------------------------------
 
+    def _unit_means(self, temperatures: np.ndarray) -> np.ndarray:
+        """Per-unit mean temperatures (0.0 for cell-less units)."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        if temperatures.shape != (self.n_nodes,):
+            raise GeometryError(
+                f"temperature vector has shape {temperatures.shape}, "
+                f"expected ({self.n_nodes},)"
+            )
+        return (self._m_sum @ temperatures) / self._counts_safe
+
+    def unit_temperature_vector(self, temperatures: np.ndarray) -> np.ndarray:
+        """Mean temperature of every unit, aligned to :attr:`unit_keys`.
+
+        One sparse matvec plus an elementwise division — the
+        vector-native form behind :meth:`unit_temperatures`.
+        """
+        if self._empty_units:
+            self._require_cells(self._empty_units)
+        return self._unit_means(temperatures)
+
+    def core_temperature_vector(self, temperatures: np.ndarray) -> np.ndarray:
+        """Per-core sensor readings, aligned to ``stack.core_names()``."""
+        if self._empty_units:
+            empty_cores = [k for k in self._empty_units if k in set(self.core_keys)]
+            if empty_cores:
+                self._require_cells(empty_cores)
+        return self._unit_means(temperatures)[self.core_index]
+
     def unit_temperature(self, temperatures: np.ndarray, die_index: int, unit_name: str) -> float:
         """Mean temperature of one unit's cells (a block thermal sensor)."""
-        return float(temperatures[self.unit_cells(die_index, unit_name)].mean())
+        u = self.unit_position(die_index, unit_name)
+        if self._unit_cells[u].size == 0:
+            self._require_cells([(die_index, unit_name)])
+        return float(self._unit_means(temperatures)[u])
 
     def unit_temperatures(self, temperatures: np.ndarray) -> dict[tuple[int, str], float]:
-        """Mean temperature of every floorplan unit on every die."""
-        out: dict[tuple[int, str], float] = {}
-        for d, die in enumerate(self.stack.dies):
-            for unit in die.floorplan:
-                out[(d, unit.name)] = self.unit_temperature(temperatures, d, unit.name)
-        return out
+        """Mean temperature of every floorplan unit on every die.
+
+        Thin adapter over :meth:`unit_temperature_vector`; keys follow
+        :attr:`unit_keys` order.
+        """
+        vec = self.unit_temperature_vector(temperatures)
+        return dict(zip(self.unit_keys, vec.tolist()))
 
     def core_temperatures(self, temperatures: np.ndarray) -> dict[str, float]:
-        """Per-core sensor readings, keyed by core name."""
-        out: dict[str, float] = {}
-        for d, die in enumerate(self.stack.dies):
-            for unit in die.floorplan.units_of_kind(UnitKind.CORE):
-                out[unit.name] = self.unit_temperature(temperatures, d, unit.name)
-        return out
+        """Per-core sensor readings, keyed by core name.
+
+        Thin adapter over :meth:`core_temperature_vector`.
+        """
+        vec = self.core_temperature_vector(temperatures)
+        return dict(zip((name for _, name in self.core_keys), vec.tolist()))
 
     def die_temperature_field(self, temperatures: np.ndarray, die_index: int) -> np.ndarray:
         """Temperature field of one die as an ``(ny, nx)`` array."""
         return temperatures[self.slab_nodes(self.die_slab_index(die_index))]
 
     def max_die_temperature(self, temperatures: np.ndarray) -> float:
-        """Maximum temperature over all die cells (junction T_max)."""
-        return max(
-            float(temperatures[self.slab_nodes(s)].max()) for s in self.die_slab_indices()
-        )
+        """Maximum temperature over all die cells (junction T_max).
+
+        A single masked max over the precomputed die-node index array.
+        """
+        return float(np.asarray(temperatures)[self._die_nodes].max())
 
     def max_unit_temperature(self, temperatures: np.ndarray) -> float:
         """Maximum of the per-unit sensor readings (block means).
@@ -236,4 +419,4 @@ class ThermalGrid:
         :meth:`max_die_temperature` is slightly higher and serves as
         ground truth in validation tests.
         """
-        return max(self.unit_temperatures(temperatures).values())
+        return float(self.unit_temperature_vector(temperatures).max())

@@ -85,9 +85,12 @@ class ThermalParams:
             raise ConfigurationError("resistance scales must be positive")
 
 
-@dataclass
+@dataclass(eq=False)
 class RCNetwork:
     """An assembled thermal RC network.
+
+    ``eq=False`` keeps instances hashable by identity, so solver caches
+    can key on the network itself (e.g. via weak references).
 
     Attributes
     ----------
@@ -118,14 +121,26 @@ class RCNetwork:
 
 
 class _Assembler:
-    """Accumulates conductances in COO form plus boundary couplings."""
+    """Accumulates conductances in COO form plus boundary couplings.
+
+    Entries can be added one at a time (the scalar methods, used for
+    the lumped package nodes and by the naive reference assembly kept
+    for equivalence tests) or in array bulk (the vectorized builders).
+    Both paths feed the same canonical :meth:`to_csr`, which sums
+    duplicate entries in a value-sorted order per ``(row, col)`` — so
+    the assembled matrix is bit-identical regardless of the order the
+    couplings were emitted in.
+    """
 
     def __init__(self, n: int) -> None:
         self.n = n
         self.rows: list[int] = []
         self.cols: list[int] = []
         self.vals: list[float] = []
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self.boundary = np.zeros(n)
+
+    # --- scalar entry points -------------------------------------------------
 
     def add_coupling(self, a: int, b: int, g: float) -> None:
         """Symmetric conductance g between nodes a and b."""
@@ -163,17 +178,123 @@ class _Assembler:
             self.cols.append(upstream)
             self.vals.append(-g)
 
-    def to_csr(self) -> sp.csr_matrix:
-        m = sp.coo_matrix(
-            (self.vals, (self.rows, self.cols)), shape=(self.n, self.n)
+    # --- array-bulk entry points --------------------------------------------
+
+    def add_couplings(self, a: np.ndarray, b: np.ndarray, g) -> None:
+        """Symmetric conductances between node arrays ``a`` and ``b``.
+
+        ``g`` is a scalar broadcast over all pairs or an array of the
+        same length. Emits the same entry multiset as calling
+        :meth:`add_coupling` per pair.
+        """
+        a = np.asarray(a, dtype=np.int64).ravel()
+        b = np.asarray(b, dtype=np.int64).ravel()
+        if a.shape != b.shape:
+            raise SolverError("coupling node arrays must have equal length")
+        if a.size == 0:
+            return
+        g = np.asarray(g, dtype=float)
+        if g.ndim == 0:
+            g = np.full(a.shape, float(g))
+        else:
+            g = g.ravel()
+            if g.shape != a.shape:
+                raise SolverError("coupling conductance array length mismatch")
+        if np.any(g <= 0.0):
+            k = int(np.flatnonzero(g <= 0.0)[0])
+            raise SolverError(
+                f"non-positive conductance {g[k]} between {a[k]} and {b[k]}"
+            )
+        self._chunks.append(
+            (
+                np.concatenate((a, b, a, b)),
+                np.concatenate((a, b, b, a)),
+                np.concatenate((g, g, -g, -g)),
+            )
         )
-        return m.tocsr()
+
+    def add_advection_rows(self, nodes: np.ndarray, g: float, t_inlet: float) -> None:
+        """Directed advection along every row of a slab's node grid.
+
+        ``nodes`` is the slab's ``(ny, nx)`` node array; flow runs along
+        x, so column 0 holds the inlet cells (coupled to the fixed
+        inlet temperature) and every other cell is fed by its left
+        neighbour. Emits the same entries as per-cell
+        :meth:`add_advection` calls.
+        """
+        if g < 0.0:
+            raise SolverError("advective conductance must be non-negative")
+        if g == 0.0:
+            return
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.ndim != 2:
+            raise SolverError("advection expects a (ny, nx) node grid")
+        inlet = nodes[:, 0].ravel()
+        interior = nodes[:, 1:].ravel()
+        upstream = nodes[:, :-1].ravel()
+        all_nodes = nodes.ravel()
+        self._chunks.append(
+            (
+                np.concatenate((all_nodes, interior)),
+                np.concatenate((all_nodes, upstream)),
+                np.concatenate(
+                    (np.full(all_nodes.size, g), np.full(interior.size, -g))
+                ),
+            )
+        )
+        self.boundary[inlet] += g * t_inlet
+
+    # --- assembly ------------------------------------------------------------
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Assemble the accumulated triplets into CSR form.
+
+        Duplicates are summed in canonical ``(row, col, value)`` order,
+        so the result depends only on the multiset of emitted entries —
+        never on emission order. Scalar and bulk emission paths produce
+        bit-identical matrices.
+        """
+        parts_r = [np.asarray(self.rows, dtype=np.int64)]
+        parts_c = [np.asarray(self.cols, dtype=np.int64)]
+        parts_v = [np.asarray(self.vals, dtype=float)]
+        for r, c, v in self._chunks:
+            parts_r.append(r)
+            parts_c.append(c)
+            parts_v.append(v)
+        rows = np.concatenate(parts_r)
+        cols = np.concatenate(parts_c)
+        vals = np.concatenate(parts_v)
+        if rows.size == 0:
+            return sp.csr_matrix((self.n, self.n))
+        # One fused (row, col) key keeps the lexsort at two passes.
+        combined = rows * np.int64(self.n) + cols
+        order = np.lexsort((vals, combined))
+        combined, vals = combined[order], vals[order]
+        boundaries = np.flatnonzero(np.diff(combined))
+        starts = np.concatenate(([0], boundaries + 1))
+        data = np.add.reduceat(vals, starts)
+        keys = combined[starts]
+        indices = keys % self.n
+        counts = np.bincount(keys // self.n, minlength=self.n)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        return sp.csr_matrix(
+            (data, indices, indptr), shape=(self.n, self.n)
+        )
 
 
 def _series(*resistances: float) -> float:
     """Conductance of resistances in series."""
     total = sum(resistances)
     if total <= 0.0:
+        raise SolverError("series resistance must be positive")
+    return 1.0 / total
+
+
+def _series_array(scalar_r: float, r_array: np.ndarray) -> np.ndarray:
+    """Elementwise series conductance of a scalar and an array of
+    resistances (same arithmetic as :func:`_series` per element)."""
+    total = scalar_r + np.asarray(r_array, dtype=float)
+    if np.any(total <= 0.0):
         raise SolverError("series resistance must be positive")
     return 1.0 / total
 
@@ -235,16 +356,12 @@ def _broadcast_flows(cavity_flows: Sequence[float], n_cavities: int) -> tuple[fl
 
 
 def _die_lateral(asm: _Assembler, grid: ThermalGrid, slab_idx: int, thickness: float, k: float) -> None:
-    """Lateral conduction within one slab."""
+    """Lateral conduction within one slab (vectorized neighbour pairs)."""
     g_x = k * thickness * grid.cell_h / grid.cell_w
     g_y = k * thickness * grid.cell_w / grid.cell_h
-    for j in range(grid.ny):
-        for i in range(grid.nx):
-            node = grid.node(slab_idx, i, j)
-            if i + 1 < grid.nx:
-                asm.add_coupling(node, grid.node(slab_idx, i + 1, j), g_x)
-            if j + 1 < grid.ny:
-                asm.add_coupling(node, grid.node(slab_idx, i, j + 1), g_y)
+    nodes = grid.slab_nodes(slab_idx)
+    asm.add_couplings(nodes[:, :-1], nodes[:, 1:], g_x)
+    asm.add_couplings(nodes[:-1, :], nodes[1:, :], g_y)
 
 
 def _die_half_resistance(grid: ThermalGrid, die_thickness: float, params: ThermalParams) -> float:
@@ -341,9 +458,22 @@ def _build_liquid(
             # The die above couples downward through its silicon slab.
             r_down[die_above] = _die_half_resistance(grid, t_d, params)
 
-        tsv_mask = None
-        tsv_g = 0.0
-        wall_g = 0.0
+        fluid_nodes = grid.slab_nodes(slab_idx)
+        asm.add_advection_rows(fluid_nodes, g_adv_row, params.inlet_temperature)
+
+        if die_below is not None:
+            below_nodes = grid.slab_nodes(grid.die_slab_index(die_below))
+            asm.add_couplings(
+                fluid_nodes, below_nodes, _series(r_up[die_below], 1.0 / g_film_side)
+            )
+        if die_above is not None:
+            above_nodes = grid.slab_nodes(grid.die_slab_index(die_above))
+            asm.add_couplings(
+                fluid_nodes, above_nodes, _series(r_down[die_above], 1.0 / g_film_side)
+            )
+        # Solid conduction straight through the cavity between the two
+        # dies (channel walls; TSV-enhanced under the crossbar). This is
+        # the per-cell heterogeneous resistivity of Section III-A.
         if die_below is not None and die_above is not None:
             tsv_mask = _tsv_mask(grid, die_below)
             phi = _tsv_fill_fraction(grid, die_below)
@@ -351,37 +481,20 @@ def _build_liquid(
             k_tsv = phi * params.tsv_conductivity + k_wall
             tsv_g = k_tsv * grid.cell_area / t_cavity
             wall_g = k_wall * grid.cell_area / t_cavity
-
-        for j in range(grid.ny):
-            for i in range(grid.nx):
-                fluid = grid.node(slab_idx, i, j)
-                upstream = grid.node(slab_idx, i - 1, j) if i > 0 else None
-                asm.add_advection(fluid, upstream, g_adv_row, params.inlet_temperature)
-
-                if die_below is not None:
-                    below = grid.node(grid.die_slab_index(die_below), i, j)
-                    g = _series(r_up[die_below], 1.0 / g_film_side)
-                    asm.add_coupling(fluid, below, g)
-                if die_above is not None:
-                    above = grid.node(grid.die_slab_index(die_above), i, j)
-                    g = _series(r_down[die_above], 1.0 / g_film_side)
-                    asm.add_coupling(fluid, above, g)
-                # Solid conduction straight through the cavity between
-                # the two dies (channel walls; TSV-enhanced under the
-                # crossbar). This is the per-cell heterogeneous
-                # resistivity of Section III-A.
-                if die_below is not None and die_above is not None:
-                    below = grid.node(grid.die_slab_index(die_below), i, j)
-                    above = grid.node(grid.die_slab_index(die_above), i, j)
-                    g_solid = tsv_g if tsv_mask is not None and tsv_mask[j, i] else wall_g
-                    if g_solid > 0.0:
-                        r_total = (
-                            _die_half_resistance(grid, stack.dies[die_below].thickness, params)
-                            + _beol_resistance(grid, params, scale)
-                            + 1.0 / g_solid
-                            + _die_half_resistance(grid, stack.dies[die_above].thickness, params)
-                        )
-                        asm.add_coupling(below, above, 1.0 / r_total)
+            below_nodes = grid.slab_nodes(grid.die_slab_index(die_below))
+            above_nodes = grid.slab_nodes(grid.die_slab_index(die_above))
+            g_solid = np.where(tsv_mask, tsv_g, wall_g)
+            positive = g_solid > 0.0
+            if np.any(positive):
+                r_total = (
+                    _die_half_resistance(grid, stack.dies[die_below].thickness, params)
+                    + _beol_resistance(grid, params, scale)
+                    + 1.0 / g_solid[positive]
+                    + _die_half_resistance(grid, stack.dies[die_above].thickness, params)
+                )
+                asm.add_couplings(
+                    below_nodes[positive], above_nodes[positive], 1.0 / r_total
+                )
 
     return RCNetwork(
         conductance=asm.to_csr(),
@@ -426,15 +539,13 @@ def _build_air(grid: ThermalGrid, params: ThermalParams, package: AirPackage) ->
             + _beol_resistance(grid, params, scale)
         )
         r_above_half = _die_half_resistance(grid, stack.dies[die_above].thickness, params)
-        for j in range(grid.ny):
-            for i in range(grid.nx):
-                node_if = grid.node(slab_idx, i, j)
-                below = grid.node(grid.die_slab_index(die_below), i, j)
-                above = grid.node(grid.die_slab_index(die_above), i, j)
-                k_cell = k_tsv if tsv_mask[j, i] else k_plain
-                r_half_if = (t_if / 2.0) / (k_cell * grid.cell_area)
-                asm.add_coupling(node_if, below, _series(r_below_half, r_half_if))
-                asm.add_coupling(node_if, above, _series(r_above_half, r_half_if))
+        if_nodes = grid.slab_nodes(slab_idx)
+        below_nodes = grid.slab_nodes(grid.die_slab_index(die_below))
+        above_nodes = grid.slab_nodes(grid.die_slab_index(die_above))
+        k_cell = np.where(tsv_mask, k_tsv, k_plain)
+        r_half_if = (t_if / 2.0) / (k_cell * grid.cell_area)
+        asm.add_couplings(if_nodes, below_nodes, _series_array(r_below_half, r_half_if))
+        asm.add_couplings(if_nodes, above_nodes, _series_array(r_above_half, r_half_if))
 
     # Package on top of the topmost die.
     top_die = stack.n_dies - 1
@@ -445,11 +556,12 @@ def _build_air(grid: ThermalGrid, params: ThermalParams, package: AirPackage) ->
         + _beol_resistance(grid, params, scale)
         + package.tim_resistance_area * scale / grid.cell_area
     )
-    for j in range(grid.ny):
-        for i in range(grid.nx):
-            asm.add_coupling(
-                grid.node(top_slab, i, j), grid.spreader_node, 1.0 / r_cell_to_spreader
-            )
+    top_nodes = grid.slab_nodes(top_slab).ravel()
+    asm.add_couplings(
+        top_nodes,
+        np.full(top_nodes.size, grid.spreader_node),
+        1.0 / r_cell_to_spreader,
+    )
     asm.add_coupling(grid.spreader_node, grid.sink_node, 1.0 / package.spreader_resistance)
     asm.add_to_boundary(grid.sink_node, 1.0 / package.sink_resistance, package.ambient)
     capacitance[grid.spreader_node] += package.spreader_capacitance

@@ -13,7 +13,7 @@ setting is cached and each step costs a pair of triangular solves.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import weakref
 from typing import Optional
 
 import numpy as np
@@ -25,14 +25,20 @@ from repro.thermal.rc_network import RCNetwork
 
 
 class SteadyStateSolver:
-    """Solves ``G T = P + b`` for the equilibrium temperature field."""
+    """Solves ``G T = P + b`` for the equilibrium temperature field.
 
-    def __init__(self, network: RCNetwork) -> None:
+    ``lu`` lets :func:`steady_solver_for` reuse a previously computed
+    factorization of the same network; leave it ``None`` to factorize.
+    """
+
+    def __init__(self, network: RCNetwork, lu: Optional[spla.SuperLU] = None) -> None:
         self.network = network
-        try:
-            self._lu = spla.splu(network.conductance.tocsc())
-        except RuntimeError as exc:
-            raise SolverError(f"steady-state factorization failed: {exc}") from exc
+        if lu is None:
+            try:
+                lu = spla.splu(network.conductance.tocsc())
+            except RuntimeError as exc:
+                raise SolverError(f"steady-state factorization failed: {exc}") from exc
+        self._lu = lu
 
     def solve(self, power: np.ndarray) -> np.ndarray:
         """Equilibrium temperatures for a per-node power injection (W)."""
@@ -42,6 +48,25 @@ class SteadyStateSolver:
                 f"power vector has shape {power.shape}, expected ({self.network.n_nodes},)"
             )
         temps = self._lu.solve(power + self.network.boundary)
+        if not np.all(np.isfinite(temps)):
+            raise SolverError("steady-state solve produced non-finite temperatures")
+        return temps
+
+    def solve_many(self, powers: np.ndarray) -> np.ndarray:
+        """Equilibrium fields for many injections at once.
+
+        ``powers`` has shape ``(n_nodes, k)``; returns the same shape.
+        One multi-RHS triangular solve; columns agree with separate
+        :meth:`solve` calls to within LU roundoff (~1e-14 K — SuperLU
+        uses blocked kernels for multiple right-hand sides).
+        """
+        powers = np.asarray(powers, dtype=float)
+        n = self.network.n_nodes
+        if powers.ndim != 2 or powers.shape[0] != n:
+            raise SolverError(
+                f"power matrix has shape {powers.shape}, expected ({n}, k)"
+            )
+        temps = self._lu.solve(powers + self.network.boundary[:, None])
         if not np.all(np.isfinite(temps)):
             raise SolverError("steady-state solve produced non-finite temperatures")
         return temps
@@ -102,12 +127,15 @@ class TransientSolver:
         return state
 
 
-_steady_solver_memo: "OrderedDict[int, SteadyStateSolver]" = OrderedDict()
-_MEMO_CAPACITY = 8
-"""Small LRU of steady solvers keyed by ``id(network)``. The identity
-check below guards against id reuse after garbage collection; the
-bound keeps the memo (which pins its networks) from growing without
-limit."""
+_steady_lu_memo: "weakref.WeakKeyDictionary[RCNetwork, spla.SuperLU]" = (
+    weakref.WeakKeyDictionary()
+)
+"""LU factorizations keyed weakly by their network. Entries vanish when
+the caller drops the network, so the memo never pins networks alive
+(the old ``id(network)``-keyed LRU kept up to 8 networks and their
+factorizations reachable indefinitely, and id reuse could alias two
+different networks). The cached ``SuperLU`` object holds no reference
+back to the network, so there is no cycle to collect."""
 
 
 def steady_solver_for(network: RCNetwork) -> SteadyStateSolver:
@@ -118,16 +146,11 @@ def steady_solver_for(network: RCNetwork) -> SteadyStateSolver:
     only hold a bare network, so repeated :func:`initial_state` calls
     reuse one LU factorization instead of re-factorizing every time.
     """
-    key = id(network)
-    solver = _steady_solver_memo.get(key)
-    if solver is not None and solver.network is network:
-        _steady_solver_memo.move_to_end(key)
-        return solver
+    lu = _steady_lu_memo.get(network)
+    if lu is not None:
+        return SteadyStateSolver(network, lu=lu)
     solver = SteadyStateSolver(network)
-    _steady_solver_memo[key] = solver
-    _steady_solver_memo.move_to_end(key)
-    while len(_steady_solver_memo) > _MEMO_CAPACITY:
-        _steady_solver_memo.popitem(last=False)
+    _steady_lu_memo[network] = solver._lu
     return solver
 
 

@@ -1,0 +1,100 @@
+"""Full-engine golden runs pinned against pre-refactor fixtures.
+
+The JSON fixtures under ``tests/data/`` were produced by the seed
+(pre-vectorization, PR 2) engine: short fig6-style runs covering
+liquid variable-flow (steady and with a pump transition), air cooling,
+and the 4-layer stack. The vectorized engine must reproduce every
+recorded series to <= 1e-9 and every discrete series (pump settings,
+completions, migrations) exactly.
+
+The golden configs deliberately use queue-length-driven policies (LB,
+migration below its threshold): their decisions are robust to
+sub-ulp temperature perturbations. TALB's dispatch argmin breaks
+mirror-core ties on ~1e-14 weight noise, so its *trajectories* are not
+refactor-stable; TALB correctness is pinned instead by the exact
+operator/assembly equivalence suite
+(``tests/thermal/test_vector_equivalence.py``).
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.io.serialize import load_result
+from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.engine import simulate
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+
+GOLDEN_CASES = {
+    "golden_liquid_lb": SimulationConfig(
+        benchmark_name="Web-high",
+        policy=PolicyKind.LB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=2.0,
+        seed=0,
+    ),
+    "golden_liquid_lb_gzip": SimulationConfig(
+        benchmark_name="gzip",
+        policy=PolicyKind.LB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=2.0,
+        seed=0,
+    ),
+    "golden_air_lb": SimulationConfig(
+        benchmark_name="Web-med",
+        policy=PolicyKind.LB,
+        cooling=CoolingMode.AIR,
+        duration=2.0,
+        seed=0,
+    ),
+    "golden_liquid_migration_4layer": SimulationConfig(
+        benchmark_name="Database",
+        policy=PolicyKind.MIGRATION,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=2.0,
+        seed=1,
+        n_layers=4,
+    ),
+}
+
+FLOAT_SERIES = (
+    "times",
+    "tmax",
+    "tmax_cell",
+    "core_temperatures",
+    "unit_temperatures",
+    "chip_power",
+    "pump_power",
+    "forecast_tmax",
+)
+EXACT_SERIES = ("flow_setting", "completed_threads", "migrations")
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden_run_matches_pre_refactor(name):
+    config = GOLDEN_CASES[name]
+    result = simulate(config)
+    golden = load_result(DATA / f"{name}.json")
+
+    assert result.unit_names == golden.unit_names
+    assert result.core_names == golden.core_names
+    assert result.retrain_count == golden.retrain_count
+    assert result.sojourn_count == golden.sojourn_count
+    assert result.sojourn_sum == pytest.approx(golden.sojourn_sum, abs=1.0e-9)
+
+    for field in EXACT_SERIES:
+        np.testing.assert_array_equal(
+            getattr(result, field), getattr(golden, field), err_msg=field
+        )
+    for field in FLOAT_SERIES:
+        got = np.asarray(getattr(result, field), dtype=float)
+        ref = np.asarray(getattr(golden, field), dtype=float)
+        assert got.shape == ref.shape, field
+        # NaN-aware (forecast warm-up is NaN) elementwise comparison.
+        both_nan = np.isnan(got) & np.isnan(ref)
+        close = np.abs(got - ref) <= 1.0e-9
+        assert np.all(both_nan | close), (
+            f"{field}: max |diff| = {np.nanmax(np.abs(got - ref))}"
+        )

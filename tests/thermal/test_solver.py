@@ -1,5 +1,8 @@
 """Steady-state and transient solvers."""
 
+import gc
+import weakref
+
 import numpy as np
 import pytest
 
@@ -8,7 +11,13 @@ from repro.errors import SolverError
 from repro.geometry.stack import build_stack
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.rc_network import ThermalParams, build_network
-from repro.thermal.solver import SteadyStateSolver, TransientSolver, initial_state
+from repro.thermal.solver import (
+    SteadyStateSolver,
+    TransientSolver,
+    _steady_lu_memo,
+    initial_state,
+    steady_solver_for,
+)
 
 FLOW = units.ml_per_minute(400.0)
 
@@ -101,3 +110,42 @@ class TestTransient:
         gap = np.abs(temps - steady).max()
         initial_gap = np.abs(60.0 - steady).max()
         assert gap < 0.05 * initial_gap
+
+
+class TestSteadySolverMemo:
+    """The LU memo keys weakly on the network: reuse while alive,
+    release when dropped (the old id()-keyed LRU pinned up to 8
+    networks and their factorizations forever)."""
+
+    def _fresh_network(self):
+        grid = ThermalGrid(build_stack(2), nx=8, ny=8)
+        return build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+
+    def test_reuses_factorization_while_network_alive(self):
+        net = self._fresh_network()
+        s1 = steady_solver_for(net)
+        s2 = steady_solver_for(net)
+        assert s1._lu is s2._lu
+
+    def test_distinct_networks_get_distinct_factorizations(self):
+        net_a = self._fresh_network()
+        net_b = self._fresh_network()
+        assert steady_solver_for(net_a)._lu is not steady_solver_for(net_b)._lu
+
+    def test_dropped_network_is_released(self):
+        net = self._fresh_network()
+        ref = weakref.ref(net)
+        before = len(_steady_lu_memo)
+        steady_solver_for(net)
+        assert len(_steady_lu_memo) == before + 1
+        del net
+        gc.collect()
+        assert ref() is None, "memo must not pin the network alive"
+        assert len(_steady_lu_memo) == before
+
+    def test_initial_state_uses_memo(self):
+        net = self._fresh_network()
+        t1 = initial_state(net)
+        t2 = initial_state(net)  # second call reuses the cached LU
+        np.testing.assert_array_equal(t1, t2)
+        assert np.allclose(t1, 60.0, atol=1e-6)
