@@ -61,8 +61,19 @@ from repro.sched import (
     ThermalWeights,
     WeightedLoadBalancer,
 )
+from repro.dist import (
+    CampaignPlan,
+    MergeResult,
+    WorkerReport,
+    campaign_status,
+    merge_campaign,
+    plan_campaign,
+    run_worker,
+)
 from repro.runner import BatchResult, BatchRunner
 from repro.sweep import (
+    HistogramAggregator,
+    QuantileAggregator,
     SweepPoint,
     SweepResult,
     SweepRunner,
@@ -148,6 +159,15 @@ __all__ = [
     "SweepPoint",
     "SweepRunner",
     "SweepResult",
+    "HistogramAggregator",
+    "QuantileAggregator",
+    "plan_campaign",
+    "CampaignPlan",
+    "run_worker",
+    "WorkerReport",
+    "merge_campaign",
+    "MergeResult",
+    "campaign_status",
     "PolicyKind",
     "CoolingMode",
     "ControllerKind",

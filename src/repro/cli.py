@@ -10,9 +10,16 @@ be driven without writing Python:
 * ``sweep run | resume | status`` — declarative checkpointed campaigns
   through :class:`repro.sweep.SweepRunner`: ``--spec`` names a built-in
   declaration (``fig6``, ``fig7``, ``fig8``, ``fourlayer``,
-  ``headline``) or a JSON/YAML spec file, progress streams as runs
-  fold, and an interrupted campaign resumes from its checkpoint with
-  bit-identical aggregates and exports;
+  ``headline``, ``ablations``, ``hysteresis``) or a JSON/YAML spec
+  file, progress streams (rate-limited) as runs fold, and an
+  interrupted campaign resumes from its checkpoint with bit-identical
+  aggregates and exports;
+* ``dist plan | work | merge | status`` — the same campaigns sharded
+  across worker processes and hosts (:mod:`repro.dist`): ``plan``
+  writes the leased work ledger, any number of ``work`` loops execute
+  shards (with stale-lease reclaim when a worker crashes), and
+  ``merge`` folds the shard journals into aggregates/CSV/JSON
+  byte-identical to a single-host ``sweep run``;
 * ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
   — regenerate a table/figure and print its rows (the multi-run
   figures accept ``--workers`` for process fan-out);
@@ -27,6 +34,8 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.dist.plan import DEFAULT_CHUNK_SIZE
+from repro.dist.worker import DEFAULT_LEASE_TTL
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
@@ -38,8 +47,10 @@ from repro.experiments import (
     fig8,
     fourlayer,
     headline,
+    sweeps as experiment_sweeps,
     table2,
 )
+from repro.progress import ProgressReporter
 from repro.io.serialize import result_summary, save_result, write_timeseries_csv
 from repro.sim.config import (
     ControllerKind,
@@ -50,13 +61,16 @@ from repro.sim.config import (
 from repro.sim.engine import simulate
 from repro.workload.benchmarks import TABLE_II
 
-#: Built-in sweep declarations ``repro sweep run --spec <name>`` accepts.
+#: Built-in sweep declarations ``repro sweep run --spec <name>`` and
+#: ``repro dist plan --spec <name>`` accept.
 BUILTIN_SPECS = {
     "fig6": fig6.sweep_spec,
     "fig7": fig7.sweep_spec,
     "fig8": fig8.sweep_spec,
     "fourlayer": fourlayer.sweep_spec,
     "headline": headline.sweep_spec,
+    "ablations": ablations.controller_ablation_spec,
+    "hysteresis": experiment_sweeps.hysteresis_spec,
 }
 
 
@@ -226,6 +240,100 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="report a checkpoint's progress"
     )
     sw_status.add_argument("--checkpoint", required=True, metavar="PATH")
+
+    dist = sub.add_parser(
+        "dist",
+        help="distributed campaigns (plan / work / merge / status)",
+        description="Shard a sweep campaign across worker processes and "
+        "hosts over a shared campaign directory: 'plan' writes the leased "
+        "work ledger, any number of 'work' loops claim and execute shards "
+        "(crashed workers' leases go stale and are reclaimed), and 'merge' "
+        "folds the shard journals into aggregates, CSV, and completion "
+        "JSON byte-identical to a single-host 'repro sweep run'.",
+    )
+    dsub = dist.add_subparsers(dest="dist_command", required=True)
+
+    d_plan = dsub.add_parser(
+        "plan",
+        help="shard a sweep spec into a campaign work ledger",
+        description="Write a campaign ledger. --spec is a built-in name "
+        f"({', '.join(BUILTIN_SPECS)}) or a JSON/YAML spec file. "
+        "Re-planning the identical campaign is a no-op.",
+    )
+    d_plan.add_argument("--spec", required=True, metavar="NAME|FILE")
+    d_plan.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds per run (built-in specs only)",
+    )
+    d_plan.add_argument(
+        "--seed", type=int, default=None, help="base seed (built-in specs only)"
+    )
+    d_plan.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="campaign directory (must be shared by every worker host)",
+    )
+    d_plan.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE, metavar="N",
+        help=f"runs per leased shard (default {DEFAULT_CHUNK_SIZE})",
+    )
+
+    d_work = dsub.add_parser(
+        "work",
+        help="claim and execute shard leases until the campaign is done",
+    )
+    d_work.add_argument("--dir", required=True, metavar="DIR")
+    d_work.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="identity recorded in leases/journals (default host:pid)",
+    )
+    d_work.add_argument(
+        "--workers", type=int, default=1,
+        help="process fan-out within each shard (results are identical)",
+    )
+    d_work.add_argument(
+        "--lease-ttl", type=float, default=DEFAULT_LEASE_TTL, metavar="S",
+        help="seconds before an unrefreshed lease counts as stale "
+        f"(default {DEFAULT_LEASE_TTL:.0f}; must exceed one run)",
+    )
+    d_work.add_argument(
+        "--max-shards", type=int, default=None, metavar="K",
+        help="execute at most K shards this session, then exit",
+    )
+    d_work.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="S",
+        help="seconds between scans while other workers hold all shards",
+    )
+    d_work.add_argument(
+        "--no-wait", action="store_true",
+        help="exit when nothing is claimable instead of waiting "
+        "for other workers to finish",
+    )
+    d_work.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
+    )
+
+    d_merge = dsub.add_parser(
+        "merge",
+        help="fold finished shard journals into the final aggregates",
+    )
+    d_merge.add_argument("--dir", required=True, metavar="DIR")
+    d_merge.add_argument(
+        "--save-json", metavar="PATH",
+        help="write rows + aggregates as completion JSON "
+        "(byte-identical to a single-host run's)",
+    )
+    d_merge.add_argument(
+        "--save-csv", metavar="PATH", help="write one CSV row per run"
+    )
+    d_merge.add_argument(
+        "--partial", action="store_true",
+        help="merge the contiguous finished prefix even if shards are missing",
+    )
+
+    d_status = dsub.add_parser(
+        "status", help="report a campaign directory's progress"
+    )
+    d_status.add_argument("--dir", required=True, metavar="DIR")
 
     for name, help_text in (
         ("fig3", "pump power and per-cavity flows"),
@@ -484,11 +592,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.snapshot_every < 1:
         raise SystemExit("--snapshot-every must be >= 1")
 
+    reporter = ProgressReporter(
+        spec.run_count, label=spec.name or "sweep", quiet=args.quiet
+    )
+
     def _progress(folded: int, total: int, point, elapsed: float) -> None:
-        print(
-            f"  [{folded}/{total}] {point.key}  ({elapsed:.1f}s)",
-            file=sys.stderr,
-        )
+        reporter.update(folded, detail=f"{point.key} ({elapsed:.1f}s)")
 
     print(spec.describe())
     runner = SweepRunner(
@@ -504,6 +613,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         result = runner.run(resume=resume)
     except ConfigurationError as exc:
         raise SystemExit(f"error: {exc}") from None
+    reporter.finish(result.folded)
 
     executed = result.folded - result.resumed
     print(
@@ -561,6 +671,138 @@ def _existing_file(path_str: str, what: str) -> str:
     return path_str
 
 
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist import (
+        campaign_status,
+        merge_campaign,
+        plan_campaign,
+        run_worker,
+    )
+
+    if args.dist_command == "plan":
+        spec = _resolve_spec(args)
+        if args.chunk_size < 1:
+            raise SystemExit("--chunk-size must be >= 1")
+        try:
+            plan = plan_campaign(spec, args.dir, chunk_size=args.chunk_size)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(plan.describe())
+        print(f"fingerprint {plan.fingerprint[:16]}...")
+        print(
+            "start workers with: repro dist work --dir "
+            f"{args.dir}  (any number, any host sharing the directory)"
+        )
+        return 0
+
+    if args.dist_command == "work":
+        reporter = ProgressReporter(0, label="dist", quiet=args.quiet)
+        runs_seen = 0
+
+        def _progress(point, shard_index, elapsed: float) -> None:
+            nonlocal runs_seen
+            runs_seen += 1
+            reporter.update(
+                runs_seen,
+                detail=f"shard {shard_index}: {point.key} ({elapsed:.1f}s)",
+            )
+
+        try:
+            report = run_worker(
+                args.dir,
+                worker_id=args.worker_id,
+                max_workers=_validated_workers(args),
+                lease_ttl=args.lease_ttl,
+                max_shards=args.max_shards,
+                poll_interval=args.poll_interval,
+                wait=not args.no_wait,
+                progress=None if args.quiet else _progress,
+            )
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        reporter.finish(runs_seen, detail=f"{report.wall_time:.1f}s")
+        reclaimed = (
+            f", reclaimed {len(report.shards_reclaimed)} stale lease(s)"
+            if report.shards_reclaimed
+            else ""
+        )
+        print(
+            f"worker {report.worker_id}: executed "
+            f"{len(report.shards_executed)} shard(s) / "
+            f"{report.runs_executed} run(s) in {report.wall_time:.2f}s"
+            + reclaimed
+        )
+        return 0
+
+    if args.dist_command == "merge":
+        _checked_output(args.save_json, "JSON output")
+        _checked_output(args.save_csv, "CSV output")
+        try:
+            merged = merge_campaign(args.dir, allow_partial=args.partial)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        notes = []
+        if merged.shards_missing:
+            notes.append(f"{len(merged.shards_missing)} shard(s) not finished")
+        if merged.shards_skipped:
+            notes.append(
+                f"{len(merged.shards_skipped)} finished shard(s) beyond the "
+                "first gap not merged"
+            )
+        print(
+            f"merge: {merged.folded}/{merged.n_runs} runs from "
+            f"{merged.shards_merged} shard(s)"
+            + (f" ({'; '.join(notes)})" if notes else "")
+        )
+        for kind, rows in merged.aggregate_rows().items():
+            if rows and kind in ("scalar", "quantile"):
+                print(f"\n-- {kind} aggregates --")
+                _print_rows(rows)
+        if args.save_csv:
+            merged.save_csv(args.save_csv)
+            print(f"wrote CSV  -> {args.save_csv}")
+        if args.save_json:
+            if merged.complete:
+                merged.save_json(args.save_json)
+                print(f"wrote JSON -> {args.save_json}")
+            else:
+                print(
+                    "JSON export skipped (written only when every shard "
+                    "has merged)"
+                )
+        return 0
+
+    if args.dist_command == "status":
+        try:
+            status = campaign_status(args.dir)
+        except ConfigurationError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(f"campaign:   {status.name or '(unnamed)'}")
+        print(f"fingerprint {status.fingerprint[:16]}...")
+        print(
+            f"shards:     {status.count('done')}/{status.n_shards} done, "
+            f"{status.count('running')} running, "
+            f"{status.count('stale')} stale, "
+            f"{status.count('pending')} pending"
+        )
+        print(f"runs:       {status.runs_done}/{status.n_runs} journaled-complete")
+        for state in status.shards:
+            if state.state != "done":
+                holder = f" ({state.worker})" if state.worker else ""
+                print(
+                    f"  shard {state.shard.index} "
+                    f"[{state.shard.start},{state.shard.stop}): "
+                    f"{state.state}{holder}, {state.runs_journaled} journaled"
+                )
+        if status.count("stale"):
+            print(
+                "stale leases are reclaimed automatically by the next "
+                "'repro dist work' scan"
+            )
+        return 0
+    raise AssertionError(f"unhandled dist command {args.dist_command!r}")
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.sim.calibration import calibrate_air_scale, calibrate_liquid_scale
 
@@ -593,6 +835,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_batch(args)
     if command == "sweep":
         return _cmd_sweep(args)
+    if command == "dist":
+        return _cmd_dist(args)
     if command == "fig3":
         _print_rows(fig3.run())
         return 0

@@ -1,0 +1,53 @@
+"""Distributed campaigns: shard a sweep across workers and hosts.
+
+The execution tier above :mod:`repro.sweep` for campaigns too large
+for one process — the paper's policy x flow x geometry matrices at
+scale, and every multi-host fan-out after them. The flow is three
+idempotent stages over a shared campaign directory:
+
+1. :func:`plan_campaign` shards a :class:`~repro.sweep.spec.SweepSpec`'s
+   lazy expansion into leased chunks and writes the work ledger
+   (``repro dist plan``);
+2. any number of :func:`run_worker` loops — processes, containers,
+   hosts — claim shard leases, execute their runs through
+   :class:`~repro.runner.BatchRunner`, and journal rows plus
+   aggregator fold payloads per shard (``repro dist work``). Crashed
+   workers' leases go stale and are reclaimed automatically;
+3. :func:`merge_campaign` folds the shard journals in canonical
+   run-index order into the standard aggregators (``repro dist
+   merge``), producing aggregates, CSV, and completion JSON
+   *byte-identical* to a single-host
+   :class:`~repro.sweep.runner.SweepRunner` run of the same spec.
+
+See :mod:`repro.io.dist` for the ledger/journal/lease formats and
+:mod:`repro.sweep.aggregate` for the fold-payload replay that makes
+the merge exact.
+"""
+
+from repro.dist.merge import (
+    CampaignStatus,
+    MergeResult,
+    ShardState,
+    campaign_status,
+    merge_campaign,
+)
+from repro.dist.plan import DEFAULT_CHUNK_SIZE, CampaignPlan, plan_campaign
+from repro.dist.worker import WorkerReport, run_worker
+from repro.io.dist import Ledger, Shard, read_ledger, shard_fingerprint
+
+__all__ = [
+    "plan_campaign",
+    "CampaignPlan",
+    "DEFAULT_CHUNK_SIZE",
+    "run_worker",
+    "WorkerReport",
+    "merge_campaign",
+    "MergeResult",
+    "campaign_status",
+    "CampaignStatus",
+    "ShardState",
+    "Ledger",
+    "Shard",
+    "read_ledger",
+    "shard_fingerprint",
+]

@@ -1,0 +1,168 @@
+"""Campaign planning: shard a sweep spec into a leased work ledger.
+
+The planner is pure bookkeeping — no simulation runs here. It tiles
+the spec's run-index range ``[0, run_count)`` into fixed-size chunks,
+derives each shard's fingerprint from the spec's SHA-256 fingerprint
+plus its range, and writes the ledger (with the full spec payload
+embedded) into the campaign directory. Planning the same spec into the
+same directory twice is a no-op, so experiment drivers can call it
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.io.dist import (
+    DIST_VERSION,
+    LEDGER_FORMAT,
+    Ledger,
+    Shard,
+    read_ledger,
+    shard_fingerprint,
+    write_ledger,
+)
+from repro.sweep.aggregate import Aggregator, default_aggregators
+from repro.sweep.spec import SweepSpec
+
+#: Default runs per shard: small enough that a handful of workers keep
+#: busy on a fig-sized campaign (tens to hundreds of runs), large
+#: enough that lease/journal bookkeeping is noise against simulation.
+DEFAULT_CHUNK_SIZE = 16
+
+
+@dataclass
+class CampaignPlan:
+    """What :func:`plan_campaign` wrote (or found already written)."""
+
+    directory: Path
+    name: str
+    fingerprint: str
+    n_runs: int
+    chunk_size: int
+    shards: list[Shard]
+    existing: bool = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def describe(self) -> str:
+        """One-line human summary for the CLI."""
+        label = self.name or "campaign"
+        state = "already planned" if self.existing else "planned"
+        return (
+            f"{label}: {state} — {self.n_runs} runs in {self.n_shards} "
+            f"shard(s) of <= {self.chunk_size} at {self.directory}"
+        )
+
+
+def plan_shards(fingerprint: str, n_runs: int, chunk_size: int) -> list[Shard]:
+    """Tile ``[0, n_runs)`` into chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    shards = []
+    for index, start in enumerate(range(0, n_runs, chunk_size)):
+        stop = min(start + chunk_size, n_runs)
+        shards.append(
+            Shard(
+                index=index,
+                shard_id=shard_fingerprint(fingerprint, start, stop),
+                start=start,
+                stop=stop,
+            )
+        )
+    return shards
+
+
+def plan_campaign(
+    spec: SweepSpec,
+    directory: Union[str, Path],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    aggregators: Optional[Sequence[Aggregator]] = None,
+) -> CampaignPlan:
+    """Write a campaign ledger for ``spec`` into ``directory``.
+
+    The whole expansion is validated up front (a bad axis value must
+    fail at plan time, not on some worker hours later). Re-planning the
+    identical campaign — same spec fingerprint, same chunking — into an
+    existing directory returns the existing plan untouched; anything
+    else already living there is refused.
+    """
+    spec.validate_all()
+    directory = Path(directory)
+    fingerprint = spec.fingerprint()
+    aggregator_specs = [
+        agg.spec()
+        for agg in (default_aggregators() if aggregators is None else aggregators)
+    ]
+    if (directory / "ledger.jsonl").exists():
+        ledger = read_ledger(directory)
+        if ledger.fingerprint != fingerprint:
+            raise ConfigurationError(
+                f"{directory} already holds a different campaign "
+                f"(fingerprint {ledger.fingerprint[:12]}... vs this "
+                f"spec's {fingerprint[:12]}...); choose another directory"
+            )
+        if ledger.chunk_size != chunk_size:
+            raise ConfigurationError(
+                f"{directory} already plans this campaign with chunk_size="
+                f"{ledger.chunk_size}, not {chunk_size}; workers must all "
+                "see one shard layout"
+            )
+        if ledger.aggregator_specs != aggregator_specs:
+            raise ConfigurationError(
+                f"{directory} already plans this campaign with a different "
+                "aggregator set; workers journal fold payloads for the "
+                "planned reducers, so re-plan into a fresh directory"
+            )
+        return CampaignPlan(
+            directory=directory,
+            name=ledger.name,
+            fingerprint=ledger.fingerprint,
+            n_runs=ledger.n_runs,
+            chunk_size=ledger.chunk_size,
+            shards=ledger.shards,
+            existing=True,
+        )
+    shards = plan_shards(fingerprint, spec.run_count, chunk_size)
+    header = {
+        "kind": "header",
+        "format": LEDGER_FORMAT,
+        "version": DIST_VERSION,
+        "name": spec.name,
+        "fingerprint": fingerprint,
+        "n_runs": spec.run_count,
+        "chunk_size": chunk_size,
+        "n_shards": len(shards),
+        "spec": spec.to_dict(),
+        "aggregators": aggregator_specs,
+    }
+    write_ledger(directory, header, shards)
+    return CampaignPlan(
+        directory=directory,
+        name=spec.name,
+        fingerprint=fingerprint,
+        n_runs=spec.run_count,
+        chunk_size=chunk_size,
+        shards=shards,
+    )
+
+
+def ledger_spec(ledger: Ledger) -> SweepSpec:
+    """Reconstruct the campaign's spec from its ledger, verified.
+
+    The embedded payload must round-trip to the fingerprint the ledger
+    declares — a mismatch means a hand-edited or corrupted ledger, and
+    executing it would silently produce a different campaign.
+    """
+    spec = SweepSpec.from_dict(ledger.spec_payload)
+    if spec.fingerprint() != ledger.fingerprint:
+        raise ConfigurationError(
+            f"ledger {ledger.directory} spec payload does not match its "
+            f"declared fingerprint; the ledger is corrupt"
+        )
+    return spec

@@ -48,6 +48,32 @@ def inlet_temperature_sweep(
     return rows
 
 
+def hysteresis_spec(
+    values: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0),
+    workload: str = "Database",
+    duration: float = 15.0,
+    seed: int = 0,
+) -> SweepSpec:
+    """The hysteresis-margin campaign as a declarative spec.
+
+    Shared by :func:`hysteresis_sweep` and the campaign CLIs
+    (``repro sweep run --spec hysteresis``, ``repro dist plan --spec
+    hysteresis``) so the direct and distributed paths expand the exact
+    same runs.
+    """
+    return SweepSpec(
+        base=SimulationConfig(
+            benchmark_name=workload,
+            policy=PolicyKind.TALB,
+            cooling=CoolingMode.LIQUID_VARIABLE,
+            duration=duration,
+            seed=seed,
+        ),
+        grid={"hysteresis": list(values)},
+        name="hysteresis",
+    )
+
+
 def hysteresis_sweep(
     values: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0),
     workload: str = "Database",
@@ -62,16 +88,8 @@ def hysteresis_sweep(
     """
     import numpy as np
 
-    spec = SweepSpec(
-        base=SimulationConfig(
-            benchmark_name=workload,
-            policy=PolicyKind.TALB,
-            cooling=CoolingMode.LIQUID_VARIABLE,
-            duration=duration,
-            seed=seed,
-        ),
-        grid={"hysteresis": list(values)},
-        name="hysteresis",
+    spec = hysteresis_spec(
+        values=values, workload=workload, duration=duration, seed=seed
     )
     rows = []
     for point, result in common.run_spec(spec):

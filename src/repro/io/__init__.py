@@ -1,9 +1,12 @@
 """Result and trace serialization (JSON summaries, CSV time series),
 for single runs (:mod:`repro.io.serialize`), batches
-(:mod:`repro.io.batch`), and streaming sweep exports
-(:mod:`repro.io.sweep`)."""
+(:mod:`repro.io.batch`), streaming sweep exports
+(:mod:`repro.io.sweep`), crash-consistent JSONL journals
+(:mod:`repro.io.jsonl`), and distributed campaign ledgers/shard
+journals/leases (:mod:`repro.io.dist`)."""
 
 from repro.io.batch import config_descriptor, save_batch, write_batch_csv
+from repro.io.jsonl import JsonlAppender, json_line, read_jsonl, truncate_to_consistent
 from repro.io.serialize import (
     load_result,
     result_from_payload,
@@ -33,4 +36,8 @@ __all__ = [
     "SweepCsvWriter",
     "write_sweep_csv",
     "save_sweep_json",
+    "JsonlAppender",
+    "json_line",
+    "read_jsonl",
+    "truncate_to_consistent",
 ]

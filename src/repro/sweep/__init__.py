@@ -18,10 +18,15 @@ from repro.sweep.aggregate import (
     METRICS,
     Aggregator,
     CellAggregator,
+    HistogramAggregator,
+    P2Quantile,
+    QuantileAggregator,
     RunningStats,
     ScalarAggregator,
+    aggregate_tables,
     aggregator_from_spec,
     default_aggregators,
+    group_key,
 )
 from repro.sweep.runner import (
     SweepResult,
@@ -41,11 +46,16 @@ __all__ = [
     "Aggregator",
     "ScalarAggregator",
     "CellAggregator",
+    "HistogramAggregator",
+    "QuantileAggregator",
+    "P2Quantile",
     "RunningStats",
     "METRICS",
     "DEFAULT_METRICS",
+    "aggregate_tables",
     "aggregator_from_spec",
     "default_aggregators",
+    "group_key",
     "config_signature",
     "point_key",
 ]

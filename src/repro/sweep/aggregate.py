@@ -11,17 +11,33 @@ streams out of the process pool and keep only O(aggregate) state:
   fields, e.g. per policy label or per workload);
 * :class:`CellAggregator` — per-floorplan-unit reducers: the running
   mean of each unit's time-average temperature and the running max of
-  its peak, across runs (the spatial-hot-spot view of a sweep).
+  its peak, across runs (the spatial-hot-spot view of a sweep);
+* :class:`HistogramAggregator` — a fixed-bin histogram sketch of one
+  metric per group (integer counts merge exactly across shards);
+* :class:`QuantileAggregator` — P² streaming quantile estimates
+  (Jain & Chlamtac 1985) of one metric per group, at O(1) memory per
+  quantile however long the campaign runs.
 
 Folding is strictly in run-index order (the sweep runner guarantees
 this), and every aggregator's state round-trips losslessly through
 JSON (:meth:`Aggregator.state_dict` / :meth:`Aggregator.load_state`),
 so a checkpointed sweep resumes to *bit-identical* aggregates: Python
 floats survive JSON exactly, and the summation order is reproduced.
+
+Distributed folding splits the update into two halves:
+:meth:`Aggregator.fold_payload` extracts a run's JSON-safe
+contribution (computed on whatever worker executed the run) and
+:meth:`Aggregator.update_payload` applies it. ``update()`` is defined
+as exactly ``update_payload(fold_payload(...))``, so replaying
+journaled payloads in run-index order — however the runs were sharded
+across workers or hosts — performs the *same float operations in the
+same order* as a single-host sweep, making merged aggregates
+bit-identical (the invariant :mod:`repro.dist` builds on).
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -115,6 +131,16 @@ class Aggregator:
     their full state as a JSON-serializable payload
     (:meth:`state_dict` / :meth:`load_state`) for checkpointing, and
     render summary rows (:meth:`rows`) for export and the CLI.
+
+    The built-in reducers implement ``update`` as
+    ``update_payload(fold_payload(config, result))``:
+    :meth:`fold_payload` is a *pure* function extracting the run's
+    JSON-safe contribution, :meth:`update_payload` mutates state. The
+    split is what lets :mod:`repro.dist` journal per-run payloads on
+    remote workers and replay them in run-index order at merge time —
+    the same float operations in the same order as a single-host fold,
+    hence bit-identical aggregates. Custom subclasses may override
+    ``update`` directly, but then cannot ride a distributed campaign.
     """
 
     kind: str = ""
@@ -123,8 +149,22 @@ class Aggregator:
         """Constructor payload for :func:`aggregator_from_spec`."""
         raise NotImplementedError
 
+    def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
+        """One run's JSON-safe contribution (pure; no state change)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support payload folding, "
+            "so it cannot be used in a distributed campaign"
+        )
+
+    def update_payload(self, payload: Mapping) -> None:
+        """Apply a contribution produced by :meth:`fold_payload`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support payload folding, "
+            "so it cannot be used in a distributed campaign"
+        )
+
     def update(self, config: SimulationConfig, result: SimulationResult) -> None:
-        raise NotImplementedError
+        self.update_payload(self.fold_payload(config, result))
 
     def state_dict(self) -> dict:
         raise NotImplementedError
@@ -134,6 +174,27 @@ class Aggregator:
 
     def rows(self) -> list[dict]:
         raise NotImplementedError
+
+
+def group_key(config: SimulationConfig, group_by: Sequence[str]) -> str:
+    """The group identity of a config under a ``group_by`` field tuple."""
+    if not group_by:
+        return "all"
+    descriptor = config_descriptor(config)
+    missing = [f for f in group_by if f not in descriptor]
+    if missing:
+        raise ConfigurationError(
+            f"group_by fields not in the config descriptor: "
+            f"{', '.join(missing)}; choose from {', '.join(descriptor)}"
+        )
+    return "|".join(str(descriptor[f]) for f in group_by)
+
+
+def _group_columns(group_by: Sequence[str], key: str) -> dict:
+    """The identity columns of one rendered aggregate row."""
+    if group_by:
+        return dict(zip(group_by, key.split("|")))
+    return {"group": key}
 
 
 class ScalarAggregator(Aggregator):
@@ -177,24 +238,18 @@ class ScalarAggregator(Aggregator):
             "group_by": list(self.group_by),
         }
 
-    def _group_key(self, config: SimulationConfig) -> str:
-        if not self.group_by:
-            return "all"
-        descriptor = config_descriptor(config)
-        missing = [f for f in self.group_by if f not in descriptor]
-        if missing:
-            raise ConfigurationError(
-                f"group_by fields not in the config descriptor: "
-                f"{', '.join(missing)}; choose from {', '.join(descriptor)}"
-            )
-        return "|".join(str(descriptor[f]) for f in self.group_by)
+    def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
+        return {
+            "group": group_key(config, self.group_by),
+            "values": [METRICS[metric](result) for metric in self.metrics],
+        }
 
-    def update(self, config: SimulationConfig, result: SimulationResult) -> None:
+    def update_payload(self, payload: Mapping) -> None:
         group = self._groups.setdefault(
-            self._group_key(config), {m: RunningStats() for m in self.metrics}
+            payload["group"], {m: RunningStats() for m in self.metrics}
         )
-        for metric in self.metrics:
-            group[metric].add(METRICS[metric](result))
+        for metric, value in zip(self.metrics, payload["values"]):
+            group[metric].add(value)
 
     def state_dict(self) -> dict:
         return {
@@ -214,11 +269,7 @@ class ScalarAggregator(Aggregator):
         """One row per group: identity columns, then mean/min/max stats."""
         rows = []
         for key, group in self._groups.items():
-            row: dict = {}
-            if self.group_by:
-                row.update(zip(self.group_by, key.split("|")))
-            else:
-                row["group"] = key
+            row: dict = dict(_group_columns(self.group_by, key))
             first = next(iter(group.values()), None)
             row["runs"] = first.count if first is not None else 0
             for metric in self.metrics:
@@ -252,14 +303,22 @@ class CellAggregator(Aggregator):
     def spec(self) -> dict:
         return {"kind": self.kind}
 
-    def update(self, config: SimulationConfig, result: SimulationResult) -> None:
+    def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
         if result.unit_temperatures.size == 0:
-            return
+            return {"units": []}
         means = result.unit_temperatures.mean(axis=0)
         peaks = result.unit_temperatures.max(axis=0)
-        for name, mean, peak in zip(result.unit_names, means, peaks):
-            self._mean.setdefault(name, RunningStats()).add(float(mean))
-            self._peak.setdefault(name, RunningStats()).add(float(peak))
+        return {
+            "units": [
+                [name, float(mean), float(peak)]
+                for name, mean, peak in zip(result.unit_names, means, peaks)
+            ]
+        }
+
+    def update_payload(self, payload: Mapping) -> None:
+        for name, mean, peak in payload["units"]:
+            self._mean.setdefault(name, RunningStats()).add(mean)
+            self._peak.setdefault(name, RunningStats()).add(peak)
 
     def state_dict(self) -> dict:
         return {
@@ -296,7 +355,383 @@ class CellAggregator(Aggregator):
         ]
 
 
-_AGGREGATOR_KINDS = {"scalar": ScalarAggregator, "cells": CellAggregator}
+class HistogramAggregator(Aggregator):
+    """Fixed-bin histogram sketch of one metric, per group.
+
+    ``bins`` equal-width bins over ``[lo, hi)`` (values exactly at
+    ``hi`` land in the top bin), with explicit underflow/overflow/NaN
+    counters so no observation is silently dropped. Counts are
+    integers, so shard histograms also merge *exactly* by addition
+    (:meth:`merge`) — the sketch whose distributed fold needs no
+    replay at all.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        metric: str = "peak_temperature",
+        lo: float = 40.0,
+        hi: float = 120.0,
+        bins: int = 32,
+        group_by: Sequence[str] = ("label",),
+    ) -> None:
+        if metric not in METRICS:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; choose from {', '.join(METRICS)}"
+            )
+        if not lo < hi:
+            raise ConfigurationError(f"histogram needs lo < hi, got [{lo}, {hi})")
+        if bins < 1:
+            raise ConfigurationError("histogram needs at least one bin")
+        self.metric = metric
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = int(bins)
+        self.group_by = tuple(group_by)
+        # group key -> {"counts": [bins ints], "underflow", "overflow", "nan"}
+        self._groups: dict[str, dict] = {}
+
+    @staticmethod
+    def _empty_group(bins: int) -> dict:
+        return {"counts": [0] * bins, "underflow": 0, "overflow": 0, "nan": 0}
+
+    def spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "metric": self.metric,
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins": self.bins,
+            "group_by": list(self.group_by),
+        }
+
+    def _edge(self, i: int) -> float:
+        return self.lo + (self.hi - self.lo) * i / self.bins
+
+    def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
+        return {
+            "group": group_key(config, self.group_by),
+            "value": float(METRICS[self.metric](result)),
+        }
+
+    def update_payload(self, payload: Mapping) -> None:
+        value = float(payload["value"])
+        group = self._groups.setdefault(
+            payload["group"], self._empty_group(self.bins)
+        )
+        if math.isnan(value):
+            group["nan"] += 1
+        elif value < self.lo:
+            group["underflow"] += 1
+        elif value > self.hi:
+            group["overflow"] += 1
+        else:
+            index = min(
+                int((value - self.lo) * self.bins / (self.hi - self.lo)),
+                self.bins - 1,
+            )
+            group["counts"][index] += 1
+
+    def merge(self, other: "HistogramAggregator") -> None:
+        """Fold another histogram of the same spec in, exactly."""
+        if other.spec() != self.spec():
+            raise ConfigurationError(
+                "can only merge histograms with identical specs"
+            )
+        for key, theirs in other._groups.items():
+            group = self._groups.setdefault(key, self._empty_group(self.bins))
+            group["underflow"] += theirs["underflow"]
+            group["overflow"] += theirs["overflow"]
+            group["nan"] += theirs["nan"]
+            group["counts"] = [
+                a + b for a, b in zip(group["counts"], theirs["counts"])
+            ]
+
+    def state_dict(self) -> dict:
+        return {
+            key: {
+                "counts": list(group["counts"]),
+                "underflow": group["underflow"],
+                "overflow": group["overflow"],
+                "nan": group["nan"],
+            }
+            for key, group in self._groups.items()
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._groups = {
+            key: {
+                "counts": [int(n) for n in group["counts"]],
+                "underflow": int(group["underflow"]),
+                "overflow": int(group["overflow"]),
+                "nan": int(group.get("nan", 0)),
+            }
+            for key, group in state.items()
+        }
+
+    def rows(self) -> list[dict]:
+        """Non-empty bins per group (plus under/overflow/NaN pseudo-bins).
+
+        ``bin`` is -1 for underflow, ``bins`` for overflow, and None
+        for NaN observations; open edges are None (null in JSON
+        exports, empty in CSV).
+        """
+        rows = []
+        for key, group in self._groups.items():
+            identity = _group_columns(self.group_by, key)
+            if group["underflow"]:
+                rows.append(
+                    {
+                        **identity,
+                        "metric": self.metric,
+                        "bin": -1,
+                        "lo": None,
+                        "hi": self.lo,
+                        "count": group["underflow"],
+                    }
+                )
+            for i, count in enumerate(group["counts"]):
+                if count:
+                    rows.append(
+                        {
+                            **identity,
+                            "metric": self.metric,
+                            "bin": i,
+                            "lo": self._edge(i),
+                            "hi": self._edge(i + 1),
+                            "count": count,
+                        }
+                    )
+            if group["overflow"]:
+                rows.append(
+                    {
+                        **identity,
+                        "metric": self.metric,
+                        "bin": self.bins,
+                        "lo": self.hi,
+                        "hi": None,
+                        "count": group["overflow"],
+                    }
+                )
+            if group["nan"]:
+                rows.append(
+                    {
+                        **identity,
+                        "metric": self.metric,
+                        "bin": None,
+                        "lo": None,
+                        "hi": None,
+                        "count": group["nan"],
+                    }
+                )
+        return rows
+
+
+class P2Quantile:
+    """The P² streaming quantile estimator (Jain & Chlamtac 1985).
+
+    Tracks one quantile of a scalar stream with five markers — O(1)
+    memory however long the stream — entirely in Python floats, so
+    folding the same ordered stream twice (fresh, or restored from
+    JSON state mid-stream) is bit-identical. The first five
+    observations are kept raw; estimates before that interpolate the
+    sorted prefix.
+    """
+
+    __slots__ = ("p", "count", "heights", "positions", "desired")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {p}")
+        self.p = float(p)
+        self.count = 0
+        self.heights: list[float] = []  # <5 obs: raw sorted values
+        self.positions: list[int] = []
+        self.desired: list[float] = []
+
+    def _increments(self) -> tuple[float, ...]:
+        return (0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        if self.count <= 5:
+            bisect.insort(self.heights, value)
+            if self.count == 5:
+                self.positions = [1, 2, 3, 4, 5]
+                self.desired = [
+                    1.0,
+                    1.0 + 2.0 * self.p,
+                    1.0 + 4.0 * self.p,
+                    3.0 + 2.0 * self.p,
+                    5.0,
+                ]
+            return
+        q, n, d = self.heights, self.positions, self.desired
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            if value > q[4]:
+                q[4] = value
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if q[i] <= value < q[i + 1])
+        for i in range(cell + 1, 5):
+            n[i] += 1
+        increments = self._increments()
+        for i in range(5):
+            d[i] += increments[i]
+        for i in (1, 2, 3):
+            delta = d[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if delta >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        q, n = self.heights, self.positions
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        q, n = self.heights, self.positions
+        return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN with no observations)."""
+        if self.count == 0:
+            return float("nan")
+        if self.count <= 5:
+            # Linear interpolation over the raw sorted prefix.
+            scaled = self.p * (self.count - 1)
+            low = int(scaled)
+            frac = scaled - low
+            if low + 1 >= self.count:
+                return self.heights[-1]
+            return self.heights[low] + frac * (
+                self.heights[low + 1] - self.heights[low]
+            )
+        return self.heights[2]
+
+    def state_dict(self) -> dict:
+        return {
+            "p": self.p,
+            "count": self.count,
+            "heights": list(self.heights),
+            "positions": list(self.positions),
+            "desired": list(self.desired),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "P2Quantile":
+        estimator = cls(float(state["p"]))
+        estimator.count = int(state["count"])
+        estimator.heights = [float(h) for h in state["heights"]]
+        estimator.positions = [int(n) for n in state["positions"]]
+        estimator.desired = [float(d) for d in state["desired"]]
+        return estimator
+
+
+def quantile_column(q: float) -> str:
+    """The export column name of a quantile, e.g. 0.95 -> ``"p95"``."""
+    return f"p{100.0 * q:g}"
+
+
+class QuantileAggregator(Aggregator):
+    """P² streaming quantile estimates of one metric, per group.
+
+    The estimator is sequential, so a *state* merge across shards is
+    not exact; distributed campaigns instead replay the journaled
+    per-run payloads in run-index order (:meth:`update_payload`),
+    which reproduces the single-host estimate bit-for-bit.
+    """
+
+    kind = "quantile"
+
+    def __init__(
+        self,
+        metric: str = "peak_temperature",
+        quantiles: Sequence[float] = (0.5, 0.95),
+        group_by: Sequence[str] = ("label",),
+    ) -> None:
+        if metric not in METRICS:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; choose from {', '.join(METRICS)}"
+            )
+        if not quantiles:
+            raise ConfigurationError("need at least one quantile")
+        self.metric = metric
+        self.quantiles = tuple(float(q) for q in quantiles)
+        for q in self.quantiles:
+            if not 0.0 < q < 1.0:
+                raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+        self.group_by = tuple(group_by)
+        # group key -> [one P2Quantile per requested quantile]
+        self._groups: dict[str, list[P2Quantile]] = {}
+
+    def spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "metric": self.metric,
+            "quantiles": list(self.quantiles),
+            "group_by": list(self.group_by),
+        }
+
+    def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
+        return {
+            "group": group_key(config, self.group_by),
+            "value": float(METRICS[self.metric](result)),
+        }
+
+    def update_payload(self, payload: Mapping) -> None:
+        estimators = self._groups.setdefault(
+            payload["group"], [P2Quantile(q) for q in self.quantiles]
+        )
+        for estimator in estimators:
+            estimator.add(payload["value"])
+
+    def state_dict(self) -> dict:
+        return {
+            key: [estimator.state_dict() for estimator in estimators]
+            for key, estimators in self._groups.items()
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._groups = {
+            key: [P2Quantile.from_state(s) for s in states]
+            for key, states in state.items()
+        }
+
+    def rows(self) -> list[dict]:
+        rows = []
+        for key, estimators in self._groups.items():
+            row = dict(_group_columns(self.group_by, key))
+            row["metric"] = self.metric
+            row["runs"] = estimators[0].count if estimators else 0
+            for q, estimator in zip(self.quantiles, estimators):
+                row[quantile_column(q)] = estimator.value()
+            rows.append(row)
+        return rows
+
+
+_AGGREGATOR_KINDS = {
+    "scalar": ScalarAggregator,
+    "cells": CellAggregator,
+    "histogram": HistogramAggregator,
+    "quantile": QuantileAggregator,
+}
 
 
 def aggregator_from_spec(spec: Mapping) -> Aggregator:
@@ -310,12 +745,47 @@ def aggregator_from_spec(spec: Mapping) -> Aggregator:
         )
     if kind == "cells":
         return CellAggregator()
+    if kind == "histogram":
+        return HistogramAggregator(
+            metric=spec.get("metric", "peak_temperature"),
+            lo=spec.get("lo", 40.0),
+            hi=spec.get("hi", 120.0),
+            bins=spec.get("bins", 32),
+            group_by=spec.get("group_by", ("label",)),
+        )
+    if kind == "quantile":
+        return QuantileAggregator(
+            metric=spec.get("metric", "peak_temperature"),
+            quantiles=spec.get("quantiles", (0.5, 0.95)),
+            group_by=spec.get("group_by", ("label",)),
+        )
     raise ConfigurationError(
         f"unknown aggregator kind {kind!r}; "
         f"choose from {', '.join(_AGGREGATOR_KINDS)}"
     )
 
 
+def aggregate_tables(aggregators: Sequence[Aggregator]) -> dict[str, list[dict]]:
+    """Rendered aggregate tables, keyed by aggregator kind.
+
+    Duplicate kinds (two scalar reducers with different grouping) get a
+    positional suffix so no table is silently dropped. Shared by
+    :class:`~repro.sweep.runner.SweepResult` and the distributed
+    merger, so completion exports key tables identically everywhere.
+    """
+    tables: dict[str, list[dict]] = {}
+    for i, agg in enumerate(aggregators):
+        key = agg.kind if agg.kind not in tables else f"{agg.kind}_{i}"
+        tables[key] = agg.rows()
+    return tables
+
+
 def default_aggregators() -> list[Aggregator]:
-    """The standard reduction set: per-label scalars plus the cell map."""
-    return [ScalarAggregator(), CellAggregator()]
+    """The standard reduction set: per-label scalars, the cell map,
+    and the peak-temperature distribution sketches."""
+    return [
+        ScalarAggregator(),
+        CellAggregator(),
+        HistogramAggregator(),
+        QuantileAggregator(),
+    ]

@@ -36,13 +36,13 @@ from __future__ import annotations
 
 import contextlib
 import itertools
-import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.io.jsonl import JsonlAppender, json_line, read_jsonl
 from repro.io.sweep import (
     SweepCsvWriter,
     atomic_write_text,
@@ -53,6 +53,7 @@ from repro.runner.batch import BatchRunner
 from repro.sim.results import SimulationResult
 from repro.sweep.aggregate import (
     Aggregator,
+    aggregate_tables,
     aggregator_from_spec,
     default_aggregators,
 )
@@ -102,16 +103,10 @@ class SweepResult:
         return self.folded >= self.n_runs
 
     def aggregate_rows(self) -> dict[str, list[dict]]:
-        """Rendered aggregate tables, keyed by aggregator kind.
-
-        Duplicate kinds (two scalar reducers with different grouping)
-        get a positional suffix so no table is silently dropped.
-        """
-        tables: dict[str, list[dict]] = {}
-        for i, agg in enumerate(self.aggregators):
-            key = agg.kind if agg.kind not in tables else f"{agg.kind}_{i}"
-            tables[key] = agg.rows()
-        return tables
+        """Rendered aggregate tables, keyed by aggregator kind
+        (:func:`repro.sweep.aggregate.aggregate_tables` — shared with
+        the distributed merger so exports key tables identically)."""
+        return aggregate_tables(self.aggregators)
 
     def save_json(self, path: Union[str, Path]) -> None:
         """Write the complete export (:func:`repro.io.sweep.save_sweep_json`)."""
@@ -163,17 +158,18 @@ def _parse_journal(path: Path) -> _Journal:
 
     Returns the journal truncated to its last consistent snapshot:
     ``rows``/``elapsed`` hold runs ``0..folded-1`` and ``agg_state`` is
-    the matching aggregator snapshot.
+    the matching aggregator snapshot. A torn trailing line (a kill
+    mid-append) is detected by :func:`repro.io.jsonl.read_jsonl` and
+    simply discarded — the resume rewrite truncates it from disk too.
     """
-    lines = path.read_text().splitlines()
-    if not lines:
+    document = read_jsonl(path)
+    if not document.entries:
+        if document.torn:
+            raise ConfigurationError(
+                f"checkpoint {path} has no parseable header line"
+            )
         raise ConfigurationError(f"checkpoint {path} is empty")
-    try:
-        header = json.loads(lines[0])
-    except json.JSONDecodeError:
-        raise ConfigurationError(
-            f"checkpoint {path} has no parseable header line"
-        ) from None
+    header = document.entries[0]
     if (
         header.get("kind") != "header"
         or header.get("format") != _CHECKPOINT_FORMAT
@@ -187,11 +183,7 @@ def _parse_journal(path: Path) -> _Journal:
     pending_rows: dict[int, dict] = {}
     pending_elapsed: dict[int, float] = {}
     snapshots = 0
-    for line in lines[1:]:
-        try:
-            entry = json.loads(line)
-        except json.JSONDecodeError:
-            break  # Torn trailing line from a kill mid-append.
+    for entry in document.entries[1:]:
         kind = entry.get("kind")
         if kind == "run":
             index = int(entry["index"])
@@ -222,7 +214,7 @@ def _parse_journal(path: Path) -> _Journal:
 
 
 def _journal_line(payload: dict) -> str:
-    return json.dumps(payload, separators=(",", ":"))
+    return json_line(payload)
 
 
 def read_status(path: Union[str, Path]) -> SweepStatus:
@@ -424,7 +416,7 @@ class SweepRunner:
         rows: list[dict] = list(journal.rows) if journal is not None else []
         resumed = folded
 
-        handle = None
+        appender = None
         csv_writer = (
             SweepCsvWriter(self.csv_path, prefix_rows=rows)
             if self.csv_path is not None
@@ -440,7 +432,7 @@ class SweepRunner:
                         self.checkpoint,
                         _journal_line(self._header_payload()) + "\n",
                     )
-                handle = open(self.checkpoint, "a")
+                appender = JsonlAppender(self.checkpoint)
 
             remaining_count = self.spec.run_count - folded
             session_count = (
@@ -482,19 +474,16 @@ class SweepRunner:
                             agg.update(point.config, run.result)
                         rows.append(row)
                         folded += 1
-                        if handle is not None:
-                            handle.write(
-                                _journal_line(
-                                    {
-                                        "kind": "run",
-                                        "index": point.index,
-                                        "key": point.key,
-                                        "row": row,
-                                        "elapsed_s": run.elapsed,
-                                    }
-                                )
-                                + "\n"
-                            )
+                        if appender is not None:
+                            records = [
+                                {
+                                    "kind": "run",
+                                    "index": point.index,
+                                    "key": point.key,
+                                    "row": row,
+                                    "elapsed_s": run.elapsed,
+                                }
+                            ]
                             # Snapshot on cadence AND at the session end:
                             # a deliberate stop_after exit knows it is
                             # stopping, so it must not pay the
@@ -504,17 +493,17 @@ class SweepRunner:
                                 (folded - resumed) % self.snapshot_every == 0
                                 or folded == session_end
                             ):
-                                handle.write(
-                                    _journal_line(
-                                        {
-                                            "kind": "snapshot",
-                                            "folded": folded,
-                                            "state": self._snapshot_state(),
-                                        }
-                                    )
-                                    + "\n"
+                                records.append(
+                                    {
+                                        "kind": "snapshot",
+                                        "folded": folded,
+                                        "state": self._snapshot_state(),
+                                    }
                                 )
-                            handle.flush()
+                            # One flush+fsync'd write per fold: a kill
+                            # can tear at most the trailing line, which
+                            # resume detects and truncates.
+                            appender.append(*records)
                         if csv_writer is not None:
                             csv_writer.write(row)
                         if self.on_result is not None:
@@ -524,8 +513,8 @@ class SweepRunner:
                                 folded, self.spec.run_count, point, run.elapsed
                             )
         finally:
-            if handle is not None:
-                handle.close()
+            if appender is not None:
+                appender.close()
             if csv_writer is not None:
                 csv_writer.finish()
                 csv_writer.close()

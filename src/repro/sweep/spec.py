@@ -33,6 +33,7 @@ continue a *different* sweep into an old journal.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 from dataclasses import dataclass, fields as dataclass_fields, replace
 from pathlib import Path
@@ -355,10 +356,29 @@ class SweepSpec:
                 for cell in grid_product(0):
                     yield {**point, **zipped, **cell}
 
-    def iter_points(self) -> Iterator[SweepPoint]:
-        """Expanded :class:`SweepPoint`\\ s, in run order (lazy)."""
+    def iter_points(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[SweepPoint]:
+        """Expanded :class:`SweepPoint`\\ s, in run order (lazy).
+
+        ``start``/``stop`` select the half-open run-index range
+        ``[start, stop)`` — the primitive a distributed planner shards
+        a campaign with (:mod:`repro.dist`). Indices, keys, and configs
+        are identical to the corresponding slice of the full expansion,
+        so chunked execution can never disagree with single-host
+        execution about what run ``i`` is.
+        """
+        if start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start}")
+        if stop is not None and stop < start:
+            raise ConfigurationError(
+                f"empty point range [{start}, {stop})"
+            )
         width = max(5, len(str(max(self.run_count - 1, 0))))
-        for index, overrides in enumerate(self.iter_overrides()):
+        indexed = itertools.islice(
+            enumerate(self.iter_overrides()), start, stop
+        )
+        for index, overrides in indexed:
             if self.reseed is not None:
                 overrides = {**overrides, "seed": self.reseed + index}
             config = _apply_overrides(self.base, overrides)

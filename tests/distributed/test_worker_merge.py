@@ -1,0 +1,262 @@
+"""Workers and merge: determinism, stale-lease reclaim, torn journals.
+
+The acceptance property: for any shard partition, any number of
+workers, any interleaving — including a worker dying mid-chunk and its
+lease being reclaimed — the merged aggregates, CSV, and completion
+JSON are byte-identical to a single-host ``SweepRunner`` run.
+"""
+
+import json
+
+import pytest
+
+from repro.dist import (
+    campaign_status,
+    merge_campaign,
+    plan_campaign,
+    read_ledger,
+    run_worker,
+)
+from repro.dist.plan import ledger_spec
+from repro.dist.worker import _execute_shard
+from repro.errors import ConfigurationError
+from repro.io.dist import read_shard_journal, try_claim_lease
+from repro.sim.cache import CharacterizationCache
+from repro.sim.config import SimulationConfig
+from repro.sweep import SweepRunner, SweepSpec, aggregator_from_spec
+
+
+def small_spec(name="dist-small", duration=1.0):
+    return SweepSpec(
+        base=SimulationConfig(duration=duration),
+        grid={"benchmark_name": ["gzip", "Web-med"], "cooling": ["Var", "Max"]},
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """The single-host run every distributed variant must reproduce."""
+    root = tmp_path_factory.mktemp("reference")
+    result = SweepRunner(small_spec(), csv_path=root / "ref.csv").run()
+    result.save_json(root / "ref.json")
+    return {
+        "rows": result.rows,
+        "agg_rows": [a.rows() for a in result.aggregators],
+        "json": (root / "ref.json").read_bytes(),
+        "csv": (root / "ref.csv").read_bytes(),
+    }
+
+
+def _assert_matches_reference(tmp_path, campaign_dir, reference):
+    merged = merge_campaign(campaign_dir)
+    assert merged.complete
+    assert merged.rows == reference["rows"]
+    assert [a.rows() for a in merged.aggregators] == reference["agg_rows"]
+    merged.save_json(tmp_path / "dist.json")
+    merged.save_csv(tmp_path / "dist.csv")
+    assert (tmp_path / "dist.json").read_bytes() == reference["json"]
+    assert (tmp_path / "dist.csv").read_bytes() == reference["csv"]
+
+
+class TestPartitionDeterminism:
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 4, 7])
+    def test_any_partition_merges_byte_identical(
+        self, tmp_path, reference, chunk_size
+    ):
+        """The property the whole subsystem exists for: shard layout is
+        invisible in the merged outputs."""
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=chunk_size)
+        run_worker(camp, worker_id="w1")
+        _assert_matches_reference(tmp_path, camp, reference)
+
+    def test_merge_order_is_canonical_not_completion_order(
+        self, tmp_path, reference
+    ):
+        """Shards executed back-to-front still merge in run-index order."""
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=1)
+        ledger = read_ledger(camp)
+        spec = ledger_spec(ledger)
+        aggregators = [
+            aggregator_from_spec(s) for s in ledger.aggregator_specs
+        ]
+        cache = CharacterizationCache()
+        for shard in reversed(ledger.shards):
+            try_claim_lease(ledger.lease_path(shard), "w1", ttl=300.0)
+            _execute_shard(
+                ledger, spec, aggregators, shard, cache,
+                "w1", 300.0, None, None,
+            )
+        _assert_matches_reference(tmp_path, camp, reference)
+
+    def test_two_interleaved_workers(self, tmp_path, reference):
+        """Workers alternating one shard at a time over the same ledger."""
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=1)
+        workers = ["w1", "w2"]
+        for turn in range(8):
+            report = run_worker(
+                camp, worker_id=workers[turn % 2], max_shards=1, wait=False
+            )
+            if not report.shards_executed:
+                break
+        _assert_matches_reference(tmp_path, camp, reference)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_mid_chunk_is_reclaimed(self, tmp_path, reference):
+        """A dead worker leaves an expired lease and a partial journal
+        (with a torn trailing line); the next worker reclaims the lease,
+        re-executes the shard from scratch, and the merge is still
+        byte-identical."""
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=2)
+        ledger = read_ledger(camp)
+        victim = ledger.shards[0]
+        # Emulate the kill: an already-expired lease plus a journal that
+        # stops mid-append after one of the shard's two runs.
+        try_claim_lease(
+            ledger.lease_path(victim), "dead-worker", ttl=60.0, now=0.0
+        )
+        spec = ledger_spec(ledger)
+        aggregators = [
+            aggregator_from_spec(s) for s in ledger.aggregator_specs
+        ]
+        _execute_shard(
+            ledger, spec, aggregators, victim, CharacterizationCache(),
+            "dead-worker", 60.0, None, None,
+        )
+        journal_path = ledger.shard_journal_path(victim)
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text(
+            "\n".join(lines[:2]) + "\n" + '{"kind": "run", "index": 1, "ro'
+        )
+        # Back-date the lease again (execute_shard refreshed it).
+        ledger.lease_path(victim).unlink()
+        try_claim_lease(
+            ledger.lease_path(victim), "dead-worker", ttl=1e-9, now=0.0
+        )
+
+        status = campaign_status(camp)
+        assert status.count("stale") == 1
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            merge_campaign(camp)
+
+        report = run_worker(camp, worker_id="rescuer")
+        assert victim.shard_id in report.shards_reclaimed
+        assert victim.shard_id in report.shards_executed
+        _assert_matches_reference(tmp_path, camp, reference)
+
+    def test_torn_journal_without_lease_is_reexecuted(self, tmp_path, reference):
+        """A journal with no complete marker and no lease (worker died
+        after releasing nothing) is simply redone."""
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=4)
+        ledger = read_ledger(camp)
+        shard = ledger.shards[0]
+        journal_path = ledger.shard_journal_path(shard)
+        journal_path.write_text(
+            json.dumps(
+                {
+                    "kind": "header",
+                    "format": "repro-dist-shard",
+                    "version": 1,
+                    "campaign": ledger.fingerprint,
+                    "shard": shard.shard_id,
+                    "start": shard.start,
+                    "stop": shard.stop,
+                    "worker": "dead",
+                }
+            )
+            + "\n"
+            + '{"kind": "run", "index": 0, "torn'
+        )
+        parsed = read_shard_journal(journal_path, shard, ledger.fingerprint)
+        assert parsed.torn and not parsed.complete
+        run_worker(camp, worker_id="rescuer")
+        _assert_matches_reference(tmp_path, camp, reference)
+
+    def test_partial_merge_folds_contiguous_prefix(self, tmp_path):
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=1)
+        run_worker(camp, worker_id="w1", max_shards=2)
+        merged = merge_campaign(camp, allow_partial=True)
+        assert not merged.complete
+        assert merged.folded == 2
+        assert [row["run"] for row in merged.rows] == [0, 1]
+        assert len(merged.shards_missing) == 2
+        assert merged.shards_skipped == []
+
+    def test_partial_merge_reports_stranded_shards_beyond_gap(self, tmp_path):
+        """Complete shards after the first gap cannot fold (replay is
+        order-sensitive) and must be reported, not silently ignored."""
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=1)
+        run_worker(camp, worker_id="w1")
+        ledger = read_ledger(camp)
+        # Knock out shard 1: shards 2 and 3 are finished but stranded.
+        ledger.shard_journal_path(ledger.shards[1]).unlink()
+        merged = merge_campaign(camp, allow_partial=True)
+        assert merged.folded == 1
+        assert merged.shards_merged == 1
+        assert merged.shards_missing == [ledger.shards[1].shard_id]
+        assert merged.shards_skipped == [
+            s.shard_id for s in ledger.shards[2:]
+        ]
+
+    def test_journal_from_wrong_campaign_is_refused(self, tmp_path):
+        camp_a = tmp_path / "a"
+        camp_b = tmp_path / "b"
+        plan_campaign(small_spec(name="a"), camp_a, chunk_size=4)
+        other = SweepSpec(
+            base=SimulationConfig(duration=2.0),
+            grid={"benchmark_name": ["gzip", "Web-med"],
+                  "cooling": ["Var", "Max"]},
+            name="b",
+        )
+        plan_campaign(other, camp_b, chunk_size=4)
+        run_worker(camp_a, worker_id="w1")
+        ledger_a = read_ledger(camp_a)
+        ledger_b = read_ledger(camp_b)
+        journal = ledger_a.shard_journal_path(ledger_a.shards[0])
+        target = ledger_b.shard_journal_path(ledger_b.shards[0])
+        target.write_bytes(journal.read_bytes())
+        with pytest.raises(ConfigurationError, match="different campaign|belongs"):
+            merge_campaign(camp_b)
+
+
+class TestWorkerBehaviour:
+    def test_max_shards_bounds_a_session(self, tmp_path):
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=1)
+        report = run_worker(camp, worker_id="w1", max_shards=3)
+        assert len(report.shards_executed) == 3
+        assert campaign_status(camp).count("done") == 3
+
+    def test_no_wait_returns_when_all_leased_elsewhere(self, tmp_path):
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=4)
+        ledger = read_ledger(camp)
+        for shard in ledger.shards:
+            try_claim_lease(ledger.lease_path(shard), "other", ttl=300.0)
+        report = run_worker(camp, worker_id="w1", wait=False)
+        assert report.shards_executed == []
+        assert report.runs_executed == 0
+
+    def test_worker_on_finished_campaign_is_noop(self, tmp_path):
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=2)
+        run_worker(camp, worker_id="w1")
+        report = run_worker(camp, worker_id="w2")
+        assert report.shards_executed == []
+
+    def test_status_reports_running_lease(self, tmp_path):
+        camp = tmp_path / "camp"
+        plan_campaign(small_spec(), camp, chunk_size=4)
+        ledger = read_ledger(camp)
+        try_claim_lease(ledger.lease_path(ledger.shards[0]), "w9", ttl=300.0)
+        status = campaign_status(camp)
+        assert status.count("running") == 1
+        assert status.shards[0].worker == "w9"

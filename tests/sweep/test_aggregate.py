@@ -136,7 +136,7 @@ class TestCellAggregator:
 class TestFactory:
     def test_default_set(self):
         kinds = [agg.kind for agg in default_aggregators()]
-        assert kinds == ["scalar", "cells"]
+        assert kinds == ["scalar", "cells", "histogram", "quantile"]
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown aggregator"):

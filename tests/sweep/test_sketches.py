@@ -1,0 +1,187 @@
+"""Histogram and P² quantile sketches: accuracy, JSON state, exact merge."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import (
+    HistogramAggregator,
+    P2Quantile,
+    QuantileAggregator,
+    aggregator_from_spec,
+)
+from repro.sweep.aggregate import quantile_column
+
+
+class TestP2Quantile:
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(P2Quantile(0.5).value())
+
+    def test_small_streams_are_exact_interpolation(self):
+        estimator = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            estimator.add(value)
+        assert estimator.value() == 2.0
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9, 0.95])
+    def test_tracks_numpy_percentile(self, p):
+        rng = np.random.default_rng(7)
+        values = rng.normal(75.0, 8.0, size=5000)
+        estimator = P2Quantile(p)
+        for value in values:
+            estimator.add(float(value))
+        exact = float(np.percentile(values, 100.0 * p))
+        spread = float(values.std())
+        assert abs(estimator.value() - exact) < 0.05 * spread
+
+    def test_state_round_trip_is_bit_identical(self):
+        """Restoring mid-stream then continuing equals never stopping."""
+        rng = np.random.default_rng(11)
+        values = [float(v) for v in rng.uniform(60, 90, size=200)]
+        whole = P2Quantile(0.9)
+        for value in values:
+            whole.add(value)
+        first = P2Quantile(0.9)
+        for value in values[:80]:
+            first.add(value)
+        restored = P2Quantile.from_state(
+            json.loads(json.dumps(first.state_dict()))
+        )
+        for value in values[80:]:
+            restored.add(value)
+        assert restored.value() == whole.value()
+        assert restored.state_dict() == whole.state_dict()
+
+    def test_nan_is_skipped(self):
+        estimator = P2Quantile(0.5)
+        estimator.add(float("nan"))
+        assert estimator.count == 0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(1.5)
+
+
+class TestQuantileColumn:
+    def test_names(self):
+        assert quantile_column(0.5) == "p50"
+        assert quantile_column(0.95) == "p95"
+        assert quantile_column(0.999) == "p99.9"
+
+
+class TestHistogramAggregator:
+    def _fold(self, agg, pairs):
+        for group, value in pairs:
+            agg.update_payload({"group": group, "value": value})
+
+    def test_bins_and_edges(self):
+        agg = HistogramAggregator(lo=0.0, hi=10.0, bins=5, group_by=())
+        self._fold(agg, [("all", v) for v in (0.0, 1.9, 2.0, 9.99, 10.0)])
+        by_bin = {row["bin"]: row for row in agg.rows()}
+        assert by_bin[0]["count"] == 2   # 0.0 and 1.9
+        assert by_bin[1]["count"] == 1   # 2.0
+        assert by_bin[4]["count"] == 2   # 9.99 and the hi-edge value 10.0
+        assert by_bin[0]["lo"] == 0.0 and by_bin[0]["hi"] == 2.0
+
+    def test_underflow_overflow_rows(self):
+        agg = HistogramAggregator(lo=0.0, hi=10.0, bins=5, group_by=())
+        self._fold(agg, [("all", -1.0), ("all", 11.0), ("all", 5.0)])
+        bins = [row["bin"] for row in agg.rows()]
+        assert -1 in bins and 5 in bins
+        total = sum(row["count"] for row in agg.rows())
+        assert total == 3
+
+    def test_nan_observations_are_counted_not_dropped(self):
+        """Every folded run lands somewhere: bins, under/overflow, or
+        the NaN pseudo-bin — counts always sum to the fold count."""
+        agg = HistogramAggregator(lo=0.0, hi=10.0, bins=5, group_by=())
+        self._fold(agg, [("all", 5.0), ("all", float("nan")), ("all", float("nan"))])
+        by_bin = {row["bin"]: row for row in agg.rows()}
+        assert by_bin[None]["count"] == 2
+        assert sum(row["count"] for row in agg.rows()) == 3
+
+    def test_state_round_trips_through_json(self):
+        agg = HistogramAggregator(lo=0.0, hi=10.0, bins=4, group_by=())
+        self._fold(agg, [("all", v) for v in (1.0, 3.0, 3.5, 12.0)])
+        clone = aggregator_from_spec(json.loads(json.dumps(agg.spec())))
+        clone.load_state(json.loads(json.dumps(agg.state_dict())))
+        assert clone.rows() == agg.rows()
+
+    def test_merge_is_exact(self):
+        """Counts add, so shard histograms merge without replay."""
+        whole = HistogramAggregator(lo=0.0, hi=10.0, bins=4, group_by=())
+        left = HistogramAggregator(lo=0.0, hi=10.0, bins=4, group_by=())
+        right = HistogramAggregator(lo=0.0, hi=10.0, bins=4, group_by=())
+        values = [0.5, 2.5, 2.6, 7.0, 9.0, -3.0, 14.0]
+        self._fold(whole, [("all", v) for v in values])
+        self._fold(left, [("all", v) for v in values[:3]])
+        self._fold(right, [("all", v) for v in values[3:]])
+        left.merge(right)
+        assert left.rows() == whole.rows()
+        assert left.state_dict() == whole.state_dict()
+
+    def test_merge_requires_matching_spec(self):
+        a = HistogramAggregator(lo=0.0, hi=10.0, bins=4)
+        b = HistogramAggregator(lo=0.0, hi=10.0, bins=8)
+        with pytest.raises(ConfigurationError, match="identical specs"):
+            a.merge(b)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            HistogramAggregator(metric="nope")
+        with pytest.raises(ConfigurationError, match="lo < hi"):
+            HistogramAggregator(lo=5.0, hi=5.0)
+        with pytest.raises(ConfigurationError, match="bin"):
+            HistogramAggregator(bins=0)
+
+
+class TestQuantileAggregator:
+    def test_rows_report_requested_quantiles(self):
+        agg = QuantileAggregator(
+            metric="peak_temperature", quantiles=(0.5, 0.9), group_by=()
+        )
+        for value in (70.0, 80.0, 90.0):
+            agg.update_payload({"group": "all", "value": value})
+        (row,) = agg.rows()
+        assert row["runs"] == 3
+        assert row["p50"] == 80.0
+        assert row["p90"] == pytest.approx(88.0)
+
+    def test_state_round_trips_through_json(self):
+        agg = QuantileAggregator(group_by=())
+        rng = np.random.default_rng(3)
+        for value in rng.uniform(60, 90, size=50):
+            agg.update_payload({"group": "all", "value": float(value)})
+        clone = aggregator_from_spec(json.loads(json.dumps(agg.spec())))
+        clone.load_state(json.loads(json.dumps(agg.state_dict())))
+        assert clone.rows() == agg.rows()
+
+    def test_replay_merge_is_bit_identical(self):
+        """Sharded payload replay in run order == one-shot folding (the
+        exactness property the distributed merger relies on)."""
+        rng = np.random.default_rng(5)
+        payloads = [
+            {"group": "g", "value": float(v)}
+            for v in rng.uniform(60, 90, size=100)
+        ]
+        whole = QuantileAggregator(group_by=())
+        replayed = QuantileAggregator(group_by=())
+        for payload in payloads:
+            whole.update_payload(payload)
+        for shard in (payloads[:37], payloads[37:70], payloads[70:]):
+            for payload in shard:
+                replayed.update_payload(payload)
+        assert replayed.state_dict() == whole.state_dict()
+        assert replayed.rows() == whole.rows()
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            QuantileAggregator(metric="nope")
+        with pytest.raises(ConfigurationError, match="at least one"):
+            QuantileAggregator(quantiles=())
+        with pytest.raises(ConfigurationError, match="in \\(0, 1\\)"):
+            QuantileAggregator(quantiles=(2.0,))

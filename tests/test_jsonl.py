@@ -1,0 +1,80 @@
+"""Crash-consistent JSONL plumbing (repro.io.jsonl)."""
+
+import json
+
+import pytest
+
+from repro.io.jsonl import (
+    JsonlAppender,
+    json_line,
+    read_jsonl,
+    truncate_to_consistent,
+)
+
+
+class TestAppender:
+    def test_appends_whole_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JsonlAppender(path) as appender:
+            appender.append({"a": 1})
+            appender.append({"b": 2}, {"c": 3})
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert entries == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+    def test_append_after_close_is_an_error(self, tmp_path):
+        appender = JsonlAppender(tmp_path / "j.jsonl")
+        appender.close()
+        with pytest.raises(ValueError, match="closed"):
+            appender.append({"a": 1})
+
+    def test_empty_append_is_noop(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JsonlAppender(path) as appender:
+            appender.append()
+        assert path.read_text() == ""
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        value = 0.1 + 0.2  # not representable prettily
+        with JsonlAppender(path) as appender:
+            appender.append({"v": value})
+        assert read_jsonl(path).entries[0]["v"] == value
+
+
+class TestTolerantRead:
+    def test_clean_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json_line({"a": 1}) + "\n" + json_line({"b": 2}) + "\n")
+        document = read_jsonl(path)
+        assert not document.torn
+        assert len(document) == 2
+
+    def test_torn_trailing_line_is_reported_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json_line({"a": 1}) + "\n" + '{"b": 2, "tor')
+        document = read_jsonl(path)
+        assert document.torn
+        assert document.entries == [{"a": 1}]
+        assert document.torn_line.startswith('{"b"')
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json_line({"a": 1}) + "\n\n" + json_line({"b": 2}) + "\n")
+        assert len(read_jsonl(path)) == 2
+
+
+class TestTruncateToConsistent:
+    def test_repairs_torn_file_in_place(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json_line({"a": 1}) + "\n" + '{"torn')
+        document = truncate_to_consistent(path)
+        assert document.entries == [{"a": 1}]
+        assert path.read_text() == json_line({"a": 1}) + "\n"
+        assert not read_jsonl(path).torn
+
+    def test_clean_file_is_untouched(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        text = json_line({"a": 1}) + "\n"
+        path.write_text(text)
+        truncate_to_consistent(path)
+        assert path.read_text() == text
