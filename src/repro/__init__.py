@@ -24,8 +24,11 @@ Quickstart::
 from repro.constants import CONTROL, MICROCHANNEL, POWER, STACK
 from repro.control import (
     ArmaModel,
+    FlowController,
     FlowRateController,
     FlowRateTable,
+    PersistenceForecaster,
+    PidFlowController,
     SprtDetector,
     StepwiseFlowController,
     TemperatureForecaster,
@@ -54,10 +57,27 @@ from repro.metrics import (
 from repro.microchannel import WATER, ChannelGeometry, Coolant, MicrochannelModel
 from repro.power import DpmPolicy, LeakageModel, PowerModel
 from repro.pump import PumpModel, PumpState, laing_ddc
+from repro.registry import (
+    ComponentEntry,
+    ControllerContext,
+    ForecasterContext,
+    FrozenParams,
+    ParamSpec,
+    PolicyContext,
+    Registry,
+    controller_registry,
+    forecaster_registry,
+    policy_registry,
+    register_controller,
+    register_forecaster,
+    register_policy,
+)
 from repro.sched import (
     CoreQueues,
     LoadBalancer,
     ReactiveMigration,
+    RoundRobinPolicy,
+    SchedulerPolicy,
     ThermalWeights,
     WeightedLoadBalancer,
 )
@@ -83,6 +103,8 @@ from repro.sim import (
     CharacterizationCache,
     ControllerKind,
     CoolingMode,
+    IntervalObserver,
+    IntervalState,
     PolicyKind,
     SimulationConfig,
     SimulationResult,
@@ -143,14 +165,32 @@ __all__ = [
     "CoreQueues",
     "LoadBalancer",
     "ReactiveMigration",
+    "RoundRobinPolicy",
+    "SchedulerPolicy",
     "WeightedLoadBalancer",
     "ThermalWeights",
     "ArmaModel",
     "SprtDetector",
     "TemperatureForecaster",
+    "PersistenceForecaster",
     "FlowRateTable",
+    "FlowController",
     "FlowRateController",
     "StepwiseFlowController",
+    "PidFlowController",
+    "Registry",
+    "ComponentEntry",
+    "ParamSpec",
+    "FrozenParams",
+    "PolicyContext",
+    "ControllerContext",
+    "ForecasterContext",
+    "policy_registry",
+    "controller_registry",
+    "forecaster_registry",
+    "register_policy",
+    "register_controller",
+    "register_forecaster",
     "SimulationConfig",
     "CharacterizationCache",
     "BatchRunner",
@@ -173,6 +213,8 @@ __all__ = [
     "ControllerKind",
     "Simulator",
     "simulate",
+    "IntervalState",
+    "IntervalObserver",
     "SimulationResult",
     "ThermalSystem",
     "EnergyBreakdown",

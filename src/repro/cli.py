@@ -20,6 +20,13 @@ be driven without writing Python:
   shards (with stale-lease reclaim when a worker crashes), and
   ``merge`` folds the shard journals into aggregates/CSV/JSON
   byte-identical to a single-host ``sweep run``;
+* ``list policies | controllers | forecasters`` — the registered
+  component keys (:mod:`repro.registry`), each with its aliases and
+  declared parameter schema; any key shown here is a valid
+  ``--policy``/``--controller``/``--forecaster`` value and a valid
+  sweep-spec axis value, and its parameters are settable via
+  ``--policy-param NAME=VALUE`` (repeatable) or the dotted
+  ``policy_params.<name>`` / ``controller_params.<name>`` sweep axes;
 * ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
   — regenerate a table/figure and print its rows (the multi-run
   figures accept ``--workers`` for process fan-out);
@@ -52,12 +59,13 @@ from repro.experiments import (
 )
 from repro.progress import ProgressReporter
 from repro.io.serialize import result_summary, save_result, write_timeseries_csv
-from repro.sim.config import (
-    ControllerKind,
-    CoolingMode,
-    PolicyKind,
-    SimulationConfig,
+from repro.registry import (
+    Registry,
+    controller_registry,
+    forecaster_registry,
+    policy_registry,
 )
+from repro.sim.config import CoolingMode, SimulationConfig
 from repro.sim.engine import simulate
 from repro.workload.benchmarks import TABLE_II
 
@@ -71,7 +79,13 @@ BUILTIN_SPECS = {
     "headline": headline.sweep_spec,
     "ablations": ablations.controller_ablation_spec,
     "hysteresis": experiment_sweeps.hysteresis_spec,
+    "controllers": experiment_sweeps.controller_family_spec,
 }
+
+
+def _registry_choices(registry: Registry) -> list[str]:
+    """Accepted argparse values: canonical keys plus declared aliases."""
+    return sorted(set(registry.keys()) | set(registry.known_names()))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,8 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--policy",
         default="TALB",
-        choices=[p.value for p in PolicyKind],
-        help="scheduling policy",
+        choices=_registry_choices(policy_registry()),
+        help="scheduling policy (registry key; see 'repro list policies')",
+    )
+    sim.add_argument(
+        "--policy-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="set one declared policy parameter (repeatable)",
     )
     sim.add_argument(
         "--cooling",
@@ -100,8 +121,29 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--controller",
         default="lut",
-        choices=[c.value for c in ControllerKind],
-        help="variable-flow controller: the paper's LUT or the [6] stepwise baseline",
+        choices=_registry_choices(controller_registry()),
+        help="variable-flow controller (registry key; see "
+        "'repro list controllers')",
+    )
+    sim.add_argument(
+        "--controller-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="set one declared controller parameter (repeatable)",
+    )
+    sim.add_argument(
+        "--forecaster",
+        default="arma",
+        choices=_registry_choices(forecaster_registry()),
+        help="maximum-temperature forecaster (registry key)",
+    )
+    sim.add_argument(
+        "--forecaster-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="set one declared forecaster parameter (repeatable)",
     )
     sim.add_argument("--layers", type=int, default=2, choices=(2, 4))
     sim.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
@@ -133,8 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--policies",
         default="TALB",
-        help="comma-separated policies (%s), or 'all'"
-        % ",".join(p.value for p in PolicyKind),
+        help="comma-separated policy registry keys (%s), or 'all' for "
+        "every registered policy" % ",".join(policy_registry().keys()),
     )
     batch.add_argument(
         "--cooling",
@@ -375,12 +417,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="which cooling path to calibrate",
     )
 
+    lister = sub.add_parser(
+        "list",
+        help="list registered components (policies/controllers/forecasters)",
+        description="Show the component registry: every key in the chosen "
+        "role with its aliases, capability traits, and declared parameter "
+        "schema. Any key listed here works as a config value, a CLI "
+        "--policy/--controller/--forecaster choice, and a sweep-spec axis "
+        "value; parameters flow through --policy-param/--controller-param "
+        "and the dotted policy_params.<name>/controller_params.<name> axes.",
+    )
+    lister.add_argument(
+        "what",
+        choices=("policies", "controllers", "forecasters", "all"),
+        nargs="?",
+        default="all",
+        help="which registry to list (default: all)",
+    )
+
     sub.add_parser("workloads", help="list the Table II benchmarks")
     return parser
 
 
 def _print_rows(rows: list[dict]) -> None:
     print(common.format_rows(rows))
+
+
+def _parse_cli_params(items: list, what: str) -> dict:
+    """Parse repeated ``NAME=VALUE`` flags into a parameter mapping.
+
+    Values parse as JSON scalars where possible (``kp=1.5`` is a
+    float, ``flag=true`` a bool) and fall back to plain strings; the
+    registry's declared schema validates them either way.
+    """
+    import json
+
+    params: dict = {}
+    for item in items:
+        name, sep, raw = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"error: bad {what} {item!r}; expected NAME=VALUE"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        params[name] = value
+    return params
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -399,16 +483,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             profile, lookup(args.benchmark), seed=args.seed
         )
         duration = profile.duration
-    config = SimulationConfig(
-        benchmark_name=args.benchmark,
-        policy=PolicyKind(args.policy),
-        cooling=CoolingMode(args.cooling),
-        controller=ControllerKind(args.controller),
-        n_layers=args.layers,
-        duration=duration,
-        seed=args.seed,
-        dpm_enabled=args.dpm,
-    )
+    try:
+        config = SimulationConfig(
+            benchmark_name=args.benchmark,
+            policy=args.policy,
+            policy_params=_parse_cli_params(args.policy_param, "--policy-param"),
+            cooling=CoolingMode(args.cooling),
+            controller=args.controller,
+            controller_params=_parse_cli_params(
+                args.controller_param, "--controller-param"
+            ),
+            forecaster=args.forecaster,
+            forecaster_params=_parse_cli_params(
+                args.forecaster_param, "--forecaster-param"
+            ),
+            n_layers=args.layers,
+            duration=duration,
+            seed=args.seed,
+            dpm_enabled=args.dpm,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"error: {exc}") from None
     result = simulate(config, trace=thread_trace)
     print(f"run: {config.label()} / {config.benchmark_name} / "
           f"{config.n_layers}-layer / {config.duration:.0f}s")
@@ -469,17 +564,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     _checked_output(args.save_json, "JSON output")
     _checked_output(args.save_csv, "CSV output")
+    registry = policy_registry()
     workloads = _split_choices(args.workloads, list(TABLE_II), "workload")
-    policies = _split_choices(
-        args.policies, [p.value for p in PolicyKind], "policy"
-    )
+    if args.policies.strip().lower() == "all":
+        policies = registry.keys()
+    else:
+        policies = []
+        for item in (p.strip() for p in args.policies.split(",") if p.strip()):
+            try:
+                policies.append(registry.normalize(item))
+            except ConfigurationError as exc:
+                raise SystemExit(f"error: {exc}") from None
+        if not policies:
+            raise SystemExit("no policy selected")
     cooling_modes = _split_choices(
         args.cooling, [c.value for c in CoolingMode], "cooling mode"
     )
     configs = [
         SimulationConfig(
             benchmark_name=workload,
-            policy=PolicyKind(policy),
+            policy=policy,
             cooling=CoolingMode(cooling),
             n_layers=args.layers,
             duration=args.duration,
@@ -803,6 +907,44 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled dist command {args.dist_command!r}")
 
 
+def _cmd_list(args: argparse.Namespace) -> int:
+    roles = {
+        "policies": policy_registry(),
+        "controllers": controller_registry(),
+        "forecasters": forecaster_registry(),
+    }
+    chosen = roles if args.what == "all" else {args.what: roles[args.what]}
+    first = True
+    for role, registry in chosen.items():
+        if not first:
+            print()
+        first = False
+        print(f"-- {role} --")
+        for entry in registry.entries():
+            aliases = (
+                f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+            )
+            traits = ""
+            if len(entry.traits):
+                rendered = ", ".join(
+                    f"{k}={v}" for k, v in entry.traits.items()
+                )
+                traits = f" [{rendered}]"
+            print(f"{entry.key}{aliases}{traits}")
+            if entry.description:
+                print(f"    {entry.description}")
+            for param in entry.params:
+                default = "" if param.default is None else f" = {param.default}"
+                bounds = ""
+                if param.minimum is not None or param.maximum is not None:
+                    lo = "-inf" if param.minimum is None else f"{param.minimum:g}"
+                    hi = "+inf" if param.maximum is None else f"{param.maximum:g}"
+                    bounds = f" in [{lo}, {hi}]"
+                doc = f" — {param.doc}" if param.doc else ""
+                print(f"    {param.name}: {param.kind}{default}{bounds}{doc}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.sim.calibration import calibrate_air_scale, calibrate_liquid_scale
 
@@ -876,6 +1018,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_ablations(args)
     if command == "calibrate":
         return _cmd_calibrate(args)
+    if command == "list":
+        return _cmd_list(args)
     if command == "workloads":
         rows = [
             {

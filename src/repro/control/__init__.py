@@ -8,13 +8,22 @@
 * :class:`FlowRateTable` — the temperature-indexed look-up table built
   by offline characterization (Figure 5);
 * :class:`FlowRateController` — picks the minimum pump setting meeting
-  the 80 degC target, with 2 degC down-switch hysteresis.
+  the 80 degC target, with 2 degC down-switch hysteresis;
+* :class:`StepwiseFlowController` / :class:`PidFlowController` — the
+  reactive baselines ([6]'s ladder, and a classical PID regulator).
+
+Each controller and forecaster registers itself in
+:mod:`repro.registry` at import time; importing this package makes the
+built-in keys (``lut``, ``stepwise``, ``pid``; ``arma``,
+``persistence``) resolvable.
 """
 
 from repro.control.arma import ArmaModel
+from repro.control.base import FlowController, Forecaster
 from repro.control.controller import FlowRateController
 from repro.control.flow_table import CharacterizationResult, FlowRateTable
-from repro.control.forecaster import TemperatureForecaster
+from repro.control.forecaster import PersistenceForecaster, TemperatureForecaster
+from repro.control.pid import PidFlowController
 from repro.control.sprt import SprtDetector
 from repro.control.stepwise import StepwiseFlowController
 
@@ -22,8 +31,12 @@ __all__ = [
     "ArmaModel",
     "SprtDetector",
     "TemperatureForecaster",
+    "PersistenceForecaster",
+    "Forecaster",
     "FlowRateTable",
     "CharacterizationResult",
+    "FlowController",
     "FlowRateController",
     "StepwiseFlowController",
+    "PidFlowController",
 ]

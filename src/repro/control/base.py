@@ -1,0 +1,52 @@
+"""The flow-controller and forecaster protocols the engine talks to.
+
+The engine used to special-case controller types with ``isinstance``
+(the stepwise [6] baseline is reactive, the paper's LUT controller is
+proactive). That dispatch is now a declared capability:
+``reacts_to_forecast`` says which temperature the controller's
+:meth:`~FlowController.update` receives each interval — the forecast
+maximum (proactive controllers) or the measured maximum (reactive
+ones). Controllers are registered by key via
+:func:`repro.registry.register_controller`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class FlowController(Protocol):
+    """A variable-flow pump controller, stepped once per interval."""
+
+    #: Whether :meth:`update` should receive the *forecast* maximum
+    #: temperature (True — the paper's proactive LUT controller) or
+    #: the *measured* one (False — reactive baselines like the
+    #: stepwise ladder and the PID regulator).
+    reacts_to_forecast: bool
+
+    def update(self, temperature: float, now: float) -> int:
+        """One control step; returns the commanded pump setting index.
+
+        ``temperature`` is the forecast or measured maximum (degC)
+        according to ``reacts_to_forecast``; ``now`` is the simulation
+        time (s), driving the pump-transition bookkeeping.
+        """
+        ...
+
+
+@runtime_checkable
+class Forecaster(Protocol):
+    """A maximum-temperature predictor, fed once per interval."""
+
+    #: Times the underlying model was (re-)fitted; recorded in the
+    #: simulation result.
+    retrain_count: int
+
+    def observe(self, value: float) -> None:
+        """Feed one maximum-temperature sample (degC)."""
+        ...
+
+    def predict(self) -> float:
+        """Forecast the configured horizon ahead of the last sample."""
+        ...

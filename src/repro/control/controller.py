@@ -20,6 +20,7 @@ from repro.constants import CONTROL
 from repro.control.flow_table import FlowRateTable
 from repro.errors import ControlError
 from repro.pump.laing_ddc import PumpState
+from repro.registry import ControllerContext, register_controller
 
 
 class FlowRateController:
@@ -34,6 +35,10 @@ class FlowRateController:
     hysteresis:
         Down-switch margin, K (paper: 2 degC).
     """
+
+    #: Proactive: acts on the ARMA forecast so the 250-300 ms impeller
+    #: transition completes before the temperature arrives.
+    reacts_to_forecast = True
 
     def __init__(
         self,
@@ -93,3 +98,22 @@ class FlowRateController:
                 self.pump_state.command(guarded, now)
                 self.downshift_count += 1
         return self.pump_state.commanded_index
+
+
+@register_controller(
+    "lut",
+    aliases=("table",),
+    description="The paper's controller: ARMA forecast + characterized "
+    "look-up table + down-switch hysteresis (config fields "
+    "'hysteresis' and 'characterization_guard' shape it)",
+    traits={"needs_flow_table": True},
+)
+def _build_lut(ctx: ControllerContext) -> FlowRateController:
+    table = ctx.cache.table(ctx.system, ctx.power_model, ctx.config)
+    floor = ctx.cache.floor(ctx.system, ctx.power_model, ctx.config)
+    return FlowRateController(
+        table,
+        ctx.pump_state,
+        hysteresis=ctx.config.hysteresis,
+        minimum_setting=floor,
+    )

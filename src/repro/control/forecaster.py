@@ -23,6 +23,7 @@ from repro.constants import CONTROL
 from repro.control.arma import ArmaModel
 from repro.control.sprt import SprtDetector
 from repro.errors import ControlError
+from repro.registry import ForecasterContext, ParamSpec, register_forecaster
 
 
 class TemperatureForecaster:
@@ -131,3 +132,58 @@ class TemperatureForecaster:
             beta=self._sprt_beta,
         )
         self.retrain_count += 1
+
+
+class PersistenceForecaster:
+    """The naive predictor: tomorrow looks exactly like today.
+
+    Forecasts the last observed maximum temperature, unchanged, at any
+    horizon. Registered as ``"persistence"`` so ablations can quantify
+    what the ARMA+SPRT machinery actually buys: a variable-flow run
+    with the persistence forecaster is the "no forecasting" arm with
+    everything else held equal.
+    """
+
+    retrain_count = 0  # There is no model to (re-)fit.
+
+    def __init__(self) -> None:
+        self._last: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Remember the latest sample."""
+        if not np.isfinite(value):
+            raise ControlError("temperature sample must be finite")
+        self._last = float(value)
+
+    def predict(self) -> float:
+        """The last observation, at any horizon."""
+        if self._last is None:
+            raise ControlError("no observations yet")
+        return self._last
+
+
+@register_forecaster(
+    "arma",
+    description="ARMA forecast with SPRT-triggered re-fitting (the "
+    "paper's proactive predictor)",
+    params=(
+        ParamSpec("window", "int", default=120, minimum=1,
+                  doc="samples of history used for (re-)fitting"),
+        ParamSpec("min_history", "int", default=40, minimum=1,
+                  doc="samples before the first fit (persistence until then)"),
+        ParamSpec("sprt_shift", "float", default=3.0,
+                  doc="detectable mean shift, in residual sigmas"),
+    ),
+)
+def _build_arma(ctx: ForecasterContext, **params) -> TemperatureForecaster:
+    return TemperatureForecaster(horizon_steps=ctx.horizon_steps, **params)
+
+
+@register_forecaster(
+    "persistence",
+    aliases=("last-value",),
+    description="Predicts the last observed maximum temperature "
+    "(the no-forecasting ablation arm)",
+)
+def _build_persistence(ctx: ForecasterContext) -> PersistenceForecaster:
+    return PersistenceForecaster()

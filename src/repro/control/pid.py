@@ -1,0 +1,153 @@
+"""A PID flow controller — the control-theory baseline for the registry.
+
+Islam & Abdel-Motaleb's investigation of liquid-cooling *dynamics* in
+3D ICs treats the loop as a classical control problem; this module
+provides that family's representative so it can be compared against the
+paper's characterized-LUT controller on equal footing. The regulator
+drives the pump's discrete setting ladder from the measured maximum
+temperature: proportional to the error above the setpoint, integral to
+remove steady-state offset, derivative to anticipate ramps.
+
+It is registered as ``"pid"`` with its gains as declared parameters, so
+tuning studies are plain sweeps::
+
+    SweepSpec(grid={"controller_params.kp": [0.5, 1.0, 2.0]},
+              base=SimulationConfig(controller="pid"))
+
+Like the stepwise [6] baseline it is *reactive*
+(``reacts_to_forecast = False``): it sees the measured temperature and
+eats the full 250-300 ms impeller transition, which is exactly the
+handicap the paper's forecast-driven controller was built to remove.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ControlError
+from repro.pump.laing_ddc import PumpState
+from repro.registry import ControllerContext, ParamSpec, register_controller
+
+
+class PidFlowController:
+    """Discrete PID regulation of the pump setting index.
+
+    The control output is an absolute setting position::
+
+        u(t) = kp * e(t) + ki * I(t) + kd * de/dt,   e = T_max - setpoint
+
+    rounded and clamped onto the ladder ``[0, n_settings)``. The
+    integral uses conditional anti-windup: it only accumulates while
+    the commanded setting is unsaturated, so a long cold (or hot)
+    stretch cannot wind up minutes of correction that must unwind
+    before the controller responds again.
+
+    Parameters
+    ----------
+    pump_state:
+        Runtime pump state (owns the transition delay).
+    kp, ki, kd:
+        Gains in settings per K, settings per K*s, settings per K/s.
+    setpoint:
+        Regulated maximum temperature, degC. Defaults (via the
+        registry factory) to the config's target temperature minus
+        ``margin``.
+    margin:
+        Guard band (K) below the target used when ``setpoint`` is not
+        given — a reactive controller regulating *at* the target would
+        spend half of every oscillation above it.
+    """
+
+    #: Reactive: regulates the measured temperature.
+    reacts_to_forecast = False
+
+    def __init__(
+        self,
+        pump_state: PumpState,
+        kp: float = 1.5,
+        ki: float = 0.25,
+        kd: float = 0.5,
+        setpoint: Optional[float] = None,
+        margin: float = 3.0,
+        target_temperature: float = 80.0,
+    ) -> None:
+        if kp < 0.0 or ki < 0.0 or kd < 0.0:
+            raise ControlError("PID gains must be non-negative")
+        if margin < 0.0:
+            raise ControlError("margin must be non-negative")
+        self.pump_state = pump_state
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.setpoint = (
+            float(setpoint) if setpoint is not None
+            else target_temperature - margin
+        )
+        self._integral = 0.0
+        self._last_error: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self.upshift_count = 0
+        self.downshift_count = 0
+
+    def update(self, measured_tmax: float, now: float) -> int:
+        """One control step on the measured T_max; returns the command."""
+        self.pump_state.advance(now)
+        error = measured_tmax - self.setpoint
+        n_settings = self.pump_state.pump.n_settings
+
+        derivative = 0.0
+        if self._last_time is not None:
+            dt = now - self._last_time
+            if dt > 0.0:
+                derivative = (error - self._last_error) / dt
+                # Tentative unsaturated check below decides whether this
+                # interval's error joins the integral (anti-windup).
+                proposed = self._integral + error * dt
+            else:
+                proposed = self._integral
+        else:
+            dt = 0.0
+            proposed = self._integral
+
+        u = self.kp * error + self.ki * proposed + self.kd * derivative
+        raw = int(round(u))
+        required = min(max(raw, 0), n_settings - 1)
+        if raw == required:
+            # Unsaturated: accept the integral update.
+            self._integral = proposed
+        self._last_error = error
+        self._last_time = now
+
+        commanded = self.pump_state.commanded_index
+        if required != commanded:
+            self.pump_state.command(required, now)
+            if required > commanded:
+                self.upshift_count += 1
+            else:
+                self.downshift_count += 1
+        return self.pump_state.commanded_index
+
+
+@register_controller(
+    "pid",
+    description="Classical PID regulation of the pump setting on the "
+    "measured T_max (reactive control-theory baseline)",
+    params=(
+        ParamSpec("kp", "float", default=1.5, minimum=0.0,
+                  doc="proportional gain, settings per K"),
+        ParamSpec("ki", "float", default=0.25, minimum=0.0,
+                  doc="integral gain, settings per K*s"),
+        ParamSpec("kd", "float", default=0.5, minimum=0.0,
+                  doc="derivative gain, settings per K/s"),
+        ParamSpec("setpoint", "float",
+                  doc="regulated T_max, degC (default: target - margin)"),
+        ParamSpec("margin", "float", default=3.0, minimum=0.0,
+                  doc="guard band below the target when setpoint is unset"),
+    ),
+)
+def _build_pid(ctx: ControllerContext, **params) -> PidFlowController:
+    return PidFlowController(
+        ctx.pump_state,
+        target_temperature=ctx.config.target_temperature,
+        **params,
+    )

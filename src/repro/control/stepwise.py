@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.constants import CONTROL
 from repro.errors import ControlError
 from repro.pump.laing_ddc import PumpState
+from repro.registry import ControllerContext, ParamSpec, register_controller
 
 
 class StepwiseFlowController:
@@ -37,6 +38,10 @@ class StepwiseFlowController:
         (the reactive policy must not re-trigger while the previous
         transition is still propagating).
     """
+
+    #: Reactive by definition — the [6] baseline sees only the
+    #: measured temperature and eats the full pump transition delay.
+    reacts_to_forecast = False
 
     def __init__(
         self,
@@ -75,3 +80,23 @@ class StepwiseFlowController:
             self.downshift_count += 1
             self._cooldown = self.settle_intervals
         return self.pump_state.commanded_index
+
+
+@register_controller(
+    "stepwise",
+    aliases=("step",),
+    description="Prior-work [6] baseline: reactive one-step "
+    "increment/decrement on the measured temperature",
+    params=(
+        ParamSpec("upper_band", "float",
+                  default=CONTROL.target_temperature - 2.0,
+                  doc="measured T_max above this steps the pump up, degC"),
+        ParamSpec("lower_band", "float",
+                  default=CONTROL.target_temperature - 8.0,
+                  doc="measured T_max below this steps the pump down, degC"),
+        ParamSpec("settle_intervals", "int", default=4, minimum=1,
+                  doc="control intervals to wait between steps"),
+    ),
+)
+def _build_stepwise(ctx: ControllerContext, **params) -> StepwiseFlowController:
+    return StepwiseFlowController(ctx.pump_state, **params)

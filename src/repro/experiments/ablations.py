@@ -101,8 +101,8 @@ def run_controller_comparison(
     keeping the temperature guarantee the reactive ladder cannot give.
     """
     labels = {
-        ControllerKind.LUT: "LUT+ARMA (paper)",
-        ControllerKind.STEPWISE: "stepwise (prior work [6])",
+        "lut": "LUT+ARMA (paper)",
+        "stepwise": "stepwise (prior work [6])",
     }
     spec = SweepSpec(
         base=SimulationConfig(

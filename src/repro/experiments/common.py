@@ -51,9 +51,12 @@ DEFAULT_DURATION = 20.0
 _run_cache: dict[SimulationConfig, SimulationResult] = {}
 
 
-def combo_label(policy: PolicyKind, cooling: CoolingMode) -> str:
-    """Figure-style label, e.g. ``"TALB (Var)"``."""
-    return f"{policy.value} ({cooling.value})"
+def combo_label(policy, cooling: CoolingMode) -> str:
+    """Figure-style label, e.g. ``"TALB (Var)"``.
+
+    ``policy`` is a registry key or a legacy :class:`PolicyKind` member.
+    """
+    return f"{getattr(policy, 'value', policy)} ({cooling.value})"
 
 
 def matrix_spec(

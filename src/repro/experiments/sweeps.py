@@ -48,6 +48,38 @@ def inlet_temperature_sweep(
     return rows
 
 
+def controller_family_spec(
+    workload: str = "Database",
+    duration: float = 15.0,
+    seed: int = 0,
+) -> SweepSpec:
+    """Compare the registered flow-controller family on one workload.
+
+    The registry turns controller variants into sweep points instead of
+    code forks: the paper's LUT+ARMA controller, the [6] stepwise
+    ladder, and the PID regulator at two proportional gains — the
+    controller-dynamics axis Islam & Abdel-Motaleb explore — all run
+    under identical scheduling and cooling. Built in as ``controllers``
+    for ``repro sweep run`` / ``repro dist plan``.
+    """
+    return SweepSpec(
+        base=SimulationConfig(
+            benchmark_name=workload,
+            policy=PolicyKind.TALB,
+            cooling=CoolingMode.LIQUID_VARIABLE,
+            duration=duration,
+            seed=seed,
+        ),
+        points=[
+            {"controller": "lut"},
+            {"controller": "stepwise"},
+            {"controller": "pid"},
+            {"controller": "pid", "controller_params": {"kp": 0.75, "kd": 1.0}},
+        ],
+        name="controllers",
+    )
+
+
 def hysteresis_spec(
     values: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0),
     workload: str = "Database",

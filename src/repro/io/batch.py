@@ -24,19 +24,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 _BATCH_FORMAT_VERSION = 1
 
 
+def _params_cell(params) -> str:
+    """Component params as a canonical compact JSON string column
+    (empty string when the mapping is empty, for clean CSV)."""
+    if not params:
+        return ""
+    return json.dumps(dict(sorted(params.items())), sort_keys=True,
+                      separators=(",", ":"))
+
+
 def config_descriptor(config: SimulationConfig) -> dict:
     """Flat, JSON-friendly identity of a run configuration.
 
-    Captures the experiment-matrix axes (workload, policy, cooling,
-    controller, layers, duration, seed, DPM); thermal/grid parameters
-    are omitted because they are constant across a sweep — archive the
-    code revision for those.
+    Captures the experiment-matrix axes (workload, policy registry key
+    + params, cooling, controller key + params, layers, duration, seed,
+    DPM); thermal/grid parameters are omitted because they are constant
+    across a sweep — archive the code revision for those. Component
+    parameter mappings render as canonical JSON strings so two runs
+    differing only in a swept gain stay distinguishable in exports and
+    aggregator groupings.
     """
     return {
         "benchmark": config.benchmark_name,
-        "policy": config.policy.value,
+        "policy": config.policy,
+        "policy_params": _params_cell(config.policy_params),
         "cooling": config.cooling.value,
-        "controller": config.controller.value,
+        "controller": config.controller,
+        "controller_params": _params_cell(config.controller_params),
         "n_layers": config.n_layers,
         "duration": config.duration,
         "seed": config.seed,

@@ -8,12 +8,19 @@ allocated to cores and execute them". Policies:
 * :class:`ReactiveMigration` — LB plus temperature-triggered migration
   of the running thread away from cores above 85 degC;
 * :class:`WeightedLoadBalancer` (TALB) — the paper's contribution:
-  queue lengths weighted by per-core thermal weights (Eq. 8).
+  queue lengths weighted by per-core thermal weights (Eq. 8);
+* :class:`RoundRobinPolicy` — cyclic dispatch, the registry-only
+  baseline below LB.
+
+Each policy registers itself in :func:`repro.registry.policy_registry`
+at import time; importing this package is what makes the built-in keys
+(``LB``, ``Mig``, ``TALB``, ``RR``) resolvable.
 """
 
 from repro.sched.base import CoreQueues, SchedulerPolicy
 from repro.sched.load_balancer import LoadBalancer
 from repro.sched.migration import ReactiveMigration
+from repro.sched.round_robin import RoundRobinPolicy
 from repro.sched.talb import WeightedLoadBalancer
 from repro.sched.weights import ThermalWeights
 
@@ -22,6 +29,7 @@ __all__ = [
     "SchedulerPolicy",
     "LoadBalancer",
     "ReactiveMigration",
+    "RoundRobinPolicy",
     "WeightedLoadBalancer",
     "ThermalWeights",
 ]

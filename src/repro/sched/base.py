@@ -96,9 +96,31 @@ class CoreQueues:
 
 
 class SchedulerPolicy(Protocol):
-    """A scheduling policy invoked once per control interval."""
+    """A scheduling policy invoked at dispatch and once per interval.
+
+    The engine talks to policies purely through this protocol — there
+    is no ``isinstance`` dispatch. ``migration_count`` is the declared
+    capability that replaced the engine's old ``ReactiveMigration``
+    special case: policies that never migrate a running thread simply
+    expose a constant ``0`` (a class attribute suffices).
+
+    Policies are registered by key via
+    :func:`repro.registry.register_policy`; see ``repro list policies``
+    and the README's "Extending repro" section.
+    """
 
     name: str
+    #: Running threads moved between cores so far (0 for policies that
+    #: never migrate; the engine records this series every interval).
+    migration_count: int
+
+    def dispatch_target(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+    ) -> str:
+        """Core that should receive a newly arrived thread."""
+        ...
 
     def rebalance(
         self,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.errors import SchedulingError
+from repro.registry import ParamSpec, PolicyContext, register_policy
 from repro.sched.base import CoreQueues
 
 
@@ -26,6 +27,7 @@ class LoadBalancer:
     """
 
     name = "LB"
+    migration_count = 0  # Never migrates a running thread.
 
     def __init__(self, threshold: int = 1, max_moves: int = 1000) -> None:
         if threshold < 1:
@@ -56,3 +58,18 @@ class LoadBalancer:
                 return
             if queues.move_waiting(longest, shortest, 1) == 0:
                 return
+
+
+@register_policy(
+    "LB",
+    aliases=("lb", "load-balancer"),
+    description="Dynamic load balancing on queue lengths (thermally blind)",
+    params=(
+        ParamSpec("threshold", "int", default=1, minimum=1,
+                  doc="max tolerated queue-length spread before moving threads"),
+        ParamSpec("max_moves", "int", default=1000, minimum=1,
+                  doc="safety bound on moves per rebalance"),
+    ),
+)
+def _build_load_balancer(ctx: PolicyContext, **params) -> LoadBalancer:
+    return LoadBalancer(**params)

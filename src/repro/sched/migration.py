@@ -15,6 +15,7 @@ from typing import Mapping
 
 from repro.constants import CONTROL
 from repro.errors import SchedulingError
+from repro.registry import ParamSpec, PolicyContext, register_policy
 from repro.sched.base import CoreQueues
 from repro.sched.load_balancer import LoadBalancer
 
@@ -70,3 +71,20 @@ class ReactiveMigration:
             if temperature > self.threshold_temperature and core != coolest:
                 if queues.migrate_running(core, coolest, penalty=self.penalty):
                     self.migration_count += 1
+
+
+@register_policy(
+    "Mig",
+    aliases=("mig", "migration", "reactive-migration"),
+    description="Load balancing plus reactive migration off cores above "
+    "the 85 degC threshold",
+    params=(
+        ParamSpec("threshold_temperature", "float",
+                  default=CONTROL.hotspot_threshold,
+                  doc="migration trigger temperature, degC"),
+        ParamSpec("penalty", "float", default=0.01, minimum=0.0,
+                  doc="seconds of extra work charged per migration"),
+    ),
+)
+def _build_migration(ctx: PolicyContext, **params) -> ReactiveMigration:
+    return ReactiveMigration(**params)

@@ -1,0 +1,68 @@
+"""Round-robin dispatch — the registry's thermally- and load-blind floor.
+
+Not in the paper's comparison set: the paper's weakest baseline (LB)
+still balances queue lengths. Round-robin dispatches arrivals cyclically
+over the cores and never rebalances, so it bounds the comparison from
+below — any policy that loses to RR on a metric is doing actual harm.
+It exists here as the first policy addressable *only* through the
+component registry (no legacy enum member), proving new scenarios ride
+in without touching the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SchedulingError
+from repro.registry import ParamSpec, PolicyContext, register_policy
+from repro.sched.base import CoreQueues
+
+
+class RoundRobinPolicy:
+    """Cyclic dispatch over the cores, no rebalancing.
+
+    Parameters
+    ----------
+    start_index:
+        Core index (construction order) that receives the first thread.
+    """
+
+    name = "RR"
+    migration_count = 0  # Never moves a thread after dispatch.
+
+    def __init__(self, start_index: int = 0) -> None:
+        if start_index < 0:
+            raise SchedulingError("start_index must be >= 0")
+        self._next = start_index
+
+    def dispatch_target(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+    ) -> str:
+        """The next core in cyclic order, regardless of load or heat."""
+        names = queues.core_names
+        target = names[self._next % len(names)]
+        self._next += 1
+        return target
+
+    def rebalance(
+        self,
+        queues: CoreQueues,
+        core_temperatures: Mapping[str, float],
+        now: float,
+    ) -> None:
+        """Round-robin never redistributes queued threads."""
+
+
+@register_policy(
+    "RR",
+    aliases=("rr", "round-robin", "round_robin"),
+    description="Cyclic dispatch, no rebalancing (registry-only baseline)",
+    params=(
+        ParamSpec("start_index", "int", default=0, minimum=0,
+                  doc="core index receiving the first thread"),
+    ),
+)
+def _build_round_robin(ctx: PolicyContext, **params) -> RoundRobinPolicy:
+    return RoundRobinPolicy(**params)

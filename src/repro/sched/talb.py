@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from repro.errors import SchedulingError
+from repro.registry import ParamSpec, PolicyContext, register_policy
 from repro.sched.base import CoreQueues
 from repro.sched.weights import ThermalWeights
 
@@ -41,6 +42,7 @@ class WeightedLoadBalancer:
     """
 
     name = "TALB"
+    migration_count = 0  # Moves only waiting (tail) threads.
 
     def __init__(
         self,
@@ -96,3 +98,20 @@ class WeightedLoadBalancer:
                 return  # Moving would not reduce the maximum.
             if queues.move_waiting(donor, receiver, 1) == 0:
                 return
+
+
+@register_policy(
+    "TALB",
+    aliases=("talb",),
+    description="Temperature-aware weighted load balancing (Eq. 8, the "
+    "paper's scheduling contribution)",
+    params=(
+        ParamSpec("tolerance", "float", default=0.5, doc="rebalance stops "
+                  "once the weighted spread is within this fraction"),
+        ParamSpec("max_moves", "int", default=1000, minimum=1,
+                  doc="safety bound on moves per rebalance"),
+    ),
+    traits={"uses_thermal_weights": True},
+)
+def _build_talb(ctx: PolicyContext, **params) -> WeightedLoadBalancer:
+    return WeightedLoadBalancer(weight_provider=ctx.weight_provider, **params)

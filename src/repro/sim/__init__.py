@@ -7,7 +7,7 @@ from repro.sim.config import (
     PolicyKind,
     SimulationConfig,
 )
-from repro.sim.engine import Simulator, simulate
+from repro.sim.engine import IntervalObserver, IntervalState, Simulator, simulate
 from repro.sim.results import SimulationResult
 from repro.sim.system import ThermalSystem
 
@@ -19,6 +19,8 @@ __all__ = [
     "ControllerKind",
     "Simulator",
     "simulate",
+    "IntervalState",
+    "IntervalObserver",
     "SimulationResult",
     "ThermalSystem",
 ]

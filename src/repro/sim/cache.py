@@ -29,8 +29,9 @@ from repro.control.flow_table import FlowRateTable
 from repro.geometry.stack import CoolingKind
 from repro.power.components import PowerModel
 from repro.power.leakage import LeakageModel
+from repro.registry import controller_registry, policy_registry
 from repro.sched.weights import ThermalWeights
-from repro.sim.config import ControllerKind, CoolingMode, SimulationConfig
+from repro.sim.config import CoolingMode, SimulationConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.sim.system import ThermalSystem
@@ -227,12 +228,14 @@ class CharacterizationCache:
         Builds each unique thermal system once in the calling process
         (through the same :func:`system_for` path a cold
         :class:`~repro.sim.engine.Simulator` uses) and populates the
-        flow table, burst floor, and (for TALB) the needed weight sets,
-        so worker processes receive finished artifacts instead of
-        re-deriving them. Returns ``self``.
+        flow table, burst floor, and thermal weight sets, so worker
+        processes receive finished artifacts instead of re-deriving
+        them. Which artifacts a config needs is read from its
+        components' registry traits (``needs_flow_table`` on
+        controllers, ``uses_thermal_weights`` on policies), so a
+        user-registered component warms correctly without this method
+        knowing it exists. Returns ``self``.
         """
-        from repro.sim.config import PolicyKind
-
         systems: dict[tuple, tuple["ThermalSystem", "PowerModel"]] = {}
         for config in configs:
             sys_id = _system_memo_key(config)
@@ -242,12 +245,13 @@ class CharacterizationCache:
             cooling = system.cooling
             needs_lut = (
                 config.cooling is CoolingMode.LIQUID_VARIABLE
-                and config.controller is ControllerKind.LUT
+                and controller_registry().get(config.controller)
+                .trait("needs_flow_table")
             )
             if needs_lut:
                 self.table(system, power_model, config)
                 self.floor(system, power_model, config)
-            if config.policy is PolicyKind.TALB:
+            if policy_registry().get(config.policy).trait("uses_thermal_weights"):
                 if cooling is CoolingKind.AIR:
                     self.thermal_weights(system, -1, config, cooling)
                 elif config.cooling is CoolingMode.LIQUID_MAX:

@@ -1,18 +1,43 @@
-"""Simulation configuration (the experiment matrix of Section V)."""
+"""Simulation configuration (the experiment matrix of Section V).
+
+``policy``, ``controller``, and ``forecaster`` are **registry keys**
+(:mod:`repro.registry`): strings naming a registered component, with
+optional frozen parameter mappings (``policy_params``,
+``controller_params``, ``forecaster_params``) validated against the
+component's declared schema at construction time. The historical enums
+(:class:`PolicyKind`, :class:`ControllerKind`) remain accepted aliases
+— ``SimulationConfig(policy=PolicyKind.TALB)`` and
+``SimulationConfig(policy="talb")`` normalize to the same canonical
+config, with identical labels, fingerprints, and runs.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Any, Mapping, Union
 
 from repro.constants import CONTROL
 from repro.errors import ConfigurationError
+from repro.registry import (
+    FrozenParams,
+    controller_registry,
+    forecaster_registry,
+    policy_registry,
+)
 from repro.thermal.rc_network import ThermalParams
 from repro.workload.benchmarks import BenchmarkSpec, benchmark
 
 
 class PolicyKind(Enum):
-    """Scheduling policy (Section V's comparison set)."""
+    """Legacy aliases for the built-in scheduling policies.
+
+    Kept for backward compatibility: anywhere a policy key is accepted,
+    a :class:`PolicyKind` member normalizes to its canonical registry
+    key (``member.value``). New code — and any non-paper policy, e.g.
+    the round-robin baseline ``"RR"`` — should use string keys; see
+    ``repro list policies``.
+    """
 
     LB = "LB"
     MIGRATION = "Mig"
@@ -20,12 +45,16 @@ class PolicyKind(Enum):
 
 
 class ControllerKind(Enum):
-    """Which variable-flow controller drives the pump.
+    """Legacy aliases for the built-in variable-flow controllers.
 
     ``LUT`` — the paper's contribution: ARMA forecast + characterized
     look-up table + 2 degC hysteresis;
     ``STEPWISE`` — the prior-work [6] baseline: reactive one-step
     increment/decrement on the measured temperature.
+
+    As with :class:`PolicyKind`, these normalize to registry keys; the
+    PID baseline (``"pid"``) and any user-registered controller have no
+    enum member and are addressed by key alone.
     """
 
     LUT = "lut"
@@ -60,7 +89,7 @@ class SimulationConfig:
     """
 
     benchmark_name: str = "Web-med"
-    policy: PolicyKind = PolicyKind.TALB
+    policy: Union[PolicyKind, str] = "TALB"
     cooling: CoolingMode = CoolingMode.LIQUID_VARIABLE
     n_layers: int = 2
     duration: float = 30.0
@@ -75,7 +104,7 @@ class SimulationConfig:
     hysteresis: float = CONTROL.hysteresis
     talb_weight_target: float = 75.0
     forecast_enabled: bool = True
-    controller: ControllerKind = ControllerKind.LUT
+    controller: Union[ControllerKind, str] = "lut"
     characterization_guard: float = 3.0
     """Guard band (K) subtracted from the target when building the flow
     look-up table. The characterization assumes uniform utilization; a
@@ -83,6 +112,16 @@ class SimulationConfig:
     hotter, and sudden arrivals outrun the 250-300 ms pump transition,
     so the table is built to cool to ``target - guard`` and the
     transients stay below the target itself."""
+    policy_params: Mapping[str, Any] = field(default_factory=FrozenParams)
+    """Parameters for the scheduling policy, validated against the
+    registry entry's declared schema (``repro list policies``)."""
+    controller_params: Mapping[str, Any] = field(default_factory=FrozenParams)
+    """Parameters for the flow controller (``repro list controllers``)."""
+    forecaster: str = "arma"
+    """Registry key of the maximum-temperature forecaster (the paper's
+    ARMA+SPRT predictor by default; ``repro list forecasters``)."""
+    forecaster_params: Mapping[str, Any] = field(default_factory=FrozenParams)
+    """Parameters for the forecaster."""
 
     def __post_init__(self) -> None:
         if self.n_layers not in (2, 4):
@@ -98,7 +137,37 @@ class SimulationConfig:
             raise ConfigurationError(
                 "sampling interval must be an integer multiple of the quantum"
             )
+        if any(
+            isinstance(n, bool) or not isinstance(n, int) or n < 1
+            for n in (self.nx, self.ny)
+        ):
+            raise ConfigurationError("nx and ny must be integers >= 1")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) \
+                or self.seed < 0:
+            raise ConfigurationError("seed must be an integer >= 0")
+        if not isinstance(self.cooling, CoolingMode):
+            raise ConfigurationError(
+                f"cooling must be a CoolingMode, got {self.cooling!r}"
+            )
+        # Normalize the registry keys (enums and aliases -> canonical)
+        # and validate the parameter mappings against each component's
+        # declared schema. The coerced/frozen forms are what hash,
+        # fingerprint, and serialize.
+        self._normalize("policy", "policy_params", policy_registry())
+        self._normalize("controller", "controller_params", controller_registry())
+        self._normalize("forecaster", "forecaster_params", forecaster_registry())
         benchmark(self.benchmark_name)  # Validates the name early.
+
+    def _normalize(self, key_field: str, params_field: str, registry) -> None:
+        key = registry.normalize(getattr(self, key_field))
+        params = getattr(self, params_field)
+        if not isinstance(params, Mapping):
+            raise ConfigurationError(
+                f"{params_field} must be a mapping, got {type(params).__name__}"
+            )
+        frozen = FrozenParams(registry.validate_params(key, params))
+        object.__setattr__(self, key_field, key)
+        object.__setattr__(self, params_field, frozen)
 
     @property
     def spec(self) -> BenchmarkSpec:
@@ -112,4 +181,4 @@ class SimulationConfig:
 
     def label(self) -> str:
         """Figure-style label, e.g. ``"TALB (Var)"``."""
-        return f"{self.policy.value} ({self.cooling.value})"
+        return f"{self.policy} ({self.cooling.value})"

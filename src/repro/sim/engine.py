@@ -1,4 +1,4 @@
-"""The co-simulation engine (Figure 4's loop).
+"""The co-simulation engine (Figure 4's loop), stepped per interval.
 
 Each control interval (100 ms):
 
@@ -8,10 +8,21 @@ Each control interval (100 ms):
    the previous interval's temperatures);
 3. the thermal RC network advances one backward-Euler step at the
    effective pump setting;
-4. per-core sensors are sampled, the ARMA forecaster observes the new
+4. per-core sensors are sampled, the forecaster observes the new
    maximum temperature and predicts 500 ms ahead;
 5. the flow-rate controller commands the pump (variable-flow mode);
 6. the scheduling policy rebalances the queues.
+
+The loop is exposed one interval at a time: :meth:`Simulator.step`
+executes stages 1-6 once and returns an :class:`IntervalState`;
+:meth:`Simulator.run` is a thin loop over it that also notifies
+registered observers (:class:`IntervalObserver`), any of which can
+stream, probe, or stop the run early. There is **no type dispatch** in
+the loop: the policy, flow controller, and forecaster are built from
+the string-keyed component registries (:mod:`repro.registry`) named by
+the config, and behavioral differences are declared capabilities —
+``FlowController.reacts_to_forecast`` selects the controller's input
+signal, ``SchedulerPolicy.migration_count`` is recorded uniformly.
 
 The engine caches flow-table characterizations and TALB weight sets per
 thermal-system signature, since these are offline pre-processing steps
@@ -24,27 +35,30 @@ can be injected per :class:`Simulator` (or installed with
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.constants import CONTROL
-from repro.control.controller import FlowRateController
 from repro.control.flow_table import FlowRateTable
-from repro.control.forecaster import TemperatureForecaster
-from repro.control.stepwise import StepwiseFlowController
 from repro.errors import ConfigurationError, SchedulingError
 from repro.geometry.stack import CoolingKind
 from repro.power.components import PowerModel
 from repro.power.dpm import DpmPolicy
 from repro.pump.laing_ddc import PumpState
+from repro.registry import (
+    ControllerContext,
+    ForecasterContext,
+    PolicyContext,
+    controller_registry,
+    forecaster_registry,
+    policy_registry,
+)
 from repro.sched.base import CoreQueues
-from repro.sched.load_balancer import LoadBalancer
-from repro.sched.migration import ReactiveMigration
-from repro.sched.talb import WeightedLoadBalancer
 from repro.sched.weights import ThermalWeights
 from repro.sim.cache import CharacterizationCache, system_for
-from repro.sim.config import ControllerKind, CoolingMode, PolicyKind, SimulationConfig
+from repro.sim.config import CoolingMode, SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.sim.system import ThermalSystem
 from repro.workload.generator import ThreadTrace, WorkloadGenerator
@@ -100,13 +114,95 @@ def thermal_weights(
     )
 
 
+@dataclass(frozen=True)
+class IntervalState:
+    """What one control interval produced — the observer's view.
+
+    Attributes
+    ----------
+    index:
+        Zero-based interval index just executed.
+    n_intervals:
+        Total intervals the configured run spans.
+    time:
+        Simulation time at the interval's end, s.
+    tmax:
+        Maximum sensor (unit-mean) temperature, degC.
+    tmax_cell:
+        Maximum cell-level die temperature (ground truth), degC.
+    forecast_tmax:
+        The temperature the controller decision was based on (forecast,
+        or the measured value when forecasting is disabled).
+    core_temperatures:
+        Per-core sensor temperatures, degC.
+    chip_power:
+        Total chip power over the interval, W.
+    pump_power:
+        Pump electrical power (0 for air cooling), W.
+    flow_setting:
+        Commanded pump setting index (-1 for air cooling).
+    completed_threads:
+        Threads that finished during this interval.
+    migrations:
+        Cumulative running-thread migrations so far.
+    """
+
+    index: int
+    n_intervals: int
+    time: float
+    tmax: float
+    tmax_cell: float
+    forecast_tmax: float
+    core_temperatures: Mapping[str, float]
+    chip_power: float
+    pump_power: float
+    flow_setting: int
+    completed_threads: int
+    migrations: int
+
+    @property
+    def done(self) -> bool:
+        """Whether this was the configured run's final interval."""
+        return self.index + 1 >= self.n_intervals
+
+
+@runtime_checkable
+class IntervalObserver(Protocol):
+    """A streaming hook :meth:`Simulator.run` invokes per interval.
+
+    Returning a truthy value stops the run early (after every observer
+    has seen the interval); the simulator then returns the truncated
+    result. Plain callables with the same signature work too.
+    """
+
+    def on_interval(self, state: IntervalState) -> Optional[bool]:
+        """Observe one executed interval; return True to stop the run."""
+        ...
+
+
+class _RunState:
+    """Mutable per-run loop state (everything `run()` used to keep in
+    locals), so the loop can advance one `step()` at a time."""
+
+    __slots__ = (
+        "n_intervals", "steps", "queues", "dpm", "forecaster", "spec",
+        "temperatures", "unit_vec", "core_vec", "core_temps", "unit_keys",
+        "arrivals", "arrival_ptr", "sojourn_sum", "sojourn_count", "k",
+        "rec_times", "rec_tmax", "rec_tmax_cell", "rec_core_t", "rec_unit_t",
+        "rec_chip_p", "rec_pump_p", "rec_setting", "rec_completed",
+        "rec_forecast", "rec_migrations",
+    )
+
+
 class Simulator:
     """One configured simulation run.
 
     Parameters
     ----------
     config:
-        The run configuration.
+        The run configuration. Its ``policy``, ``controller``, and
+        ``forecaster`` registry keys (plus their params) decide which
+        components this simulator builds.
     trace:
         Optional pre-generated thread trace (e.g. the diurnal trace);
         defaults to a fresh trace of the configured benchmark.
@@ -114,6 +210,13 @@ class Simulator:
         Optional :class:`~repro.sim.cache.CharacterizationCache` to
         draw offline characterizations from (defaults to the
         process-wide cache).
+    observers:
+        :class:`IntervalObserver`\\ s notified per interval by
+        :meth:`run` (more can be added with :meth:`add_observer`).
+
+    A simulator is one-shot: :meth:`step` walks the configured
+    intervals exactly once (``run()`` is a thin loop over it), and
+    :meth:`result` can snapshot the series at any point along the way.
     """
 
     def __init__(
@@ -121,6 +224,7 @@ class Simulator:
         config: SimulationConfig,
         trace: Optional[ThreadTrace] = None,
         cache: Optional[CharacterizationCache] = None,
+        observers: Iterable[IntervalObserver] = (),
     ) -> None:
         self.config = config
         self.cache = cache if cache is not None else _default_cache
@@ -130,35 +234,40 @@ class Simulator:
             config.spec, n_cores=config.n_cores, seed=config.seed
         ).generate(config.duration)
         self._cooling_kind = cooling
-        self._policy = self._build_policy()
+        self._observers = list(observers)
+        self._policy = policy_registry().create(
+            config.policy,
+            config.policy_params,
+            PolicyContext(
+                config=config,
+                system=self.system,
+                power_model=self.power_model,
+                cache=self.cache,
+                weight_provider=self._talb_weights,
+            ),
+        )
         self._pump_state: Optional[PumpState] = None
-        self._controller: Optional[FlowRateController] = None
+        self._controller = None
         if config.cooling.is_liquid:
             initial = self.system.pump.n_settings - 1  # Start safe (max flow).
             self._pump_state = PumpState(self.system.pump, current_index=initial)
             if config.cooling is CoolingMode.LIQUID_VARIABLE:
-                if config.controller is ControllerKind.STEPWISE:
-                    # The prior-work [6] baseline: reactive ladder.
-                    self._controller = StepwiseFlowController(self._pump_state)
-                else:
-                    table = self.cache.table(self.system, self.power_model, config)
-                    floor = self.cache.floor(self.system, self.power_model, config)
-                    self._controller = FlowRateController(
-                        table,
-                        self._pump_state,
-                        hysteresis=config.hysteresis,
-                        minimum_setting=floor,
-                    )
+                self._controller = controller_registry().create(
+                    config.controller,
+                    config.controller_params,
+                    ControllerContext(
+                        config=config,
+                        pump_state=self._pump_state,
+                        system=self.system,
+                        power_model=self.power_model,
+                        cache=self.cache,
+                    ),
+                )
+        self._state: Optional[_RunState] = None
 
-    def _build_policy(self):
-        config = self.config
-        if config.policy is PolicyKind.LB:
-            return LoadBalancer()
-        if config.policy is PolicyKind.MIGRATION:
-            return ReactiveMigration()
-        if config.policy is PolicyKind.TALB:
-            return WeightedLoadBalancer(weight_provider=self._talb_weights)
-        raise ConfigurationError(f"unknown policy {config.policy}")
+    def add_observer(self, observer: IntervalObserver) -> None:
+        """Register another per-interval observer."""
+        self._observers.append(observer)
 
     def _talb_weights(self, tmax: float) -> ThermalWeights:
         """Weight provider: the pre-processed set for the current
@@ -171,185 +280,266 @@ class Simulator:
             self.system, setting, self.config, self._cooling_kind
         )
 
-    # --- main loop -------------------------------------------------------------
+    # --- stepped execution -------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute the configured run and return its time series."""
+    @property
+    def interval_count(self) -> int:
+        """Control intervals the configured run spans."""
+        return int(round(self.config.duration / self.config.sampling_interval))
+
+    @property
+    def intervals_completed(self) -> int:
+        """Intervals executed so far."""
+        return self._state.k if self._state is not None else 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether every configured interval has executed."""
+        return self.intervals_completed >= self.interval_count
+
+    def _ensure_state(self) -> _RunState:
+        if self._state is not None:
+            return self._state
         config = self.config
         grid = self.system.grid
         interval = config.sampling_interval
-        n_intervals = int(round(config.duration / interval))
-        steps = int(round(interval / config.quantum))
         core_names = self.system.core_names
-        queues = CoreQueues(core_names)
-        dpm = DpmPolicy(core_names, enabled=config.dpm_enabled)
-        spec = config.spec
+
+        st = _RunState()
+        st.n_intervals = self.interval_count
+        st.steps = int(round(interval / config.quantum))
+        st.queues = CoreQueues(core_names)
+        st.dpm = DpmPolicy(core_names, enabled=config.dpm_enabled)
+        st.spec = config.spec
 
         setting0 = self._pump_state.current_index if self._pump_state else -1
-        temperatures = self.system.initial_temperatures(
-            self.power_model, spec.utilization, setting_index=setting0
+        st.temperatures = self.system.initial_temperatures(
+            self.power_model, st.spec.utilization, setting_index=setting0
         )
         # Vector-native per-interval state: unit/core temperatures live
         # in arrays aligned to the grid's stable unit ordering; the
         # small per-core dict is rebuilt only for the policy interface.
-        unit_keys = list(grid.unit_keys)
-        unit_vec = grid.unit_temperature_vector(temperatures)
-        core_vec = unit_vec[grid.core_index]
-        core_temps = dict(zip(core_names, core_vec.tolist()))
-        forecaster = TemperatureForecaster(
-            horizon_steps=int(round(CONTROL.forecast_horizon / interval))
+        st.unit_keys = list(grid.unit_keys)
+        st.unit_vec = grid.unit_temperature_vector(st.temperatures)
+        st.core_vec = st.unit_vec[grid.core_index]
+        st.core_temps = dict(zip(core_names, st.core_vec.tolist()))
+        st.forecaster = forecaster_registry().create(
+            config.forecaster,
+            config.forecaster_params,
+            ForecasterContext(
+                config=config,
+                horizon_steps=int(round(CONTROL.forecast_horizon / interval)),
+            ),
         )
 
-        arrivals = list(self.trace.threads)
-        arrival_ptr = 0
-        migrations_total = 0
-        sojourn_sum = 0.0
-        sojourn_count = 0
+        st.arrivals = list(self.trace.threads)
+        st.arrival_ptr = 0
+        st.sojourn_sum = 0.0
+        st.sojourn_count = 0
+        st.k = 0
 
-        rec_times = np.zeros(n_intervals)
-        rec_tmax = np.zeros(n_intervals)
-        rec_tmax_cell = np.zeros(n_intervals)
-        rec_core_t = np.zeros((n_intervals, len(core_names)))
-        rec_unit_t = np.zeros((n_intervals, len(unit_keys)))
-        rec_chip_p = np.zeros(n_intervals)
-        rec_pump_p = np.zeros(n_intervals)
-        rec_setting = np.full(n_intervals, -1, dtype=int)
-        rec_completed = np.zeros(n_intervals, dtype=int)
-        rec_forecast = np.full(n_intervals, np.nan)
-        rec_migrations = np.zeros(n_intervals, dtype=int)
+        n = st.n_intervals
+        st.rec_times = np.zeros(n)
+        st.rec_tmax = np.zeros(n)
+        st.rec_tmax_cell = np.zeros(n)
+        st.rec_core_t = np.zeros((n, len(core_names)))
+        st.rec_unit_t = np.zeros((n, len(st.unit_keys)))
+        st.rec_chip_p = np.zeros(n)
+        st.rec_pump_p = np.zeros(n)
+        st.rec_setting = np.full(n, -1, dtype=int)
+        st.rec_completed = np.zeros(n, dtype=int)
+        st.rec_forecast = np.full(n, np.nan)
+        st.rec_migrations = np.zeros(n, dtype=int)
+        self._state = st
+        return st
 
-        for k in range(n_intervals):
-            t_start = k * interval
-            busy_time = {name: 0.0 for name in core_names}
-            completed_in_interval = 0
-            states = dpm.states()
-
-            for s in range(steps):
-                now = t_start + s * config.quantum
-                # Dispatch arrivals that landed in this quantum.
-                while (
-                    arrival_ptr < len(arrivals)
-                    and arrivals[arrival_ptr].arrival < now + config.quantum
-                ):
-                    thread = arrivals[arrival_ptr]
-                    target = self._policy.dispatch_target(queues, core_temps)
-                    queues.enqueue(target, thread)
-                    dpm.wake(target, now)
-                    arrival_ptr += 1
-                # Execute queue heads. A thread dispatched mid-quantum
-                # only gets the post-arrival fraction of the quantum:
-                # without the clamp it would execute before its own
-                # arrival and could complete with a negative sojourn.
-                busy = {}
-                for name in core_names:
-                    q = queues.queue(name)
-                    if q:
-                        head = q[0]
-                        start = now if head.arrival <= now else head.arrival
-                        available = max(0.0, (now + config.quantum) - start)
-                        used = head.execute(available)
-                        busy_time[name] += used
-                        busy[name] = used > 0.0
-                        if head.done:
-                            finished = q.popleft()
-                            completed_in_interval += 1
-                            sojourn = (start + used) - finished.arrival
-                            if sojourn < 0.0:
-                                raise SchedulingError(
-                                    f"negative sojourn {sojourn:.6f}s for thread "
-                                    f"{finished.thread_id} (arrival "
-                                    f"{finished.arrival:.6f}s)"
-                                )
-                            sojourn_sum += sojourn
-                            sojourn_count += 1
-                    else:
-                        busy[name] = False
-                states = dpm.observe(now + config.quantum, busy)
-
-            t_end = t_start + interval
-            if self._pump_state is not None:
-                self._pump_state.advance(t_end)
-
-            core_util = {
-                name: min(1.0, busy_time[name] / interval) for name in core_names
-            }
-            unit_powers = self.power_model.unit_power_vector(
-                unit_keys, core_util, states, spec.memory_intensity, unit_vec
+    def step(self) -> IntervalState:
+        """Execute one control interval (stages 1-6) and record it."""
+        st = self._ensure_state()
+        if st.k >= st.n_intervals:
+            raise ConfigurationError(
+                "simulation already ran its configured duration; build a "
+                "new Simulator to run again"
             )
-            setting = self._pump_state.current_index if self._pump_state else -1
-            solver = self.system.transient_solver(setting, interval) \
-                if self._cooling_kind is CoolingKind.LIQUID \
-                else self.system.transient_solver(-1, interval)
-            temperatures = solver.step(
-                temperatures, grid.power_vector_from_array(unit_powers)
-            )
+        config = self.config
+        grid = self.system.grid
+        interval = config.sampling_interval
+        core_names = self.system.core_names
+        k = st.k
 
-            unit_vec = grid.unit_temperature_vector(temperatures)
-            core_vec = unit_vec[grid.core_index]
-            core_temps = dict(zip(core_names, core_vec.tolist()))
-            # Runtime policies observe sensors (unit means), as in the
-            # paper; the cell-level peak is recorded as ground truth.
-            tmax = float(unit_vec.max())
-            tmax_cell = grid.max_die_temperature(temperatures)
+        t_start = k * interval
+        busy_time = {name: 0.0 for name in core_names}
+        completed_in_interval = 0
+        states = st.dpm.states()
 
-            forecaster.observe(tmax)
-            if config.forecast_enabled:
-                # The controller acts on the forecast, guarded by the
-                # current reading: a prediction below an already-high
-                # temperature must not postpone an upshift.
-                prediction = max(forecaster.predict(), tmax)
-            else:
-                # Ablation: a purely reactive controller sees only the
-                # current temperature and eats the full pump delay.
-                prediction = tmax
-            if self._controller is not None:
-                if isinstance(self._controller, StepwiseFlowController):
-                    # The [6] baseline is reactive by definition.
-                    self._controller.update(tmax, t_end)
+        for s in range(st.steps):
+            now = t_start + s * config.quantum
+            # Dispatch arrivals that landed in this quantum.
+            while (
+                st.arrival_ptr < len(st.arrivals)
+                and st.arrivals[st.arrival_ptr].arrival < now + config.quantum
+            ):
+                thread = st.arrivals[st.arrival_ptr]
+                target = self._policy.dispatch_target(st.queues, st.core_temps)
+                st.queues.enqueue(target, thread)
+                st.dpm.wake(target, now)
+                st.arrival_ptr += 1
+            # Execute queue heads. A thread dispatched mid-quantum
+            # only gets the post-arrival fraction of the quantum:
+            # without the clamp it would execute before its own
+            # arrival and could complete with a negative sojourn.
+            busy = {}
+            for name in core_names:
+                q = st.queues.queue(name)
+                if q:
+                    head = q[0]
+                    start = now if head.arrival <= now else head.arrival
+                    available = max(0.0, (now + config.quantum) - start)
+                    used = head.execute(available)
+                    busy_time[name] += used
+                    busy[name] = used > 0.0
+                    if head.done:
+                        finished = q.popleft()
+                        completed_in_interval += 1
+                        sojourn = (start + used) - finished.arrival
+                        if sojourn < 0.0:
+                            raise SchedulingError(
+                                f"negative sojourn {sojourn:.6f}s for thread "
+                                f"{finished.thread_id} (arrival "
+                                f"{finished.arrival:.6f}s)"
+                            )
+                        st.sojourn_sum += sojourn
+                        st.sojourn_count += 1
                 else:
-                    self._controller.update(prediction, t_end)
+                    busy[name] = False
+            states = st.dpm.observe(now + config.quantum, busy)
 
-            self._policy.rebalance(queues, core_temps, t_end)
-            if isinstance(self._policy, ReactiveMigration):
-                migrations_total = self._policy.migration_count
+        t_end = t_start + interval
+        if self._pump_state is not None:
+            self._pump_state.advance(t_end)
 
-            rec_times[k] = t_end
-            rec_tmax[k] = tmax
-            rec_tmax_cell[k] = tmax_cell
-            rec_core_t[k] = core_vec
-            rec_unit_t[k] = unit_vec
-            rec_chip_p[k] = float(unit_powers.sum())
-            if self._pump_state is not None:
-                rec_pump_p[k] = self._pump_state.electrical_power()
-                rec_setting[k] = self._pump_state.commanded_index
-            rec_completed[k] = completed_in_interval
-            rec_forecast[k] = prediction
-            rec_migrations[k] = migrations_total
-
-        return SimulationResult(
-            times=rec_times,
-            tmax=rec_tmax,
-            tmax_cell=rec_tmax_cell,
-            core_temperatures=rec_core_t,
-            unit_temperatures=rec_unit_t,
-            unit_names=[f"{d}:{name}" for d, name in unit_keys],
-            core_names=core_names,
-            chip_power=rec_chip_p,
-            pump_power=rec_pump_p,
-            flow_setting=rec_setting,
-            completed_threads=rec_completed,
-            forecast_tmax=rec_forecast,
-            migrations=rec_migrations,
-            retrain_count=forecaster.retrain_count,
-            sojourn_sum=sojourn_sum,
-            sojourn_count=sojourn_count,
+        core_util = {
+            name: min(1.0, busy_time[name] / interval) for name in core_names
+        }
+        unit_powers = self.power_model.unit_power_vector(
+            st.unit_keys, core_util, states, st.spec.memory_intensity, st.unit_vec
         )
+        setting = self._pump_state.current_index if self._pump_state else -1
+        solver = self.system.transient_solver(setting, interval) \
+            if self._cooling_kind is CoolingKind.LIQUID \
+            else self.system.transient_solver(-1, interval)
+        st.temperatures = solver.step(
+            st.temperatures, grid.power_vector_from_array(unit_powers)
+        )
+
+        st.unit_vec = grid.unit_temperature_vector(st.temperatures)
+        st.core_vec = st.unit_vec[grid.core_index]
+        st.core_temps = dict(zip(core_names, st.core_vec.tolist()))
+        # Runtime policies observe sensors (unit means), as in the
+        # paper; the cell-level peak is recorded as ground truth.
+        tmax = float(st.unit_vec.max())
+        tmax_cell = grid.max_die_temperature(st.temperatures)
+
+        st.forecaster.observe(tmax)
+        if config.forecast_enabled:
+            # The controller acts on the forecast, guarded by the
+            # current reading: a prediction below an already-high
+            # temperature must not postpone an upshift.
+            prediction = max(st.forecaster.predict(), tmax)
+        else:
+            # Ablation: a purely reactive controller sees only the
+            # current temperature and eats the full pump delay.
+            prediction = tmax
+        if self._controller is not None:
+            # Declared capability, not type dispatch: proactive
+            # controllers consume the forecast, reactive ones the
+            # measured temperature.
+            signal = prediction if self._controller.reacts_to_forecast else tmax
+            self._controller.update(signal, t_end)
+
+        self._policy.rebalance(st.queues, st.core_temps, t_end)
+
+        st.rec_times[k] = t_end
+        st.rec_tmax[k] = tmax
+        st.rec_tmax_cell[k] = tmax_cell
+        st.rec_core_t[k] = st.core_vec
+        st.rec_unit_t[k] = st.unit_vec
+        st.rec_chip_p[k] = float(unit_powers.sum())
+        if self._pump_state is not None:
+            st.rec_pump_p[k] = self._pump_state.electrical_power()
+            st.rec_setting[k] = self._pump_state.commanded_index
+        st.rec_completed[k] = completed_in_interval
+        st.rec_forecast[k] = prediction
+        st.rec_migrations[k] = self._policy.migration_count
+        st.k = k + 1
+
+        return IntervalState(
+            index=k,
+            n_intervals=st.n_intervals,
+            time=t_end,
+            tmax=tmax,
+            tmax_cell=tmax_cell,
+            forecast_tmax=prediction,
+            core_temperatures=dict(st.core_temps),
+            chip_power=float(st.rec_chip_p[k]),
+            pump_power=float(st.rec_pump_p[k]),
+            flow_setting=int(st.rec_setting[k]),
+            completed_threads=completed_in_interval,
+            migrations=int(st.rec_migrations[k]),
+        )
+
+    def result(self) -> SimulationResult:
+        """The recorded series through the last executed interval.
+
+        Callable at any point — mid-run (a probe), after an observer
+        stopped the run early (a truncated but fully consistent
+        series), or at completion (the full run).
+        """
+        st = self._ensure_state()
+        k = st.k
+        return SimulationResult(
+            times=st.rec_times[:k].copy(),
+            tmax=st.rec_tmax[:k].copy(),
+            tmax_cell=st.rec_tmax_cell[:k].copy(),
+            core_temperatures=st.rec_core_t[:k].copy(),
+            unit_temperatures=st.rec_unit_t[:k].copy(),
+            unit_names=[f"{d}:{name}" for d, name in st.unit_keys],
+            core_names=self.system.core_names,
+            chip_power=st.rec_chip_p[:k].copy(),
+            pump_power=st.rec_pump_p[:k].copy(),
+            flow_setting=st.rec_setting[:k].copy(),
+            completed_threads=st.rec_completed[:k].copy(),
+            forecast_tmax=st.rec_forecast[:k].copy(),
+            migrations=st.rec_migrations[:k].copy(),
+            retrain_count=st.forecaster.retrain_count,
+            sojourn_sum=st.sojourn_sum,
+            sojourn_count=st.sojourn_count,
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the remaining intervals, notifying observers.
+
+        Every observer sees every interval (no short-circuiting); if
+        any returned True the run stops after that interval and the
+        truncated series is returned.
+        """
+        while not self.finished:
+            state = self.step()
+            stop = False
+            for observer in self._observers:
+                hook = getattr(observer, "on_interval", observer)
+                if hook(state):
+                    stop = True
+            if stop:
+                break
+        return self.result()
 
 
 def simulate(
     config: SimulationConfig,
     trace: Optional[ThreadTrace] = None,
     cache: Optional[CharacterizationCache] = None,
+    observers: Iterable[IntervalObserver] = (),
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(config, trace=trace, cache=cache).run()
+    return Simulator(config, trace=trace, cache=cache, observers=observers).run()

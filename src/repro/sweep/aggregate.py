@@ -361,36 +361,67 @@ class HistogramAggregator(Aggregator):
     ``bins`` equal-width bins over ``[lo, hi)`` (values exactly at
     ``hi`` land in the top bin), with explicit underflow/overflow/NaN
     counters so no observation is silently dropped. Counts are
-    integers, so shard histograms also merge *exactly* by addition
-    (:meth:`merge`) — the sketch whose distributed fold needs no
-    replay at all.
+    integers, so two explicit-range shard histograms also merge
+    *exactly* by addition (:meth:`merge`).
+
+    **Data-driven range** — pass ``lo=None, hi=None`` and the range is
+    derived from the data itself: the first ``warmup`` finite
+    observations are buffered raw, then the bin range freezes to their
+    span padded by 5% each side and the buffer replays into the bins.
+    This is what metrics whose scale varies by orders of magnitude
+    across sweeps need (energy grows with duration and layer count, so
+    any fixed range clips some campaigns — the ROADMAP's "energy
+    histograms need a data-driven range"). The derivation depends only
+    on the observation sequence, which the sweep runner and the
+    distributed merger both replay in run-index order, so auto-range
+    histograms stay bit-identical across resume and across any
+    sharding; only the exact state :meth:`merge` is unavailable (it
+    raises), because two shards may have frozen different ranges.
     """
 
     kind = "histogram"
 
+    #: Default finite observations buffered before an auto range freezes.
+    DEFAULT_WARMUP = 64
+    #: Fraction of the observed span padded onto each side at freeze.
+    RANGE_PAD = 0.05
+
     def __init__(
         self,
         metric: str = "peak_temperature",
-        lo: float = 40.0,
-        hi: float = 120.0,
+        lo: Optional[float] = 40.0,
+        hi: Optional[float] = 120.0,
         bins: int = 32,
         group_by: Sequence[str] = ("label",),
+        warmup: int = DEFAULT_WARMUP,
     ) -> None:
         if metric not in METRICS:
             raise ConfigurationError(
                 f"unknown metric {metric!r}; choose from {', '.join(METRICS)}"
             )
-        if not lo < hi:
+        if (lo is None) != (hi is None):
+            raise ConfigurationError(
+                "histogram range must be both explicit (lo and hi) or "
+                "both data-driven (lo=None, hi=None)"
+            )
+        if lo is not None and not lo < hi:
             raise ConfigurationError(f"histogram needs lo < hi, got [{lo}, {hi})")
         if bins < 1:
             raise ConfigurationError("histogram needs at least one bin")
+        if warmup < 1:
+            raise ConfigurationError("histogram warmup must be >= 1")
         self.metric = metric
-        self.lo = float(lo)
-        self.hi = float(hi)
+        self.auto_range = lo is None
+        self.lo = None if lo is None else float(lo)
+        self.hi = None if hi is None else float(hi)
         self.bins = int(bins)
+        self.warmup = int(warmup)
         self.group_by = tuple(group_by)
         # group key -> {"counts": [bins ints], "underflow", "overflow", "nan"}
         self._groups: dict[str, dict] = {}
+        # Auto-range warm-up: [group, value] in arrival order until the
+        # range freezes (order matters — replay must reproduce it).
+        self._buffer: list[list] = []
 
     @staticmethod
     def _empty_group(bins: int) -> dict:
@@ -400,14 +431,35 @@ class HistogramAggregator(Aggregator):
         return {
             "kind": self.kind,
             "metric": self.metric,
-            "lo": self.lo,
-            "hi": self.hi,
+            "lo": self.lo if not self.auto_range else None,
+            "hi": self.hi if not self.auto_range else None,
             "bins": self.bins,
+            "warmup": self.warmup,
             "group_by": list(self.group_by),
         }
 
-    def _edge(self, i: int) -> float:
-        return self.lo + (self.hi - self.lo) * i / self.bins
+    @property
+    def frozen(self) -> bool:
+        """Whether the bin range is decided (always True with an
+        explicit range)."""
+        return self.lo is not None
+
+    @staticmethod
+    def _derive_range(values: Sequence[float], pad: float) -> tuple[float, float]:
+        lo, hi = min(values), max(values)
+        span = hi - lo
+        margin = pad * span if span > 0.0 else max(1.0, abs(lo) * pad)
+        return lo - margin, hi + margin
+
+    def _freeze(self) -> None:
+        values = [value for _, value in self._buffer]
+        self.lo, self.hi = self._derive_range(values, self.RANGE_PAD)
+        buffered, self._buffer = self._buffer, []
+        for group, value in buffered:
+            self._bin({"group": group, "value": value})
+
+    def _edge(self, i: int, lo: float, hi: float) -> float:
+        return lo + (hi - lo) * i / self.bins
 
     def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
         return {
@@ -417,12 +469,34 @@ class HistogramAggregator(Aggregator):
 
     def update_payload(self, payload: Mapping) -> None:
         value = float(payload["value"])
+        if math.isnan(value):
+            group = self._groups.setdefault(
+                payload["group"], self._empty_group(self.bins)
+            )
+            group["nan"] += 1
+            return
+        if not self.frozen:
+            if math.isinf(value):
+                # Infinities must not enter the range derivation (any
+                # finite range excludes them anyway): count them where
+                # the frozen histogram would — under/overflow.
+                group = self._groups.setdefault(
+                    payload["group"], self._empty_group(self.bins)
+                )
+                group["overflow" if value > 0 else "underflow"] += 1
+                return
+            self._buffer.append([str(payload["group"]), value])
+            if len(self._buffer) >= self.warmup:
+                self._freeze()
+            return
+        self._bin(payload)
+
+    def _bin(self, payload: Mapping) -> None:
+        value = float(payload["value"])
         group = self._groups.setdefault(
             payload["group"], self._empty_group(self.bins)
         )
-        if math.isnan(value):
-            group["nan"] += 1
-        elif value < self.lo:
+        if value < self.lo:
             group["underflow"] += 1
         elif value > self.hi:
             group["overflow"] += 1
@@ -434,7 +508,15 @@ class HistogramAggregator(Aggregator):
             group["counts"][index] += 1
 
     def merge(self, other: "HistogramAggregator") -> None:
-        """Fold another histogram of the same spec in, exactly."""
+        """Fold another explicit-range histogram of the same spec in,
+        exactly. Auto-range histograms cannot state-merge (two shards
+        may have frozen different ranges) — replay their payloads in
+        run order instead, as :mod:`repro.dist` does."""
+        if self.auto_range or other.auto_range:
+            raise ConfigurationError(
+                "auto-range histograms cannot merge by state; replay "
+                "fold payloads in run-index order instead"
+            )
         if other.spec() != self.spec():
             raise ConfigurationError(
                 "can only merge histograms with identical specs"
@@ -448,7 +530,7 @@ class HistogramAggregator(Aggregator):
                 a + b for a, b in zip(group["counts"], theirs["counts"])
             ]
 
-    def state_dict(self) -> dict:
+    def _groups_state(self) -> dict:
         return {
             key: {
                 "counts": list(group["counts"]),
@@ -459,7 +541,21 @@ class HistogramAggregator(Aggregator):
             for key, group in self._groups.items()
         }
 
-    def load_state(self, state: Mapping) -> None:
+    def state_dict(self) -> dict:
+        if not self.auto_range:
+            # Flat legacy layout: explicit-range checkpoints written
+            # before auto-range existed restore unchanged.
+            return self._groups_state()
+        return {
+            "auto": {
+                "lo": self.lo,
+                "hi": self.hi,
+                "buffer": [list(entry) for entry in self._buffer],
+            },
+            "groups": self._groups_state(),
+        }
+
+    def _load_groups(self, state: Mapping) -> None:
         self._groups = {
             key: {
                 "counts": [int(n) for n in group["counts"]],
@@ -470,15 +566,53 @@ class HistogramAggregator(Aggregator):
             for key, group in state.items()
         }
 
+    def load_state(self, state: Mapping) -> None:
+        if not self.auto_range:
+            self._load_groups(state)
+            return
+        auto = state.get("auto", {})
+        self.lo = None if auto.get("lo") is None else float(auto["lo"])
+        self.hi = None if auto.get("hi") is None else float(auto["hi"])
+        self._buffer = [
+            [str(group), float(value)] for group, value in auto.get("buffer", [])
+        ]
+        self._load_groups(state.get("groups", {}))
+
     def rows(self) -> list[dict]:
         """Non-empty bins per group (plus under/overflow/NaN pseudo-bins).
 
         ``bin`` is -1 for underflow, ``bins`` for overflow, and None
         for NaN observations; open edges are None (null in JSON
-        exports, empty in CSV).
+        exports, empty in CSV). An auto-range histogram whose stream
+        ended inside the warm-up renders with a provisional range
+        derived from the buffered values (state is not mutated).
         """
+        groups: Mapping[str, dict] = self._groups
+        lo, hi = self.lo, self.hi
+        if not self.frozen:
+            if not self._buffer and not groups:
+                return []
+            if self._buffer:
+                lo, hi = self._derive_range(
+                    [value for _, value in self._buffer], self.RANGE_PAD
+                )
+                rendered = {
+                    key: dict(group, counts=list(group["counts"]))
+                    for key, group in groups.items()
+                }
+                shadow = HistogramAggregator(
+                    metric=self.metric, lo=lo, hi=hi, bins=self.bins,
+                    group_by=self.group_by,
+                )
+                shadow._groups = rendered
+                for group, value in self._buffer:
+                    shadow._bin({"group": group, "value": value})
+                groups = shadow._groups
+            else:
+                # Only NaN observations so far: render the pseudo-bins.
+                lo, hi = 0.0, 1.0
         rows = []
-        for key, group in self._groups.items():
+        for key, group in groups.items():
             identity = _group_columns(self.group_by, key)
             if group["underflow"]:
                 rows.append(
@@ -487,7 +621,7 @@ class HistogramAggregator(Aggregator):
                         "metric": self.metric,
                         "bin": -1,
                         "lo": None,
-                        "hi": self.lo,
+                        "hi": lo,
                         "count": group["underflow"],
                     }
                 )
@@ -498,8 +632,8 @@ class HistogramAggregator(Aggregator):
                             **identity,
                             "metric": self.metric,
                             "bin": i,
-                            "lo": self._edge(i),
-                            "hi": self._edge(i + 1),
+                            "lo": self._edge(i, lo, hi),
+                            "hi": self._edge(i + 1, lo, hi),
                             "count": count,
                         }
                     )
@@ -509,7 +643,7 @@ class HistogramAggregator(Aggregator):
                         **identity,
                         "metric": self.metric,
                         "bin": self.bins,
-                        "lo": self.hi,
+                        "lo": hi,
                         "hi": None,
                         "count": group["overflow"],
                     }
@@ -752,6 +886,7 @@ def aggregator_from_spec(spec: Mapping) -> Aggregator:
             hi=spec.get("hi", 120.0),
             bins=spec.get("bins", 32),
             group_by=spec.get("group_by", ("label",)),
+            warmup=spec.get("warmup", HistogramAggregator.DEFAULT_WARMUP),
         )
     if kind == "quantile":
         return QuantileAggregator(
@@ -782,10 +917,13 @@ def aggregate_tables(aggregators: Sequence[Aggregator]) -> dict[str, list[dict]]
 
 def default_aggregators() -> list[Aggregator]:
     """The standard reduction set: per-label scalars, the cell map,
-    and the peak-temperature distribution sketches."""
+    the peak-temperature distribution sketches, and a data-driven
+    energy histogram (energy scales with duration and layer count, so
+    its range must come from the campaign itself)."""
     return [
         ScalarAggregator(),
         CellAggregator(),
         HistogramAggregator(),
         QuantileAggregator(),
+        HistogramAggregator(metric="total_energy_j", lo=None, hi=None),
     ]

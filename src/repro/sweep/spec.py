@@ -18,12 +18,20 @@ million-run campaign costs nothing to declare and O(1) memory to walk.
 
 Field names accept friendly aliases (``workload``/``benchmark`` for
 ``benchmark_name``, ``layers`` for ``n_layers``, ``dpm`` for
-``dpm_enabled``), enum fields coerce from their string values
-(``"TALB"``, ``"Var"``, ``"stepwise"``), and dotted
-``thermal_params.<field>`` axes sweep the nested
+``dpm_enabled``). ``policy``/``controller``/``forecaster`` axes take
+registry keys (any accepted spelling — ``"TALB"``, ``"talb"``, or a
+legacy enum member — normalizes to the canonical key), ``cooling``
+coerces from its string values (``"Var"``), and dotted axes sweep
+nested mappings: ``thermal_params.<field>`` over
 :class:`~repro.thermal.rc_network.ThermalParams` (e.g.
-``thermal_params.inlet_temperature``) — the knob the related
-pump-power studies (arXiv:1911.00132) vary most.
+``thermal_params.inlet_temperature`` — the knob the related pump-power
+studies vary most) and ``policy_params.<name>`` /
+``controller_params.<name>`` / ``forecaster_params.<name>`` over the
+registered component's declared parameters (e.g.
+``controller_params.kp`` for a PID gain study). Component parameter
+*names* are validated when each point's config assembles — jointly
+with the swept component key, since which names exist depends on it —
+which :meth:`SweepSpec.validate_all` performs up front.
 
 Every spec has a deterministic :meth:`fingerprint` (SHA-256 over the
 canonical payload), which checkpoints embed so a resume can refuse to
@@ -40,6 +48,12 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.registry import (
+    FrozenParams,
+    controller_registry,
+    forecaster_registry,
+    policy_registry,
+)
 from repro.sim.config import (
     ControllerKind,
     CoolingMode,
@@ -56,14 +70,32 @@ FIELD_ALIASES: dict[str, str] = {
     "dpm": "dpm_enabled",
 }
 
-_ENUM_FIELDS = {
-    "policy": PolicyKind,
-    "cooling": CoolingMode,
-    "controller": ControllerKind,
+#: Registry-keyed fields and the registry that normalizes each
+#: (callables: registries load their built-ins lazily).
+_REGISTRY_FIELDS = {
+    "policy": policy_registry,
+    "controller": controller_registry,
+    "forecaster": forecaster_registry,
 }
+
+#: Component-parameter mappings sweepable via dotted axes. Parameter
+#: names are validated at config assembly (they depend on the component
+#: key, which may itself be swept).
+_PARAMS_FIELDS = ("policy_params", "controller_params", "forecaster_params")
 
 _CONFIG_FIELDS = {f.name for f in dataclass_fields(SimulationConfig)}
 _THERMAL_FIELDS = {f.name for f in dataclass_fields(ThermalParams)}
+
+#: New-in-the-registry-era fields omitted from :func:`config_signature`
+#: while they hold their defaults, so configs that never touch them
+#: fingerprint byte-identically to the pre-registry code — old sweep
+#: checkpoints and dist ledgers stay resumable.
+_SIGNATURE_DEFAULTS: dict[str, Any] = {
+    "policy_params": FrozenParams(),
+    "controller_params": FrozenParams(),
+    "forecaster": "arma",
+    "forecaster_params": FrozenParams(),
+}
 
 
 def canonical_field(name: str) -> str:
@@ -77,11 +109,21 @@ def canonical_field(name: str) -> str:
                 f"choose from {', '.join(sorted(_THERMAL_FIELDS))}"
             )
         return resolved
+    root, dot, leaf = resolved.partition(".")
+    if dot and root in _PARAMS_FIELDS:
+        if not leaf or "." in leaf:
+            raise ConfigurationError(
+                f"bad component-parameter axis {name!r}; expected "
+                f"{root}.<parameter>"
+            )
+        return resolved
     if resolved not in _CONFIG_FIELDS:
         raise ConfigurationError(
             f"unknown sweep field {name!r}; choose from "
             f"{', '.join(sorted(_CONFIG_FIELDS | set(FIELD_ALIASES)))} "
-            "or a dotted thermal_params.<field>"
+            "or a dotted thermal_params.<field> / "
+            "policy_params.<name> / controller_params.<name> / "
+            "forecaster_params.<name>"
         )
     return resolved
 
@@ -89,11 +131,14 @@ def canonical_field(name: str) -> str:
 def coerce_value(field: str, value: Any) -> Any:
     """Coerce a declared axis value to the config field's type.
 
-    Enum fields accept enum members or their string values; the whole
-    ``thermal_params`` field accepts a mapping of
-    :class:`~repro.thermal.rc_network.ThermalParams` fields; everything
-    else passes through (``SimulationConfig.__post_init__`` still
-    validates the assembled config).
+    Registry-keyed fields accept any registered spelling (canonical
+    key, alias, or legacy enum member) and normalize to the canonical
+    key; the whole ``thermal_params`` field accepts a mapping of
+    :class:`~repro.thermal.rc_network.ThermalParams` fields; the
+    component-parameter mappings accept any mapping (names/values are
+    validated when the config assembles); everything else passes
+    through (``SimulationConfig.__post_init__`` still validates the
+    assembled config).
     """
     if field == "thermal_params":
         if isinstance(value, ThermalParams):
@@ -111,18 +156,27 @@ def coerce_value(field: str, value: Any) -> Any:
             f"thermal_params must be a mapping of ThermalParams fields, "
             f"got {type(value).__name__}"
         )
-    enum_type = _ENUM_FIELDS.get(field)
-    if enum_type is None:
-        return value
-    if isinstance(value, enum_type):
-        return value
-    try:
-        return enum_type(value)
-    except ValueError:
-        choices = ", ".join(member.value for member in enum_type)
-        raise ConfigurationError(
-            f"bad value {value!r} for {field}; choose from {choices}"
-        ) from None
+    if field in _PARAMS_FIELDS:
+        if not isinstance(value, Mapping):
+            raise ConfigurationError(
+                f"{field} must be a mapping of component parameters, "
+                f"got {type(value).__name__}"
+            )
+        return dict(value)
+    registry = _REGISTRY_FIELDS.get(field)
+    if registry is not None:
+        return registry().normalize(value)
+    if field == "cooling":
+        if isinstance(value, CoolingMode):
+            return value
+        try:
+            return CoolingMode(value)
+        except ValueError:
+            choices = ", ".join(member.value for member in CoolingMode)
+            raise ConfigurationError(
+                f"bad value {value!r} for cooling; choose from {choices}"
+            ) from None
+    return value
 
 
 def _encode_value(value: Any) -> Any:
@@ -131,20 +185,32 @@ def _encode_value(value: Any) -> Any:
         return value.value
     if isinstance(value, ThermalParams):
         return {f.name: getattr(value, f.name) for f in dataclass_fields(value)}
+    if isinstance(value, Mapping):
+        # Component-parameter mappings: canonical (sorted) key order so
+        # equal mappings encode byte-identically.
+        return {k: _encode_value(v) for k, v in sorted(value.items())}
     return value
 
 
 def config_signature(config: SimulationConfig) -> dict:
-    """Every field of a config as a JSON-stable dict.
+    """Every operative field of a config as a JSON-stable dict.
 
     Unlike :func:`repro.io.batch.config_descriptor` (the human-facing
     sweep-axis subset), this captures *all* fields, so two configs with
-    equal signatures produce bit-identical runs.
+    equal signatures produce bit-identical runs. The registry-era
+    fields (``forecaster`` and the three ``*_params`` mappings) are
+    omitted while they hold their defaults: an absent entry and the
+    default mean the same run, and the omission keeps pre-registry
+    fingerprints — hence old checkpoints and campaign ledgers — valid.
     """
-    return {
-        f.name: _encode_value(getattr(config, f.name))
-        for f in dataclass_fields(config)
-    }
+    signature = {}
+    for f in dataclass_fields(config):
+        value = getattr(config, f.name)
+        default = _SIGNATURE_DEFAULTS.get(f.name)
+        if default is not None and value == default:
+            continue
+        signature[f.name] = _encode_value(value)
+    return signature
 
 
 @dataclass(frozen=True)
@@ -172,16 +238,30 @@ class SweepPoint:
 
 
 def _apply_overrides(base: SimulationConfig, overrides: Mapping[str, Any]):
-    """``replace(base, ...)`` supporting dotted thermal_params fields."""
+    """``replace(base, ...)`` supporting dotted nested-mapping fields.
+
+    ``thermal_params.<field>`` replaces one field of the nested
+    :class:`~repro.thermal.rc_network.ThermalParams`;
+    ``policy_params.<name>`` (and the controller/forecaster
+    equivalents) merges one parameter into the mapping — on top of a
+    whole-mapping override for the same field when both are present,
+    otherwise on top of the base config's mapping.
+    """
     direct: dict[str, Any] = {}
-    nested: dict[str, Any] = {}
+    nested: dict[str, dict[str, Any]] = {}
     for field, value in overrides.items():
-        if field.startswith("thermal_params."):
-            nested[field.split(".", 1)[1]] = value
+        root, dot, leaf = field.partition(".")
+        if dot and (root == "thermal_params" or root in _PARAMS_FIELDS):
+            nested.setdefault(root, {})[leaf] = value
         else:
             direct[field] = value
-    if nested:
-        direct["thermal_params"] = replace(base.thermal_params, **nested)
+    for root, leaves in nested.items():
+        if root == "thermal_params":
+            start = direct.get(root, base.thermal_params)
+            direct[root] = replace(start, **leaves)
+        else:
+            start = direct.get(root, getattr(base, root))
+            direct[root] = {**dict(start), **leaves}
     return replace(base, **direct)
 
 
@@ -494,8 +574,17 @@ class SweepSpec:
 
 def point_key(index: int, overrides: Mapping[str, Any], width: int = 5) -> str:
     """The stable identity a checkpoint journals for one run."""
+
+    def render(value: Any) -> str:
+        encoded = _encode_value(value)
+        if isinstance(encoded, Mapping):
+            # Canonical compact JSON so mapping-valued overrides render
+            # identically however they were declared.
+            return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+        return str(encoded)
+
     encoded = ",".join(
-        f"{field}={_encode_value(value)}"
+        f"{field}={render(value)}"
         for field, value in sorted(overrides.items())
     )
     return f"{index:0{width}d}" + (f" {encoded}" if encoded else "")

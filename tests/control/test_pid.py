@@ -1,0 +1,87 @@
+"""The PID flow-controller baseline."""
+
+import pytest
+
+from repro.control.pid import PidFlowController
+from repro.errors import ControlError
+from repro.pump.laing_ddc import PumpState, laing_ddc
+
+
+def _state(n=5, start=0):
+    return PumpState(laing_ddc(n), current_index=start)
+
+
+def _settle(state, now):
+    """Let any pending transition complete."""
+    state.advance(now + 10.0)
+
+
+class TestPidFlowController:
+    def test_reactive_capability(self):
+        assert PidFlowController.reacts_to_forecast is False
+
+    def test_cold_chip_commands_minimum_flow(self):
+        controller = PidFlowController(_state(start=4), setpoint=77.0)
+        assert controller.update(40.0, 0.1) == 0
+
+    def test_hot_chip_commands_maximum_flow(self):
+        controller = PidFlowController(_state(), setpoint=77.0, kp=2.0)
+        assert controller.update(95.0, 0.1) == 4
+
+    def test_proportional_response_scales_with_error(self):
+        low = PidFlowController(_state(), setpoint=77.0, kp=1.0, ki=0.0, kd=0.0)
+        high = PidFlowController(_state(), setpoint=77.0, kp=1.0, ki=0.0, kd=0.0)
+        assert low.update(78.0, 0.1) <= high.update(80.0, 0.1)
+
+    def test_integral_removes_steady_offset(self):
+        """A persistent half-setting error eventually steps the pump up
+        even though the proportional term alone rounds to the floor."""
+        controller = PidFlowController(
+            _state(), setpoint=77.0, kp=0.4, ki=0.5, kd=0.0
+        )
+        state = controller.pump_state
+        settings = []
+        for k in range(30):
+            now = 0.1 * (k + 1)
+            settings.append(controller.update(78.0, now))
+            _settle(state, now)
+        assert settings[0] == 0
+        assert settings[-1] >= 1
+
+    def test_anti_windup_bounds_the_integral(self):
+        """A long saturated stretch must not accumulate unbounded
+        integral that delays the response when the sign flips."""
+        controller = PidFlowController(
+            _state(), setpoint=77.0, kp=1.0, ki=1.0, kd=0.0
+        )
+        state = controller.pump_state
+        for k in range(100):  # 10 simulated seconds far above setpoint.
+            now = 0.1 * (k + 1)
+            controller.update(95.0, now)
+            _settle(state, now)
+        assert controller.pump_state.commanded_index == 4
+        # Now the chip is cold: the command must drop immediately, not
+        # after unwinding 10 s of windup.
+        controller.update(60.0, 10.1)
+        assert controller.pump_state.commanded_index == 0
+
+    def test_shift_counters(self):
+        controller = PidFlowController(_state(), setpoint=77.0, kp=2.0)
+        state = controller.pump_state
+        controller.update(95.0, 0.1)
+        _settle(state, 0.1)
+        controller.update(40.0, 0.2)
+        assert controller.upshift_count == 1
+        assert controller.downshift_count == 1
+
+    def test_default_setpoint_derives_from_target(self):
+        controller = PidFlowController(
+            _state(), margin=3.0, target_temperature=80.0
+        )
+        assert controller.setpoint == 77.0
+
+    def test_negative_gains_rejected(self):
+        with pytest.raises(ControlError):
+            PidFlowController(_state(), kp=-1.0)
+        with pytest.raises(ControlError):
+            PidFlowController(_state(), margin=-1.0)

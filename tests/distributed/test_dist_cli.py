@@ -100,7 +100,7 @@ class TestWorkMerge:
         payload = json.loads(json_path.read_text())
         assert payload["n_runs"] == 4
         assert set(payload["aggregates"]) == {
-            "scalar", "cells", "histogram", "quantile"
+            "scalar", "cells", "histogram", "quantile", "histogram_4"
         }
         assert csv_path.read_text().startswith("run,key,")
 

@@ -1,0 +1,95 @@
+"""Registry-keyed, parameterized campaigns through the dist pipeline.
+
+Satellite acceptance: registry keys and component params survive the
+ledger payload round-trip, and a sharded campaign over them merges
+byte-identical to a single-host sweep — including the data-driven
+energy histogram, whose range derivation is replay-order dependent.
+"""
+
+import json
+
+import pytest
+
+from repro.dist import merge_campaign, plan_campaign, read_ledger, run_worker
+from repro.dist.plan import ledger_spec
+from repro.sim.config import SimulationConfig
+from repro.sweep import SweepRunner, SweepSpec
+
+
+def registry_spec(name="pid-campaign"):
+    """A spec exercising every registry surface: a registry-only
+    policy, a parameterized controller, and a dotted params axis."""
+    return SweepSpec(
+        base=SimulationConfig(
+            benchmark_name="gzip",
+            policy="TALB",
+            controller="pid",
+            controller_params={"kd": 0.25},
+            duration=1.0,
+        ),
+        points=[{"policy": "TALB"}, {"policy": "RR"}],
+        grid={"controller_params.kp": [0.75, 1.5]},
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry-ref")
+    result = SweepRunner(registry_spec(), csv_path=root / "ref.csv").run()
+    result.save_json(root / "ref.json")
+    return {
+        "rows": result.rows,
+        "json": (root / "ref.json").read_bytes(),
+        "csv": (root / "ref.csv").read_bytes(),
+    }
+
+
+class TestLedgerRoundTrip:
+    def test_ledger_payload_reconstructs_the_exact_spec(self, tmp_path):
+        spec = registry_spec()
+        plan_campaign(spec, tmp_path / "camp", chunk_size=2)
+        ledger = read_ledger(tmp_path / "camp")
+        clone = ledger_spec(ledger)  # Verifies fingerprint en route.
+        assert clone.fingerprint() == spec.fingerprint()
+        assert [p.key for p in clone.iter_points()] == [
+            p.key for p in spec.iter_points()
+        ]
+        assert [dict(p.config.controller_params) for p in clone.iter_points()] == [
+            dict(p.config.controller_params) for p in spec.iter_points()
+        ]
+        assert [p.config.policy for p in clone.iter_points()] == [
+            "TALB", "TALB", "RR", "RR"
+        ]
+
+    def test_ledger_spec_payload_is_json_lossless(self, tmp_path):
+        plan_campaign(registry_spec(), tmp_path / "camp", chunk_size=2)
+        raw = (tmp_path / "camp" / "ledger.jsonl").read_text().splitlines()[0]
+        payload = json.loads(raw)["spec"]
+        assert payload["base"]["controller"] == "pid"
+        assert payload["base"]["controller_params"] == {"kd": 0.25}
+        assert payload["grid"]["controller_params.kp"] == [0.75, 1.5]
+
+
+class TestShardedExecution:
+    @pytest.mark.parametrize("chunk_size", [1, 3])
+    def test_merge_byte_identical_to_single_host(
+        self, tmp_path, reference, chunk_size
+    ):
+        camp = tmp_path / "camp"
+        plan_campaign(registry_spec(), camp, chunk_size=chunk_size)
+        run_worker(camp, worker_id="w1")
+        merged = merge_campaign(camp)
+        assert merged.complete
+        assert merged.rows == reference["rows"]
+        merged.save_json(tmp_path / "dist.json")
+        merged.save_csv(tmp_path / "dist.csv")
+        assert (tmp_path / "dist.json").read_bytes() == reference["json"]
+        assert (tmp_path / "dist.csv").read_bytes() == reference["csv"]
+
+    def test_rows_carry_params_columns(self, reference):
+        first = reference["rows"][0]
+        assert first["controller"] == "pid"
+        assert json.loads(first["controller_params"]) == {"kd": 0.25, "kp": 0.75}
+        policies = {row["policy"] for row in reference["rows"]}
+        assert policies == {"TALB", "RR"}

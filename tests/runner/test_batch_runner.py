@@ -194,4 +194,6 @@ class TestExport:
         write_batch_csv(batch, path)
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 3  # header + 2 runs
-        assert lines[0].startswith("run,benchmark,policy,cooling")
+        assert lines[0].startswith(
+            "run,benchmark,policy,policy_params,cooling,controller"
+        )

@@ -1,0 +1,50 @@
+"""The round-robin baseline policy."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.base import CoreQueues
+from repro.sched.round_robin import RoundRobinPolicy
+from repro.workload.threads import Thread
+
+
+def _thread(i):
+    return Thread(i, arrival=0.0, length=1.0)
+
+
+class TestRoundRobin:
+    def test_dispatch_cycles_over_cores(self):
+        queues = CoreQueues(["c0", "c1", "c2"])
+        policy = RoundRobinPolicy()
+        targets = [policy.dispatch_target(queues, {}) for _ in range(7)]
+        assert targets == ["c0", "c1", "c2", "c0", "c1", "c2", "c0"]
+
+    def test_dispatch_ignores_load_and_temperature(self):
+        queues = CoreQueues(["c0", "c1"])
+        for i in range(5):
+            queues.enqueue("c0", _thread(i))  # c0 heavily loaded...
+        policy = RoundRobinPolicy()
+        temps = {"c0": 95.0, "c1": 40.0}  # ...and hot.
+        assert policy.dispatch_target(queues, temps) == "c0"
+
+    def test_start_index_offsets_the_cycle(self):
+        queues = CoreQueues(["c0", "c1", "c2"])
+        policy = RoundRobinPolicy(start_index=2)
+        assert policy.dispatch_target(queues, {}) == "c2"
+        assert policy.dispatch_target(queues, {}) == "c0"
+
+    def test_rebalance_never_moves_threads(self):
+        queues = CoreQueues(["c0", "c1"])
+        for i in range(4):
+            queues.enqueue("c0", _thread(i))
+        RoundRobinPolicy().rebalance(queues, {"c0": 90.0, "c1": 40.0}, 1.0)
+        assert queues.lengths() == {"c0": 4, "c1": 0}
+
+    def test_capability_attributes(self):
+        policy = RoundRobinPolicy()
+        assert policy.name == "RR"
+        assert policy.migration_count == 0
+
+    def test_negative_start_index_rejected(self):
+        with pytest.raises(SchedulingError):
+            RoundRobinPolicy(start_index=-1)

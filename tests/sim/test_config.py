@@ -37,6 +37,64 @@ class TestValidation:
     def test_spec_property(self):
         assert SimulationConfig(benchmark_name="gzip").spec.name == "gzip"
 
+    @pytest.mark.parametrize("kw", [
+        {"nx": 0}, {"ny": 0}, {"nx": -4}, {"nx": 2.5}, {"nx": True},
+    ])
+    def test_rejects_bad_grid_resolution(self, kw):
+        with pytest.raises(ConfigurationError, match="nx and ny"):
+            SimulationConfig(**kw)
+
+    @pytest.mark.parametrize("seed", [-1, 0.5, True])
+    def test_rejects_bad_seed(self, seed):
+        with pytest.raises(ConfigurationError, match="seed"):
+            SimulationConfig(seed=seed)
+
+    def test_rejects_non_cooling_mode(self):
+        with pytest.raises(ConfigurationError, match="cooling"):
+            SimulationConfig(cooling="Var")
+
+
+class TestRegistryKeys:
+    def test_enum_and_string_spellings_are_one_config(self):
+        by_enum = SimulationConfig(
+            policy=PolicyKind.MIGRATION, controller="LUT"
+        )
+        by_key = SimulationConfig(policy="mig", controller="lut")
+        assert by_enum == by_key
+        assert hash(by_enum) == hash(by_key)
+        assert by_enum.policy == "Mig"
+
+    def test_registry_only_components_construct(self):
+        config = SimulationConfig(
+            policy="RR", controller="pid", controller_params={"kp": 1}
+        )
+        assert config.policy == "RR"
+        assert config.controller == "pid"
+        # Params are coerced (int -> float) and frozen.
+        assert config.controller_params == {"kp": 1.0}
+        with pytest.raises(TypeError):
+            config.controller_params["kp"] = 2.0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            SimulationConfig(policy="FIFO")
+        with pytest.raises(ConfigurationError, match="unknown flow controller"):
+            SimulationConfig(controller="bangbang")
+        with pytest.raises(ConfigurationError, match="unknown forecaster"):
+            SimulationConfig(forecaster="oracle")
+
+    def test_undeclared_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            SimulationConfig(policy="LB", policy_params={"bogus": 1})
+
+    def test_param_bounds_enforced(self):
+        with pytest.raises(ConfigurationError, match=">="):
+            SimulationConfig(policy="LB", policy_params={"threshold": 0})
+
+    def test_non_mapping_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            SimulationConfig(policy_params=3)
+
 
 class TestLabels:
     def test_figure_style_label(self):

@@ -73,7 +73,7 @@ class TestScalarAggregator:
         assert set(rows) == {"TALB (Var)", "LB (Air)"}
         assert rows["TALB (Var)"]["runs"] == 2
         expected = np.mean(
-            [r.peak_temperature() for c, r in runs if c.policy is PolicyKind.TALB]
+            [r.peak_temperature() for c, r in runs if c.policy == "TALB"]
         )
         assert rows["TALB (Var)"]["peak_temperature_mean"] == pytest.approx(expected)
 
@@ -136,7 +136,11 @@ class TestCellAggregator:
 class TestFactory:
     def test_default_set(self):
         kinds = [agg.kind for agg in default_aggregators()]
-        assert kinds == ["scalar", "cells", "histogram", "quantile"]
+        assert kinds == ["scalar", "cells", "histogram", "quantile", "histogram"]
+        # The second histogram is the data-driven energy sketch.
+        energy = default_aggregators()[-1]
+        assert energy.metric == "total_energy_j"
+        assert energy.auto_range
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown aggregator"):

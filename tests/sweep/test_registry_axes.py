@@ -1,0 +1,179 @@
+"""Registry keys + component params through specs and fingerprints.
+
+The satellite acceptance property: a registry-keyed, parameterized
+campaign declaration round-trips losslessly — enum and key spellings
+fingerprint identically, dotted ``*_params`` axes expand and serialize,
+and configs that never touch the new fields keep their pre-registry
+signatures (so old checkpoints stay resumable).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import ControllerKind, PolicyKind, SimulationConfig
+from repro.sweep import SweepSpec
+from repro.sweep.spec import config_signature
+
+
+class TestKeyNormalization:
+    def test_enum_and_key_spellings_fingerprint_identically(self):
+        def spec(policy, controller):
+            return SweepSpec(
+                base=SimulationConfig(
+                    policy=policy, controller=controller, duration=2.0
+                ),
+                grid={"benchmark_name": ["gzip"]},
+            )
+        enums = spec(PolicyKind.TALB, ControllerKind.STEPWISE)
+        keys = spec("talb", "step")
+        assert enums.fingerprint() == keys.fingerprint()
+
+    def test_axis_values_normalize_to_canonical_keys(self):
+        spec = SweepSpec(grid={"policy": ["lb", PolicyKind.TALB, "rr"]})
+        assert [p.config.policy for p in spec.iter_points()] == [
+            "LB", "TALB", "RR"
+        ]
+
+    def test_unknown_axis_key_rejected_with_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            SweepSpec(grid={"policy": ["FIFO"]})
+
+
+class TestParamsAxes:
+    def test_dotted_controller_params_axis(self):
+        spec = SweepSpec(
+            base=SimulationConfig(controller="pid", duration=2.0),
+            grid={"controller_params.kp": [0.5, 1.0, 2.0]},
+        )
+        kps = [p.config.controller_params["kp"] for p in spec.iter_points()]
+        assert kps == [0.5, 1.0, 2.0]
+        assert spec.run_count == 3
+
+    def test_dotted_axis_merges_with_base_params(self):
+        spec = SweepSpec(
+            base=SimulationConfig(
+                controller="pid",
+                controller_params={"kd": 1.0},
+                duration=2.0,
+            ),
+            grid={"controller_params.kp": [2.0]},
+        )
+        point = next(spec.iter_points())
+        assert dict(point.config.controller_params) == {"kd": 1.0, "kp": 2.0}
+
+    def test_whole_params_mapping_point(self):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=2.0),
+            points=[
+                {"controller": "pid", "controller_params": {"kp": 0.75}},
+                {"controller": "stepwise"},
+            ],
+        )
+        points = list(spec.iter_points())
+        assert points[0].config.controller_params == {"kp": 0.75}
+        assert points[1].config.controller_params == {}
+
+    def test_bad_param_name_caught_by_validate_all(self):
+        # Position 0 is clean, so declaration succeeds...
+        spec = SweepSpec(
+            base=SimulationConfig(controller="pid", duration=2.0),
+            zip_axes={"controller": ["pid", "stepwise"],
+                      "controller_params.kp": [1.0, 1.0]},
+        )
+        # ...but stepwise has no kp, which the full walk names.
+        with pytest.raises(ConfigurationError, match="no parameter 'kp'"):
+            spec.validate_all()
+
+    def test_policy_params_axis_for_registered_policy(self):
+        spec = SweepSpec(
+            base=SimulationConfig(policy="Mig", duration=2.0),
+            grid={"policy_params.penalty": [0.0, 0.02]},
+        )
+        penalties = [p.config.policy_params["penalty"] for p in spec.iter_points()]
+        assert penalties == [0.0, 0.02]
+
+    def test_point_keys_render_params_canonically(self):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=2.0),
+            points=[{"controller": "pid",
+                     "controller_params": {"kp": 1.0, "kd": 0.5}}],
+        )
+        key = next(spec.iter_points()).key
+        assert 'controller_params={"kd":0.5,"kp":1.0}' in key
+
+    def test_malformed_dotted_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected"):
+            SweepSpec(grid={"controller_params.a.b": [1.0]})
+        with pytest.raises(ConfigurationError, match="mapping"):
+            SweepSpec(points=[{"policy_params": 3.0}])
+
+
+class TestSerializationRoundTrip:
+    def _spec(self):
+        return SweepSpec(
+            base=SimulationConfig(
+                policy="TALB", controller="pid",
+                controller_params={"ki": 0.1}, duration=2.0,
+            ),
+            grid={"controller_params.kp": [0.5, 2.0]},
+            points=[{"benchmark_name": "gzip"}, {"benchmark_name": "Web-med"}],
+            name="pid-study",
+        )
+
+    def test_dict_round_trip_preserves_fingerprint_and_keys(self):
+        spec = self._spec()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.fingerprint() == spec.fingerprint()
+        assert [p.key for p in clone.iter_points()] == [
+            p.key for p in spec.iter_points()
+        ]
+        assert [dict(p.config.controller_params) for p in clone.iter_points()] == [
+            dict(p.config.controller_params) for p in spec.iter_points()
+        ]
+
+    def test_spec_file_with_params(self, tmp_path):
+        path = tmp_path / "pid.json"
+        path.write_text(json.dumps({
+            "base": {"duration": 2.0, "controller": "pid",
+                     "controller_params": {"kd": 1.0}},
+            "grid": {"controller_params.kp": [1.0, 2.0]},
+        }))
+        spec = SweepSpec.from_file(path)
+        assert spec.run_count == 2
+        first = next(spec.iter_points())
+        assert dict(first.config.controller_params) == {"kd": 1.0, "kp": 1.0}
+
+
+class TestSignatureBackCompat:
+    def test_default_registry_fields_omitted_from_signature(self):
+        """Configs that never touch the registry-era fields keep their
+        pre-registry signature payload — old fingerprints stay valid."""
+        signature = config_signature(SimulationConfig(duration=2.0))
+        for absent in ("policy_params", "controller_params",
+                       "forecaster", "forecaster_params"):
+            assert absent not in signature
+        assert signature["policy"] == "TALB"
+        assert signature["controller"] == "lut"
+
+    def test_non_default_registry_fields_are_captured(self):
+        signature = config_signature(SimulationConfig(
+            controller="pid", controller_params={"kp": 1.0},
+            forecaster="persistence", duration=2.0,
+        ))
+        assert signature["controller_params"] == {"kp": 1.0}
+        assert signature["forecaster"] == "persistence"
+        assert "policy_params" not in signature
+
+    def test_param_spelling_does_not_change_identity(self):
+        """kp=1 and kp=1.0 are the same run, so the same fingerprint."""
+        def fp(value):
+            return SweepSpec(
+                base=SimulationConfig(
+                    controller="pid", controller_params={"kp": value},
+                    duration=2.0,
+                ),
+                grid={"benchmark_name": ["gzip"]},
+            ).fingerprint()
+        assert fp(1) == fp(1.0)

@@ -49,9 +49,10 @@ class TestExpansion:
         assert spec.run_count == 2 * 2 * 3
         points = list(spec.iter_points())
         assert len(points) == 12
-        # Outermost axis is the points list.
-        assert points[0].config.policy is PolicyKind.LB
-        assert points[-1].config.policy is PolicyKind.TALB
+        # Outermost axis is the points list. Policies normalize to
+        # canonical registry keys.
+        assert points[0].config.policy == "LB"
+        assert points[-1].config.policy == "TALB"
 
     def test_indices_and_keys_are_stable(self):
         spec = SweepSpec(grid={"benchmark_name": ["gzip", "Web-med"]})
@@ -124,7 +125,7 @@ class TestCoercionAndValidation:
         assert point.config.n_layers == 4
         assert point.config.dpm_enabled is True
         assert point.config.cooling is CoolingMode.LIQUID_VARIABLE
-        assert point.config.controller is ControllerKind.STEPWISE
+        assert point.config.controller == ControllerKind.STEPWISE.value
 
     def test_unknown_field_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown sweep field"):

@@ -22,6 +22,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--policy", "FIFO"])
 
+    def test_registry_keys_and_aliases_are_choices(self):
+        args = build_parser().parse_args([
+            "simulate", "--policy", "rr", "--controller", "pid",
+        ])
+        assert args.policy == "rr"
+        assert args.controller == "pid"
+
+
+class TestListCommand:
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "-- policies --" in out
+        assert "-- controllers --" in out
+        assert "-- forecasters --" in out
+
+    def test_list_policies(self, capsys):
+        assert main(["list", "policies"]) == 0
+        out = capsys.readouterr().out
+        for key in ("LB", "Mig", "TALB", "RR"):
+            assert key in out
+        assert "uses_thermal_weights" in out  # TALB's trait.
+        assert "controllers" not in out
+
+    def test_list_controllers_shows_param_schemas(self, capsys):
+        assert main(["list", "controllers"]) == 0
+        out = capsys.readouterr().out
+        for key in ("lut", "stepwise", "pid"):
+            assert key in out
+        assert "kp: float = 1.5" in out
+        assert "needs_flow_table" in out
+
+    def test_list_rejects_unknown_role(self):
+        with pytest.raises(SystemExit):
+            main(["list", "gizmos"])
+
 
 class TestCommands:
     def test_workloads(self, capsys):
@@ -56,6 +92,48 @@ class TestCommands:
         payload = json.loads(json_path.read_text())
         assert payload["summary"]["intervals"] == 20
         assert csv_path.read_text().startswith("time_s,")
+
+    def test_simulate_registry_components_with_params(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--benchmark", "gzip",
+                "--policy", "round-robin",
+                "--controller", "pid",
+                "--controller-param", "kp=2.0",
+                "--controller-param", "margin=2",
+                "--duration", "2.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RR (Var)" in out
+        assert "pump_energy_j" in out
+
+    def test_simulate_forecaster_params(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--benchmark", "gzip",
+                "--forecaster", "arma",
+                "--forecaster-param", "window=100",
+                "--duration", "2.0",
+            ]
+        )
+        assert code == 0
+        assert "peak_temperature_sensor" in capsys.readouterr().out
+
+    def test_simulate_bad_param_is_clear_error(self):
+        with pytest.raises(SystemExit, match="no parameter"):
+            main([
+                "simulate", "--controller", "pid",
+                "--controller-param", "bogus=1", "--duration", "1.0",
+            ])
+        with pytest.raises(SystemExit, match="NAME=VALUE"):
+            main([
+                "simulate", "--controller", "pid",
+                "--controller-param", "kp", "--duration", "1.0",
+            ])
 
     def test_simulate_stepwise_controller(self, capsys):
         code = main(
