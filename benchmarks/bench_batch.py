@@ -70,7 +70,12 @@ def test_batch_parallel_speedup(benchmark):
     )
 
     speedup = serial.wall_time / parallel.wall_time
-    cpus = os.cpu_count() or 1
+    # Cores this process may actually use: containers and CI runners
+    # often restrict CPU affinity below os.cpu_count()'s host total.
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # Non-Linux platforms.
+        cpus = os.cpu_count() or 1
     rows = [
         {
             "mode": "serial",

@@ -2,9 +2,10 @@
 
 Section IV motivates the SPRT with workloads that change dramatically,
 "e.g., day-time and night-time workload patterns for a server". This
-example glues a Web-high phase (day) to a gzip phase (night), runs the
-variable-flow controller across the transition, and reports how the
-pump tracked the load and how often the forecaster re-fit itself.
+example runs the ``"diurnal"`` workload model — a registered component,
+so the day/night profile is plain configuration rather than a
+hand-built trace — across one full square-wave cycle and reports how
+the pump tracked the load and how often the forecaster re-fit itself.
 
 Run:  python examples/datacenter_diurnal.py
 """
@@ -12,30 +13,29 @@ Run:  python examples/datacenter_diurnal.py
 
 from repro import CoolingMode, PolicyKind, SimulationConfig
 from repro.sim.engine import Simulator
-from repro.workload.benchmarks import benchmark
-from repro.workload.generator import diurnal_trace
 
 
 def main() -> None:
     phase = 15.0
-    trace = diurnal_trace(
-        day_spec=benchmark("Web-high"),
-        night_spec=benchmark("gzip"),
-        phase_duration=phase,
-        n_cores=8,
-        seed=0,
-    )
     config = SimulationConfig(
-        benchmark_name="Web-high",  # Day phase drives the power labels.
+        benchmark_name="Web-high",  # Sets thread statistics and power labels.
         policy=PolicyKind.TALB,
         cooling=CoolingMode.LIQUID_VARIABLE,
-        duration=trace.duration,
+        duration=2.0 * phase,
+        workload="diurnal",
+        workload_params={
+            # Square wave, one cycle over the run: a Web-high-utilization
+            # day half followed by a near-idle night half.
+            "shape": "square",
+            "peak_utilization": 0.85,
+            "trough_utilization": 0.15,
+        },
     )
-    result = Simulator(config, trace=trace).run()
+    result = Simulator(config).run()
 
     day = result.times <= phase
     night = ~day
-    print("=== Diurnal scenario: Web-high (day) -> gzip (night) ===")
+    print("=== Diurnal scenario: day (85% load) -> night (15% load) ===")
     print(f"phases                  : {phase:.0f} s each, "
           f"{len(result.times)} control intervals total")
     print(f"day   mean T_max        : {result.tmax[day].mean():.2f} degC, "
@@ -53,7 +53,7 @@ def main() -> None:
           f"({100.0 * (pump_day - pump_night) / pump_day:.0f}% lower at night)")
 
     # A max-flow run would have drawn 21 W around the clock.
-    always_max = 21.0 * trace.duration
+    always_max = 21.0 * config.duration
     print(f"pump energy vs max flow : {result.pump_energy():.1f} J vs "
           f"{always_max:.1f} J "
           f"({100.0 * (always_max - result.pump_energy()) / always_max:.0f}% saved)")

@@ -18,7 +18,7 @@ from repro.experiments.common import format_rows
 spec = SweepSpec(
     base=SimulationConfig(duration=5.0, cooling=CoolingMode.LIQUID_VARIABLE),
     grid={
-        "workload": ["gzip", "Web-med"],
+        "benchmark": ["gzip", "Web-med"],
         "thermal_params.inlet_temperature": [52.5, 60.0],
     },
     name="inlet-quickstart",

@@ -10,7 +10,8 @@ be driven without writing Python:
 * ``sweep run | resume | status`` — declarative checkpointed campaigns
   through :class:`repro.sweep.SweepRunner`: ``--spec`` names a built-in
   declaration (``fig6``, ``fig7``, ``fig8``, ``fourlayer``,
-  ``headline``, ``ablations``, ``hysteresis``) or a JSON/YAML spec
+  ``headline``, ``ablations``, ``hysteresis``, ``workloads``) or a
+  JSON/YAML spec
   file, progress streams (rate-limited) as runs fold, and an
   interrupted campaign resumes from its checkpoint with bit-identical
   aggregates and exports;
@@ -20,13 +21,14 @@ be driven without writing Python:
   shards (with stale-lease reclaim when a worker crashes), and
   ``merge`` folds the shard journals into aggregates/CSV/JSON
   byte-identical to a single-host ``sweep run``;
-* ``list policies | controllers | forecasters`` — the registered
-  component keys (:mod:`repro.registry`), each with its aliases and
-  declared parameter schema; any key shown here is a valid
-  ``--policy``/``--controller``/``--forecaster`` value and a valid
-  sweep-spec axis value, and its parameters are settable via
-  ``--policy-param NAME=VALUE`` (repeatable) or the dotted
-  ``policy_params.<name>`` / ``controller_params.<name>`` sweep axes;
+* ``list policies | controllers | forecasters | workloads`` — the
+  registered component keys (:mod:`repro.registry`), each with its
+  aliases and declared parameter schema; any key shown here is a valid
+  ``--policy``/``--controller``/``--forecaster``/``--workload`` value
+  and a valid sweep-spec axis value, and its parameters are settable
+  via ``--policy-param NAME=VALUE`` (repeatable) or the dotted
+  ``policy_params.<name>`` / ``controller_params.<name>`` /
+  ``workload_params.<name>`` sweep axes;
 * ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
   — regenerate a table/figure and print its rows (the multi-run
   figures accept ``--workers`` for process fan-out);
@@ -64,6 +66,7 @@ from repro.registry import (
     controller_registry,
     forecaster_registry,
     policy_registry,
+    workload_registry,
 )
 from repro.sim.config import CoolingMode, SimulationConfig
 from repro.sim.engine import simulate
@@ -80,6 +83,7 @@ BUILTIN_SPECS = {
     "ablations": ablations.controller_ablation_spec,
     "hysteresis": experiment_sweeps.hysteresis_spec,
     "controllers": experiment_sweeps.controller_family_spec,
+    "workloads": experiment_sweeps.workload_family_spec,
 }
 
 
@@ -145,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="set one declared forecaster parameter (repeatable)",
     )
+    sim.add_argument(
+        "--workload",
+        default="table2",
+        choices=_registry_choices(workload_registry()),
+        help="workload model building the thread trace (registry key; "
+        "see 'repro list workloads')",
+    )
+    sim.add_argument(
+        "--workload-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="set one declared workload-model parameter (repeatable), "
+        "e.g. --workload-param path=trace.csv for trace-replay",
+    )
     sim.add_argument("--layers", type=int, default=2, choices=(2, 4))
     sim.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
     sim.add_argument("--seed", type=int, default=0)
@@ -154,7 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="replay an mpstat-style utilization trace (second,"
         "utilization_pct CSV) instead of the stationary generator; "
-        "the run length becomes the trace length",
+        "the run length becomes the trace length (shorthand for "
+        "--workload trace-replay --workload-param path=...)",
     )
     sim.add_argument("--save-json", metavar="PATH", help="write the full result as JSON")
     sim.add_argument("--save-csv", metavar="PATH", help="write the time series as CSV")
@@ -419,17 +439,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = sub.add_parser(
         "list",
-        help="list registered components (policies/controllers/forecasters)",
+        help="list registered components "
+        "(policies/controllers/forecasters/workloads)",
         description="Show the component registry: every key in the chosen "
         "role with its aliases, capability traits, and declared parameter "
         "schema. Any key listed here works as a config value, a CLI "
-        "--policy/--controller/--forecaster choice, and a sweep-spec axis "
-        "value; parameters flow through --policy-param/--controller-param "
-        "and the dotted policy_params.<name>/controller_params.<name> axes.",
+        "--policy/--controller/--forecaster/--workload choice, and a "
+        "sweep-spec axis value; parameters flow through "
+        "--policy-param/--controller-param/--workload-param and the dotted "
+        "policy_params.<name>/controller_params.<name>/"
+        "workload_params.<name> axes.",
     )
     lister.add_argument(
         "what",
-        choices=("policies", "controllers", "forecasters", "all"),
+        choices=("policies", "controllers", "forecasters", "workloads", "all"),
         nargs="?",
         default="all",
         help="which registry to list (default: all)",
@@ -496,6 +519,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             forecaster=args.forecaster,
             forecaster_params=_parse_cli_params(
                 args.forecaster_param, "--forecaster-param"
+            ),
+            workload=args.workload,
+            workload_params=_parse_cli_params(
+                args.workload_param, "--workload-param"
             ),
             n_layers=args.layers,
             duration=duration,
@@ -912,6 +939,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "policies": policy_registry(),
         "controllers": controller_registry(),
         "forecasters": forecaster_registry(),
+        "workloads": workload_registry(),
     }
     chosen = roles if args.what == "all" else {args.what: roles[args.what]}
     first = True

@@ -80,6 +80,41 @@ def controller_family_spec(
     )
 
 
+def workload_family_spec(
+    benchmark: str = "Web-med",
+    duration: float = 15.0,
+    seed: int = 0,
+) -> SweepSpec:
+    """Compare Var vs Max cooling across the workload-model family.
+
+    The paper evaluates its controller only on stationary Table II
+    statistics; this campaign replays the same comparison through every
+    built-in workload model — the synthetic generator, a recorded
+    utilization trace, a day/night diurnal profile, and a correlated
+    flash-crowd — so the Var-vs-Max energy savings can be read as a
+    function of workload dynamics rather than a single operating point.
+    Built in as ``workloads`` for ``repro sweep run`` / ``repro dist
+    plan``.
+    """
+    return SweepSpec(
+        base=SimulationConfig(
+            benchmark_name=benchmark,
+            policy=PolicyKind.TALB,
+            cooling=CoolingMode.LIQUID_VARIABLE,
+            duration=duration,
+            seed=seed,
+        ),
+        points=[
+            {"workload": "table2"},
+            {"workload": "trace-replay", "workload_params": {"loop": True}},
+            {"workload": "diurnal"},
+            {"workload": "flash-crowd", "workload_params": {"burst_rate": 0.2}},
+        ],
+        grid={"cooling": [CoolingMode.LIQUID_VARIABLE, CoolingMode.LIQUID_MAX]},
+        name="workloads",
+    )
+
+
 def hysteresis_spec(
     values: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0),
     workload: str = "Database",

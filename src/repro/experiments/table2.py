@@ -10,15 +10,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.registry import WorkloadContext, workload_registry
 from repro.workload.benchmarks import TABLE_II
-from repro.workload.generator import WorkloadGenerator
 
 
 def run(duration: float = 120.0, n_cores: int = 8, seed: int = 0) -> list[dict]:
-    """Regenerate Table II with measured generator statistics."""
+    """Regenerate Table II with measured generator statistics.
+
+    The traces come through the ``"table2"`` workload-registry entry —
+    the same construction path a default-configured simulation uses —
+    so this experiment validates what runs actually consume.
+    """
     rows = []
     for name, spec in TABLE_II.items():
-        trace = WorkloadGenerator(spec, n_cores=n_cores, seed=seed).generate(duration)
+        ctx = WorkloadContext(
+            spec=spec, n_cores=n_cores, duration=duration, seed=seed
+        )
+        trace = workload_registry().create("table2", None, ctx).build_trace(ctx)
         lengths = np.asarray([t.length for t in trace.threads])
         rows.append(
             {

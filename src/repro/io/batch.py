@@ -36,8 +36,9 @@ def _params_cell(params) -> str:
 def config_descriptor(config: SimulationConfig) -> dict:
     """Flat, JSON-friendly identity of a run configuration.
 
-    Captures the experiment-matrix axes (workload, policy registry key
-    + params, cooling, controller key + params, layers, duration, seed,
+    Captures the experiment-matrix axes (benchmark, policy registry key
+    + params, cooling, controller key + params, workload model key +
+    params, layers, duration, seed,
     DPM); thermal/grid parameters are omitted because they are constant
     across a sweep — archive the code revision for those. Component
     parameter mappings render as canonical JSON strings so two runs
@@ -51,6 +52,8 @@ def config_descriptor(config: SimulationConfig) -> dict:
         "cooling": config.cooling.value,
         "controller": config.controller,
         "controller_params": _params_cell(config.controller_params),
+        "workload": config.workload,
+        "workload_params": _params_cell(config.workload_params),
         "n_layers": config.n_layers,
         "duration": config.duration,
         "seed": config.seed,

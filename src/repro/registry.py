@@ -8,7 +8,7 @@ controller dynamics variants (Islam & Abdel-Motaleb), thermal design
 space search (Cuesta et al.) — and this module turns each into a
 sweepable configuration point instead of a code fork.
 
-Three registries, one per pluggable role:
+Four registries, one per pluggable role:
 
 * **policies** (:func:`register_policy`) — scheduler policies invoked
   at dispatch and per control interval
@@ -16,7 +16,11 @@ Three registries, one per pluggable role:
 * **controllers** (:func:`register_controller`) — variable-flow pump
   controllers (:class:`repro.control.base.FlowController`);
 * **forecasters** (:func:`register_forecaster`) — maximum-temperature
-  predictors feeding the controller.
+  predictors feeding the controller;
+* **workloads** (:func:`register_workload`) — thread-trace models
+  (:class:`repro.workload.models.WorkloadModel`) that build the load a
+  run executes, from the Table II synthetic generator to replayed
+  mpstat logs.
 
 A registration binds a string key to a *factory* plus a declared
 parameter schema (:class:`ParamSpec`) and capability *traits*::
@@ -66,12 +70,15 @@ __all__ = [
     "PolicyContext",
     "ControllerContext",
     "ForecasterContext",
+    "WorkloadContext",
     "policy_registry",
     "controller_registry",
     "forecaster_registry",
+    "workload_registry",
     "register_policy",
     "register_controller",
     "register_forecaster",
+    "register_workload",
 ]
 
 #: Scalar types a declared parameter may take (JSON-representable, so
@@ -458,11 +465,30 @@ class ForecasterContext:
     horizon_steps: int = 1
 
 
-# --- the three global registries -------------------------------------------
+@dataclass(frozen=True)
+class WorkloadContext:
+    """Build-time context handed to workload-model factories.
+
+    Carries exactly what trace construction needs, explicitly —
+    ``spec`` (the Table II benchmark row), ``n_cores``, ``duration``,
+    ``seed`` — so experiment layers can build traces without a full
+    :class:`~repro.sim.config.SimulationConfig` (``config`` is then
+    ``None``).
+    """
+
+    spec: Any
+    n_cores: int
+    duration: float
+    seed: int = 0
+    config: Any = None
+
+
+# --- the four global registries --------------------------------------------
 
 _POLICIES = Registry("policy")
 _CONTROLLERS = Registry("flow controller")
 _FORECASTERS = Registry("forecaster")
+_WORKLOADS = Registry("workload")
 
 _builtins_loaded = False
 
@@ -480,6 +506,7 @@ def _ensure_builtins() -> None:
     _builtins_loaded = True
     import repro.control  # noqa: F401  (registers controllers + forecasters)
     import repro.sched  # noqa: F401  (registers policies)
+    import repro.workload.models  # noqa: F401  (registers workload models)
 
 
 def policy_registry() -> Registry:
@@ -498,6 +525,12 @@ def forecaster_registry() -> Registry:
     """The temperature-forecaster registry."""
     _ensure_builtins()
     return _FORECASTERS
+
+
+def workload_registry() -> Registry:
+    """The workload-model registry."""
+    _ensure_builtins()
+    return _WORKLOADS
 
 
 def _decorator(registry: Registry):
@@ -532,3 +565,5 @@ register_policy = _decorator(_POLICIES)
 register_controller = _decorator(_CONTROLLERS)
 #: Decorator registering a forecaster factory.
 register_forecaster = _decorator(_FORECASTERS)
+#: Decorator registering a workload-model factory.
+register_workload = _decorator(_WORKLOADS)

@@ -29,9 +29,15 @@ from repro.control.flow_table import FlowRateTable
 from repro.geometry.stack import CoolingKind
 from repro.power.components import PowerModel
 from repro.power.leakage import LeakageModel
-from repro.registry import controller_registry, policy_registry
+from repro.registry import (
+    WorkloadContext,
+    controller_registry,
+    policy_registry,
+    workload_registry,
+)
 from repro.sched.weights import ThermalWeights
 from repro.sim.config import CoolingMode, SimulationConfig
+from repro.workload.generator import ThreadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.sim.system import ThermalSystem
@@ -141,6 +147,7 @@ class CharacterizationCache:
         self.tables: dict[tuple, FlowRateTable] = {}
         self.floors: dict[tuple, int] = {}
         self.weight_sets: dict[tuple, ThermalWeights] = {}
+        self.traces: dict[tuple, ThreadTrace] = {}
 
     # --- key helpers ---------------------------------------------------------
 
@@ -220,6 +227,54 @@ class CharacterizationCache:
             )
         return self.weight_sets[key]
 
+    # --- workload traces ------------------------------------------------------
+
+    @staticmethod
+    def _trace_key(config: SimulationConfig) -> tuple:
+        """Identity of the thread trace a config builds — every config
+        field the workload context exposes to the model."""
+        return (
+            config.workload,
+            config.workload_params,
+            config.benchmark_name,
+            config.n_cores,
+            config.duration,
+            config.seed,
+        )
+
+    @staticmethod
+    def _build_trace(config: SimulationConfig) -> ThreadTrace:
+        ctx = WorkloadContext(
+            spec=config.spec,
+            n_cores=config.n_cores,
+            duration=config.duration,
+            seed=config.seed,
+            config=config,
+        )
+        model = workload_registry().create(
+            config.workload, config.workload_params, ctx
+        )
+        return model.build_trace(ctx)
+
+    def thread_trace(self, config: SimulationConfig) -> ThreadTrace:
+        """The thread trace a config's workload model builds.
+
+        Models declaring the ``cache_trace`` trait (file-backed ones
+        like ``trace-replay``) are built once per identity and reused —
+        a warmed cache parses the trace file in the parent and ships
+        the finished trace to every worker. Everything else is rebuilt
+        per call (deterministic, cheap, and a sweep of distinct seeds
+        would only bloat the cache).
+        """
+        if not workload_registry().get(config.workload).trait("cache_trace"):
+            return self._build_trace(config)
+        key = self._trace_key(config)
+        if key not in self.traces:
+            self.traces[key] = self._build_trace(config)
+        # Always a pristine copy: the scheduler mutates Thread objects,
+        # so the cached original must never run.
+        return self.traces[key].pristine()
+
     # --- warm-up and composition ----------------------------------------------
 
     def warm(self, configs: Iterable[SimulationConfig]) -> "CharacterizationCache":
@@ -261,11 +316,13 @@ class CharacterizationCache:
                 else:
                     for k in range(system.pump.n_settings):
                         self.thermal_weights(system, k, config, cooling)
+            if workload_registry().get(config.workload).trait("cache_trace"):
+                self.thread_trace(config)
         return self
 
     def merge(self, other: "CharacterizationCache") -> None:
         """Fold another cache's entries into this one (first writer wins)."""
-        for name in ("tables", "floors", "weight_sets"):
+        for name in ("tables", "floors", "weight_sets", "traces"):
             mine, theirs = getattr(self, name), getattr(other, name)
             for key, value in theirs.items():
                 mine.setdefault(key, value)
@@ -275,9 +332,15 @@ class CharacterizationCache:
         self.tables.clear()
         self.floors.clear()
         self.weight_sets.clear()
+        self.traces.clear()
 
     def __len__(self) -> int:
-        return len(self.tables) + len(self.floors) + len(self.weight_sets)
+        return (
+            len(self.tables)
+            + len(self.floors)
+            + len(self.weight_sets)
+            + len(self.traces)
+        )
 
     def stats(self) -> dict[str, int]:
         """Entry counts per artifact kind (for logging/tests)."""
@@ -285,4 +348,5 @@ class CharacterizationCache:
             "tables": len(self.tables),
             "floors": len(self.floors),
             "weight_sets": len(self.weight_sets),
+            "traces": len(self.traces),
         }

@@ -1,10 +1,11 @@
 """Simulation configuration (the experiment matrix of Section V).
 
-``policy``, ``controller``, and ``forecaster`` are **registry keys**
-(:mod:`repro.registry`): strings naming a registered component, with
-optional frozen parameter mappings (``policy_params``,
-``controller_params``, ``forecaster_params``) validated against the
-component's declared schema at construction time. The historical enums
+``policy``, ``controller``, ``forecaster``, and ``workload`` are
+**registry keys** (:mod:`repro.registry`): strings naming a registered
+component, with optional frozen parameter mappings (``policy_params``,
+``controller_params``, ``forecaster_params``, ``workload_params``)
+validated against the component's declared schema at construction
+time. The historical enums
 (:class:`PolicyKind`, :class:`ControllerKind`) remain accepted aliases
 — ``SimulationConfig(policy=PolicyKind.TALB)`` and
 ``SimulationConfig(policy="talb")`` normalize to the same canonical
@@ -24,6 +25,7 @@ from repro.registry import (
     controller_registry,
     forecaster_registry,
     policy_registry,
+    workload_registry,
 )
 from repro.thermal.rc_network import ThermalParams
 from repro.workload.benchmarks import BenchmarkSpec, benchmark
@@ -122,6 +124,15 @@ class SimulationConfig:
     ARMA+SPRT predictor by default; ``repro list forecasters``)."""
     forecaster_params: Mapping[str, Any] = field(default_factory=FrozenParams)
     """Parameters for the forecaster."""
+    workload: str = "table2"
+    """Registry key of the workload model that builds this run's thread
+    trace (``repro list workloads``). The default is the stationary
+    Table II synthetic generator; ``trace-replay``, ``diurnal``, and
+    ``flash-crowd`` are built in, and user models register like
+    policies."""
+    workload_params: Mapping[str, Any] = field(default_factory=FrozenParams)
+    """Parameters for the workload model (e.g. ``{"path": ...}`` for
+    ``trace-replay``, ``{"burst_rate": 0.2}`` for ``flash-crowd``)."""
 
     def __post_init__(self) -> None:
         if self.n_layers not in (2, 4):
@@ -156,6 +167,7 @@ class SimulationConfig:
         self._normalize("policy", "policy_params", policy_registry())
         self._normalize("controller", "controller_params", controller_registry())
         self._normalize("forecaster", "forecaster_params", forecaster_registry())
+        self._normalize("workload", "workload_params", workload_registry())
         benchmark(self.benchmark_name)  # Validates the name early.
 
     def _normalize(self, key_field: str, params_field: str, registry) -> None:

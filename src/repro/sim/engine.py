@@ -61,7 +61,7 @@ from repro.sim.cache import CharacterizationCache, system_for
 from repro.sim.config import CoolingMode, SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.sim.system import ThermalSystem
-from repro.workload.generator import ThreadTrace, WorkloadGenerator
+from repro.workload.generator import ThreadTrace
 
 _default_cache = CharacterizationCache()
 
@@ -200,12 +200,13 @@ class Simulator:
     Parameters
     ----------
     config:
-        The run configuration. Its ``policy``, ``controller``, and
-        ``forecaster`` registry keys (plus their params) decide which
-        components this simulator builds.
+        The run configuration. Its ``policy``, ``controller``,
+        ``forecaster``, and ``workload`` registry keys (plus their
+        params) decide which components this simulator builds.
     trace:
-        Optional pre-generated thread trace (e.g. the diurnal trace);
-        defaults to a fresh trace of the configured benchmark.
+        Optional pre-built thread trace; defaults to the trace the
+        config's ``workload`` registry key builds (the Table II
+        synthetic generator unless configured otherwise).
     cache:
         Optional :class:`~repro.sim.cache.CharacterizationCache` to
         draw offline characterizations from (defaults to the
@@ -230,9 +231,9 @@ class Simulator:
         self.cache = cache if cache is not None else _default_cache
         self.system, self.power_model = system_for(config)
         cooling = self.system.cooling
-        self.trace = trace or WorkloadGenerator(
-            config.spec, n_cores=config.n_cores, seed=config.seed
-        ).generate(config.duration)
+        self.trace = (
+            trace if trace is not None else self.cache.thread_trace(config)
+        )
         self._cooling_kind = cooling
         self._observers = list(observers)
         self._policy = policy_registry().create(

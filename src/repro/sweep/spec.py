@@ -16,19 +16,22 @@ Total runs = ``len(points or [{}]) x zip-length x grid-product``.
 Expansion is lazy (:meth:`SweepSpec.iter_points` is a generator), so a
 million-run campaign costs nothing to declare and O(1) memory to walk.
 
-Field names accept friendly aliases (``workload``/``benchmark`` for
+Field names accept friendly aliases (``benchmark`` for
 ``benchmark_name``, ``layers`` for ``n_layers``, ``dpm`` for
-``dpm_enabled``). ``policy``/``controller``/``forecaster`` axes take
-registry keys (any accepted spelling — ``"TALB"``, ``"talb"``, or a
-legacy enum member — normalizes to the canonical key), ``cooling``
-coerces from its string values (``"Var"``), and dotted axes sweep
-nested mappings: ``thermal_params.<field>`` over
+``dpm_enabled``). ``policy``/``controller``/``forecaster``/``workload``
+axes take registry keys (any accepted spelling — ``"TALB"``,
+``"talb"``, or a legacy enum member — normalizes to the canonical
+key), ``cooling`` coerces from its string values (``"Var"``), and
+dotted axes sweep nested mappings: ``thermal_params.<field>`` over
 :class:`~repro.thermal.rc_network.ThermalParams` (e.g.
 ``thermal_params.inlet_temperature`` — the knob the related pump-power
 studies vary most) and ``policy_params.<name>`` /
-``controller_params.<name>`` / ``forecaster_params.<name>`` over the
+``controller_params.<name>`` / ``forecaster_params.<name>`` /
+``workload_params.<name>`` over the
 registered component's declared parameters (e.g.
-``controller_params.kp`` for a PID gain study). Component parameter
+``controller_params.kp`` for a PID gain study, or
+``workload_params.burst_rate`` for a flash-crowd stress study).
+Component parameter
 *names* are validated when each point's config assembles — jointly
 with the swept component key, since which names exist depends on it —
 which :meth:`SweepSpec.validate_all` performs up front.
@@ -53,6 +56,7 @@ from repro.registry import (
     controller_registry,
     forecaster_registry,
     policy_registry,
+    workload_registry,
 )
 from repro.sim.config import (
     ControllerKind,
@@ -63,8 +67,9 @@ from repro.sim.config import (
 from repro.thermal.rc_network import ThermalParams
 
 #: Friendly aliases accepted anywhere a config field is named.
+#: (``workload`` is *not* an alias for ``benchmark_name`` — it names
+#: the workload-model registry field of ``SimulationConfig``.)
 FIELD_ALIASES: dict[str, str] = {
-    "workload": "benchmark_name",
     "benchmark": "benchmark_name",
     "layers": "n_layers",
     "dpm": "dpm_enabled",
@@ -76,12 +81,18 @@ _REGISTRY_FIELDS = {
     "policy": policy_registry,
     "controller": controller_registry,
     "forecaster": forecaster_registry,
+    "workload": workload_registry,
 }
 
 #: Component-parameter mappings sweepable via dotted axes. Parameter
 #: names are validated at config assembly (they depend on the component
 #: key, which may itself be swept).
-_PARAMS_FIELDS = ("policy_params", "controller_params", "forecaster_params")
+_PARAMS_FIELDS = (
+    "policy_params",
+    "controller_params",
+    "forecaster_params",
+    "workload_params",
+)
 
 _CONFIG_FIELDS = {f.name for f in dataclass_fields(SimulationConfig)}
 _THERMAL_FIELDS = {f.name for f in dataclass_fields(ThermalParams)}
@@ -95,6 +106,8 @@ _SIGNATURE_DEFAULTS: dict[str, Any] = {
     "controller_params": FrozenParams(),
     "forecaster": "arma",
     "forecaster_params": FrozenParams(),
+    "workload": "table2",
+    "workload_params": FrozenParams(),
 }
 
 
@@ -123,7 +136,7 @@ def canonical_field(name: str) -> str:
             f"{', '.join(sorted(_CONFIG_FIELDS | set(FIELD_ALIASES)))} "
             "or a dotted thermal_params.<field> / "
             "policy_params.<name> / controller_params.<name> / "
-            "forecaster_params.<name>"
+            "forecaster_params.<name> / workload_params.<name>"
         )
     return resolved
 
@@ -198,8 +211,9 @@ def config_signature(config: SimulationConfig) -> dict:
     Unlike :func:`repro.io.batch.config_descriptor` (the human-facing
     sweep-axis subset), this captures *all* fields, so two configs with
     equal signatures produce bit-identical runs. The registry-era
-    fields (``forecaster`` and the three ``*_params`` mappings) are
-    omitted while they hold their defaults: an absent entry and the
+    fields (``forecaster``, ``workload``, and the ``*_params``
+    mappings) are omitted while they hold their defaults: an absent
+    entry and the
     default mean the same run, and the omission keeps pre-registry
     fingerprints — hence old checkpoints and campaign ledgers — valid.
     """

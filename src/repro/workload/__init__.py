@@ -1,9 +1,15 @@
-"""Workload substrate: Table II benchmarks, threads, traces."""
+"""Workload substrate: Table II benchmarks, threads, traces, models.
+
+Workload *models* (how a run's thread trace is built) are registered
+components — importing :mod:`repro.workload.models` below runs their
+registrations, the same at-import idiom the scheduler policies use.
+"""
 
 from repro.workload.benchmarks import TABLE_II, BenchmarkSpec, benchmark
 from repro.workload.generator import ThreadTrace, WorkloadGenerator, diurnal_trace
 from repro.workload.threads import Thread
 from repro.workload.traces import UtilizationTrace, generate_from_utilization
+from repro.workload.models import SAMPLE_TRACE_PATH, WorkloadModel
 
 __all__ = [
     "BenchmarkSpec",
@@ -15,4 +21,6 @@ __all__ = [
     "diurnal_trace",
     "UtilizationTrace",
     "generate_from_utilization",
+    "WorkloadModel",
+    "SAMPLE_TRACE_PATH",
 ]

@@ -19,6 +19,7 @@ A generator is deterministic for a given seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -51,9 +52,54 @@ class ThreadTrace:
         demand = sum(t.length for t in self.threads)
         return demand / (self.duration * self.n_cores)
 
+    def pristine(self) -> "ThreadTrace":
+        """A copy with every thread reset to its unexecuted state.
+
+        The trace container is immutable but the scheduler mutates the
+        :class:`~repro.workload.threads.Thread` objects themselves
+        (``remaining``, ``migrations``), so a trace that is cached or
+        otherwise shared across runs must hand each simulation its own
+        pristine copy.
+        """
+        return ThreadTrace(
+            threads=tuple(
+                Thread(t.thread_id, t.arrival, t.length) for t in self.threads
+            ),
+            duration=self.duration,
+            spec=self.spec,
+            n_cores=self.n_cores,
+        )
+
+    def _arrival_index(self) -> Optional[np.ndarray]:
+        """Lazily built (and memoized) sorted arrival-time array.
+
+        Returns ``None`` for a hand-built trace whose threads are not
+        time-sorted — the documented contract, but the old linear scan
+        tolerated it, so window queries quietly fall back rather than
+        change behaviour.
+        """
+        cached = self.__dict__.get("_arrivals_cache", False)
+        if cached is not False:
+            return cached
+        arrivals = np.fromiter(
+            (t.arrival for t in self.threads), dtype=float, count=len(self.threads)
+        )
+        index = arrivals if np.all(np.diff(arrivals) >= 0.0) else None
+        object.__setattr__(self, "_arrivals_cache", index)
+        return index
+
     def arrivals_between(self, t0: float, t1: float) -> list[Thread]:
-        """Threads arriving in the half-open window [t0, t1)."""
-        return [t for t in self.threads if t0 <= t.arrival < t1]
+        """Threads arriving in the half-open window [t0, t1).
+
+        Runs once per control interval, so the window is found by
+        binary search over a precomputed arrival array instead of an
+        O(n) scan over the whole trace.
+        """
+        arrivals = self._arrival_index()
+        if arrivals is None:  # Unsorted hand-built trace: exact old behaviour.
+            return [t for t in self.threads if t0 <= t.arrival < t1]
+        lo, hi = np.searchsorted(arrivals, (t0, t1), side="left")
+        return list(self.threads[lo:hi])
 
 
 class WorkloadGenerator:

@@ -1,0 +1,358 @@
+"""Registered workload models — the pluggable load axis.
+
+The paper drove every result from half-hour mpstat/DTrace traces of
+real workloads (Table II). This module turns *how the load is built*
+into a registry-keyed component (:mod:`repro.registry`), exactly like
+policies, controllers, and forecasters: a :class:`WorkloadModel` is any
+object with ``build_trace(ctx) -> ThreadTrace``, registered under a
+string key with a declared :class:`~repro.registry.ParamSpec` schema
+and capability traits. ``SimulationConfig(workload=..., workload_params
+={...})`` selects one; the engine, sweeps, the dist sharder, and the
+CLI resolve it purely through the registry — no model is ever named in
+the simulation loop.
+
+Built-in keys:
+
+* ``table2`` (default) — the stationary Table II synthetic generator
+  (:class:`~repro.workload.generator.WorkloadGenerator`). With default
+  parameters it produces byte-identical traces to the pre-registry
+  engine, so golden fixtures and old sweep fingerprints stay valid.
+* ``trace-replay`` — replay a recorded per-second utilization profile
+  (CSV or JSONL; :class:`~repro.workload.traces.UtilizationTrace`)
+  through the thread synthesizer — how a real mpstat log drives the
+  simulator. Ships with a bundled 60 s day/night sample.
+* ``diurnal`` — a smooth day/night load wave (configurable
+  peak/trough/period/phase, sine or square), the "millions of users"
+  scenario Section IV motivates SPRT retraining with.
+* ``flash-crowd`` — a baseline load plus correlated burst epochs that
+  saturate the whole stack at once (every die sees the surge
+  simultaneously), the transient regime where variable-flow control is
+  actually stressed.
+
+The three non-default models synthesize a per-second utilization
+profile and share one replay path (:func:`generate_from_utilization`),
+so their thread-length statistics match the calibrated generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.registry import ParamSpec, WorkloadContext, register_workload
+from repro.workload.generator import ThreadTrace, WorkloadGenerator
+from repro.workload.traces import UtilizationTrace, generate_from_utilization
+
+__all__ = ["WorkloadModel", "SAMPLE_TRACE_PATH"]
+
+#: The bundled sample utilization trace (60 s day/night profile) that
+#: ``trace-replay`` falls back to when no ``path`` parameter is given —
+#: built-in sweep specs must not depend on user files.
+SAMPLE_TRACE_PATH = Path(__file__).parent / "data" / "web_diurnal.csv"
+
+
+@runtime_checkable
+class WorkloadModel(Protocol):
+    """What a registered workload model must provide.
+
+    ``build_trace`` receives a :class:`~repro.registry.WorkloadContext`
+    (benchmark spec, core count, duration, seed, and — when built from
+    the engine — the full config) and returns the
+    :class:`~repro.workload.generator.ThreadTrace` the run executes.
+    Determinism contract: equal context and parameters must yield an
+    identical trace, or sweep resume/dist-merge bit-identity breaks.
+    """
+
+    def build_trace(self, ctx: WorkloadContext) -> ThreadTrace:
+        """Build the thread trace one configured run executes."""
+        ...
+
+
+# --- shared profile-replay plumbing ----------------------------------------
+
+
+def _fit_profile(
+    utilization: np.ndarray, duration: float, loop: bool, source: str
+) -> np.ndarray:
+    """Clip or tile a per-second profile to cover ``duration`` seconds."""
+    if duration <= 0.0:
+        raise WorkloadError("duration must be positive")
+    n_slots = int(np.ceil(duration))
+    if len(utilization) < n_slots:
+        if not loop:
+            raise WorkloadError(
+                f"utilization trace {source} covers {len(utilization)} s but "
+                f"the run lasts {duration:g} s; shorten the run or set the "
+                "workload parameter loop=true to tile the trace"
+            )
+        reps = int(np.ceil(n_slots / len(utilization)))
+        utilization = np.tile(utilization, reps)
+    return utilization[:n_slots]
+
+
+def _replay_profile(
+    ctx: WorkloadContext, utilization: np.ndarray, name: str
+) -> ThreadTrace:
+    """Synthesize threads following a per-second profile, trimmed to
+    the context's exact (possibly fractional) duration."""
+    profile = UtilizationTrace(
+        utilization=utilization, n_cores=ctx.n_cores, name=name
+    )
+    trace = generate_from_utilization(profile, ctx.spec, seed=ctx.seed)
+    if trace.duration == ctx.duration:
+        return trace
+    return ThreadTrace(
+        threads=tuple(t for t in trace.threads if t.arrival < ctx.duration),
+        duration=ctx.duration,
+        spec=trace.spec,
+        n_cores=trace.n_cores,
+    )
+
+
+# --- table2: the stationary synthetic generator (default) ------------------
+
+
+@dataclass(frozen=True)
+class _Table2Model:
+    rate_correlation: float = 0.93
+    rate_jitter: float = 0.15
+
+    def build_trace(self, ctx: WorkloadContext) -> ThreadTrace:
+        # Exactly the construction the engine used to hard-code: with
+        # default parameters the trace is byte-identical to the
+        # pre-registry era (golden fixtures pin this).
+        return WorkloadGenerator(
+            ctx.spec,
+            n_cores=ctx.n_cores,
+            seed=ctx.seed,
+            rate_correlation=self.rate_correlation,
+            rate_jitter=self.rate_jitter,
+        ).generate(ctx.duration)
+
+
+@register_workload(
+    "table2",
+    params=(
+        ParamSpec(
+            "rate_correlation", "float", default=0.93,
+            doc="AR(1) coefficient of the per-second arrival-rate "
+                "modulation (close to 1 = slowly varying load)",
+            minimum=0.0, maximum=0.9999,
+        ),
+        ParamSpec(
+            "rate_jitter", "float", default=0.15,
+            doc="relative std-dev of the rate modulation",
+            minimum=0.0,
+        ),
+    ),
+    aliases=("synthetic",),
+    description="Stationary Table II synthetic generator (the default): "
+    "modulated-Poisson arrivals calibrated to the benchmark's average "
+    "utilization",
+    traits={"synthetic": True},
+)
+def _build_table2(ctx, rate_correlation=0.93, rate_jitter=0.15):
+    return _Table2Model(
+        rate_correlation=rate_correlation, rate_jitter=rate_jitter
+    )
+
+
+# --- trace-replay: recorded utilization profiles ---------------------------
+
+
+@dataclass(frozen=True)
+class _TraceReplayModel:
+    path: str = ""
+    loop: bool = False
+
+    def build_trace(self, ctx: WorkloadContext) -> ThreadTrace:
+        path = Path(self.path) if self.path else SAMPLE_TRACE_PATH
+        if not path.is_file():
+            raise WorkloadError(
+                f"utilization trace file {str(path)!r} does not exist"
+            )
+        profile = UtilizationTrace.from_file(path, n_cores=ctx.n_cores)
+        utilization = _fit_profile(
+            profile.utilization, ctx.duration, self.loop, path.name
+        )
+        return _replay_profile(ctx, utilization, profile.name)
+
+
+@register_workload(
+    "trace-replay",
+    params=(
+        ParamSpec(
+            "path", "str", default="",
+            doc="CSV (second,utilization_pct) or JSONL trace file; "
+                "empty = the bundled 60 s day/night sample",
+        ),
+        ParamSpec(
+            "loop", "bool", default=False,
+            doc="tile the trace when the run outlasts it "
+                "(otherwise that is an error)",
+        ),
+    ),
+    aliases=("replay",),
+    description="Replay a recorded per-second utilization trace "
+    "(mpstat-style CSV/JSONL) through the thread synthesizer",
+    traits={"trace_driven": True, "cache_trace": True},
+)
+def _build_trace_replay(ctx, path="", loop=False):
+    return _TraceReplayModel(path=path, loop=loop)
+
+
+# --- diurnal: day/night load wave ------------------------------------------
+
+
+@dataclass(frozen=True)
+class _DiurnalModel:
+    peak_utilization: float = 0.9
+    trough_utilization: float = 0.1
+    period: float = 0.0
+    phase: float = 0.0
+    shape: str = "sine"
+
+    def build_trace(self, ctx: WorkloadContext) -> ThreadTrace:
+        if self.trough_utilization > self.peak_utilization:
+            raise WorkloadError(
+                "diurnal trough_utilization must not exceed peak_utilization"
+            )
+        if self.shape not in ("sine", "square"):
+            raise WorkloadError(
+                f"diurnal shape must be 'sine' or 'square', got {self.shape!r}"
+            )
+        # period=0 means one full day/night cycle spanning the run.
+        period = self.period if self.period > 0.0 else ctx.duration
+        n_slots = int(np.ceil(ctx.duration))
+        centers = np.arange(n_slots) + 0.5
+        # Cycle position in [0, 1): 0 = peak (daytime), 0.5 = trough.
+        position = np.mod(centers / period + self.phase, 1.0)
+        if self.shape == "sine":
+            swing = 0.5 * (1.0 + np.cos(2.0 * math.pi * position))
+        else:
+            swing = (position < 0.5).astype(float)
+        amplitude = self.peak_utilization - self.trough_utilization
+        utilization = self.trough_utilization + amplitude * swing
+        return _replay_profile(ctx, utilization, "diurnal")
+
+
+@register_workload(
+    "diurnal",
+    params=(
+        ParamSpec(
+            "peak_utilization", "float", default=0.9,
+            doc="daytime utilization fraction", minimum=0.0, maximum=1.0,
+        ),
+        ParamSpec(
+            "trough_utilization", "float", default=0.1,
+            doc="night-time utilization fraction", minimum=0.0, maximum=1.0,
+        ),
+        ParamSpec(
+            "period", "float", default=0.0,
+            doc="cycle length in seconds (0 = one cycle over the whole run)",
+            minimum=0.0,
+        ),
+        ParamSpec(
+            "phase", "float", default=0.0,
+            doc="cycle offset as a fraction of the period "
+                "(0 = start at the peak, 0.5 = start at the trough)",
+        ),
+        ParamSpec(
+            "shape", "str", default="sine",
+            doc="'sine' (smooth wave) or 'square' (abrupt day/night switch)",
+        ),
+    ),
+    description="Day/night load wave with configurable peak, trough, "
+    "period, and phase (the SPRT-retraining scenario of Section IV)",
+    traits={"trace_driven": True},
+)
+def _build_diurnal(ctx, peak_utilization=0.9, trough_utilization=0.1,
+                   period=0.0, phase=0.0, shape="sine"):
+    return _DiurnalModel(
+        peak_utilization=peak_utilization,
+        trough_utilization=trough_utilization,
+        period=period,
+        phase=phase,
+        shape=shape,
+    )
+
+
+# --- flash-crowd: baseline plus correlated burst epochs --------------------
+
+
+@dataclass(frozen=True)
+class _FlashCrowdModel:
+    base_utilization: float = 0.0
+    burst_rate: float = 0.05
+    burst_utilization: float = 0.95
+    burst_duration: float = 2.0
+
+    def build_trace(self, ctx: WorkloadContext) -> ThreadTrace:
+        base = (
+            self.base_utilization
+            if self.base_utilization > 0.0
+            else ctx.spec.utilization
+        )
+        n_slots = int(np.ceil(ctx.duration))
+        utilization = np.full(n_slots, min(base, 1.0))
+        # Burst epochs are a Poisson process over the run, drawn from a
+        # stream decoupled from the thread synthesizer's so changing
+        # the burst placement never reshuffles individual threads.
+        rng = np.random.default_rng(9973 * ctx.seed + 77)
+        t = 0.0
+        while self.burst_rate > 0.0:
+            t += float(rng.exponential(1.0 / self.burst_rate))
+            if t >= ctx.duration:
+                break
+            first = int(t)
+            last = min(n_slots, int(np.ceil(t + self.burst_duration)))
+            # The surge is system-wide: every slot it spans jumps to the
+            # burst level on all cores of every die at once — the
+            # correlated load spike a per-core model cannot express.
+            utilization[first:last] = np.maximum(
+                utilization[first:last], self.burst_utilization
+            )
+        return _replay_profile(ctx, utilization, "flash-crowd")
+
+
+@register_workload(
+    "flash-crowd",
+    params=(
+        ParamSpec(
+            "base_utilization", "float", default=0.0,
+            doc="baseline utilization between bursts "
+                "(0 = the benchmark's Table II average)",
+            minimum=0.0, maximum=1.0,
+        ),
+        ParamSpec(
+            "burst_rate", "float", default=0.05,
+            doc="expected burst epochs per second (Poisson)",
+            minimum=0.0,
+        ),
+        ParamSpec(
+            "burst_utilization", "float", default=0.95,
+            doc="utilization during a burst epoch",
+            minimum=0.0, maximum=1.0,
+        ),
+        ParamSpec(
+            "burst_duration", "float", default=2.0,
+            doc="length of one burst epoch, seconds", minimum=0.0,
+        ),
+    ),
+    description="Baseline load plus correlated multi-die burst epochs "
+    "(flash-crowd surges that saturate the whole stack at once)",
+    traits={"trace_driven": True},
+)
+def _build_flash_crowd(ctx, base_utilization=0.0, burst_rate=0.05,
+                       burst_utilization=0.95, burst_duration=2.0):
+    return _FlashCrowdModel(
+        base_utilization=base_utilization,
+        burst_rate=burst_rate,
+        burst_utilization=burst_utilization,
+        burst_duration=burst_duration,
+    )

@@ -6,7 +6,8 @@ carries such traces: per-second system utilization series that can be
 
 * recorded from any :class:`ThreadTrace` (what did the generator
   actually offer?),
-* loaded from / saved to CSV (interchange with real mpstat logs),
+* loaded from / saved to CSV or JSONL (interchange with real mpstat
+  logs),
 * used to drive the generator directly, reproducing a measured load
   profile instead of a stationary Table II average.
 """
@@ -14,6 +15,7 @@ carries such traces: per-second system utilization series that can be
 from __future__ import annotations
 
 import csv
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
@@ -105,6 +107,54 @@ class UtilizationTrace:
             n_cores=n_cores,
             name=name or path.stem,
         )
+
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write as JSON lines (``{"second": s, "utilization_pct": u}``)."""
+        with open(path, "w") as handle:
+            for second, value in enumerate(self.utilization):
+                handle.write(
+                    json.dumps(
+                        {"second": second,
+                         "utilization_pct": round(100.0 * float(value), 3)}
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def from_jsonl(
+        cls, path: Union[str, Path], n_cores: int, name: str | None = None
+    ) -> "UtilizationTrace":
+        """Read a JSONL trace (one ``{"second", "utilization_pct"}``
+        object per line, as written by :meth:`to_jsonl`)."""
+        path = Path(path)
+        values: list[float] = []
+        with open(path) as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    values.append(float(entry["utilization_pct"]) / 100.0)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise WorkloadError(f"{path.name}:{line_no}: {exc}")
+        if not values:
+            raise WorkloadError(f"{path.name}: empty trace file")
+        return cls(
+            utilization=np.asarray(values),
+            n_cores=n_cores,
+            name=name or path.stem,
+        )
+
+    @classmethod
+    def from_file(
+        cls, path: Union[str, Path], n_cores: int, name: str | None = None
+    ) -> "UtilizationTrace":
+        """Load a trace file, dispatching on suffix (``.jsonl`` vs CSV)."""
+        path = Path(path)
+        if path.suffix.lower() in (".jsonl", ".ndjson"):
+            return cls.from_jsonl(path, n_cores=n_cores, name=name)
+        return cls.from_csv(path, n_cores=n_cores, name=name)
 
     @classmethod
     def from_thread_trace(cls, trace: ThreadTrace) -> "UtilizationTrace":

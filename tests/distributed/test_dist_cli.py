@@ -24,7 +24,7 @@ def spec_file(tmp_path, duration=1.0):
     path.write_text(json.dumps({
         "name": "distcli",
         "base": {"duration": duration},
-        "grid": {"workload": ["gzip", "MPlayer"], "cooling": ["Var", "Max"]},
+        "grid": {"benchmark": ["gzip", "MPlayer"], "cooling": ["Var", "Max"]},
     }))
     return str(path)
 

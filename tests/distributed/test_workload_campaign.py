@@ -1,0 +1,115 @@
+"""Workload-axis campaigns through the dist pipeline.
+
+Satellite acceptance: a sweep over workload-model keys and dotted
+``workload_params`` axes survives the ledger round-trip and merges
+byte-identical to a single-host run — including when two concurrent
+workers race over the shared campaign directory.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.dist import merge_campaign, plan_campaign, read_ledger, run_worker
+from repro.dist.plan import ledger_spec
+from repro.sim.config import SimulationConfig
+from repro.sweep import SweepRunner, SweepSpec
+
+
+def workload_spec(name="workload-campaign"):
+    """A spec sweeping the workload axis itself plus a dotted param."""
+    return SweepSpec(
+        base=SimulationConfig(benchmark_name="Web-med", duration=1.0),
+        points=[
+            {"workload": "table2"},
+            {"workload": "diurnal",
+             "workload_params": {"shape": "square"}},
+            {"workload": "flash-crowd",
+             "workload_params": {"burst_rate": 0.3}},
+        ],
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    root = tmp_path_factory.mktemp("workload-ref")
+    result = SweepRunner(workload_spec(), csv_path=root / "ref.csv").run()
+    result.save_json(root / "ref.json")
+    return {
+        "rows": result.rows,
+        "json": (root / "ref.json").read_bytes(),
+        "csv": (root / "ref.csv").read_bytes(),
+    }
+
+
+class TestLedgerRoundTrip:
+    def test_ledger_payload_reconstructs_the_exact_spec(self, tmp_path):
+        spec = workload_spec()
+        plan_campaign(spec, tmp_path / "camp", chunk_size=2)
+        ledger = read_ledger(tmp_path / "camp")
+        clone = ledger_spec(ledger)  # Verifies fingerprint en route.
+        assert clone.fingerprint() == spec.fingerprint()
+        assert [p.config.workload for p in clone.iter_points()] == [
+            "table2", "diurnal", "flash-crowd"
+        ]
+        assert [dict(p.config.workload_params) for p in clone.iter_points()] == [
+            {}, {"shape": "square"}, {"burst_rate": 0.3}
+        ]
+
+    def test_ledger_spec_payload_is_json_lossless(self, tmp_path):
+        plan_campaign(workload_spec(), tmp_path / "camp", chunk_size=2)
+        raw = (tmp_path / "camp" / "ledger.jsonl").read_text().splitlines()[0]
+        payload = json.loads(raw)["spec"]
+        assert payload["points"][1]["workload"] == "diurnal"
+        assert payload["points"][1]["workload_params"] == {"shape": "square"}
+
+
+class TestShardedExecution:
+    def test_single_worker_merge_byte_identical(self, tmp_path, reference):
+        camp = tmp_path / "camp"
+        plan_campaign(workload_spec(), camp, chunk_size=2)
+        run_worker(camp, worker_id="w1")
+        merged = merge_campaign(camp)
+        assert merged.complete
+        assert merged.rows == reference["rows"]
+        merged.save_json(tmp_path / "dist.json")
+        merged.save_csv(tmp_path / "dist.csv")
+        assert (tmp_path / "dist.json").read_bytes() == reference["json"]
+        assert (tmp_path / "dist.csv").read_bytes() == reference["csv"]
+
+    def test_two_concurrent_workers_merge_byte_identical(
+        self, tmp_path, reference
+    ):
+        """The pinning check for trace-building under concurrency: two
+        workers race over one-run shards, and the merged exports must
+        still equal the single-host bytes exactly."""
+        camp = tmp_path / "camp"
+        plan_campaign(workload_spec(), camp, chunk_size=1)
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(camp,),
+                kwargs={"worker_id": f"w{i}"},
+            )
+            for i in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = merge_campaign(camp)
+        assert merged.complete
+        assert merged.rows == reference["rows"]
+        merged.save_json(tmp_path / "dist.json")
+        merged.save_csv(tmp_path / "dist.csv")
+        assert (tmp_path / "dist.json").read_bytes() == reference["json"]
+        assert (tmp_path / "dist.csv").read_bytes() == reference["csv"]
+
+    def test_rows_carry_workload_columns(self, reference):
+        rows = reference["rows"]
+        assert [row["workload"] for row in rows] == [
+            "table2", "diurnal", "flash-crowd"
+        ]
+        assert rows[0]["workload_params"] == ""
+        assert json.loads(rows[2]["workload_params"]) == {"burst_rate": 0.3}

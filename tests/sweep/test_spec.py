@@ -117,7 +117,7 @@ class TestExpansion:
 class TestCoercionAndValidation:
     def test_aliases_and_enum_strings(self):
         spec = SweepSpec(
-            points=[{"workload": "gzip", "layers": 4, "dpm": True}],
+            points=[{"benchmark": "gzip", "layers": 4, "dpm": True}],
             grid={"cooling": ["Var"], "controller": ["stepwise"]},
         )
         point = next(spec.iter_points())
@@ -149,7 +149,7 @@ class TestCoercionAndValidation:
 
     def test_alias_duplicate_rejected(self):
         with pytest.raises(ConfigurationError, match="duplicates"):
-            SweepSpec(grid={"workload": ["gzip"], "benchmark_name": ["gzip"]})
+            SweepSpec(grid={"benchmark": ["gzip"], "benchmark_name": ["gzip"]})
 
     def test_bad_config_value_fails_at_declaration(self):
         with pytest.raises(ConfigurationError):
@@ -211,7 +211,7 @@ class TestIdentityAndSerialization:
         path = tmp_path / "spec.json"
         path.write_text(json.dumps({
             "base": {"duration": 2.0},
-            "grid": {"workload": ["gzip"], "cooling": ["Var", "Max"]},
+            "grid": {"benchmark": ["gzip"], "cooling": ["Var", "Max"]},
         }))
         spec = SweepSpec.from_file(path)
         assert spec.run_count == 2
@@ -223,7 +223,7 @@ class TestIdentityAndSerialization:
         del yaml
         path = tmp_path / "spec.yaml"
         path.write_text(
-            "base:\n  duration: 2.0\ngrid:\n  workload: [gzip, Web-med]\n"
+            "base:\n  duration: 2.0\ngrid:\n  benchmark: [gzip, Web-med]\n"
         )
         spec = SweepSpec.from_file(path)
         assert spec.run_count == 2

@@ -1,0 +1,208 @@
+"""Workload registry keys + params through specs, signatures, resume.
+
+The last hard-coded axis: ``workload``/``workload_params`` must behave
+exactly like the policy/controller/forecaster fields — swept by key,
+parameterized by dotted axes, spelled-invariant in fingerprints, absent
+from signatures at their defaults (so pre-existing checkpoints and
+campaign ledgers stay valid), and bit-identical across resume.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import SimulationConfig
+from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep.spec import config_signature
+
+
+class TestWorkloadAxis:
+    def test_axis_values_normalize_to_canonical_keys(self):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=1.0),
+            grid={"workload": ["synthetic", "DIURNAL", "replay"]},
+        )
+        assert [p.config.workload for p in spec.iter_points()] == [
+            "table2", "diurnal", "trace-replay"
+        ]
+
+    def test_workload_axis_is_not_a_benchmark_alias(self):
+        """Historically 'workload' aliased benchmark_name; now it names
+        the workload-model field, so a benchmark value is rejected."""
+        with pytest.raises(ConfigurationError, match="choose from"):
+            SweepSpec(grid={"workload": ["gzip"]})
+
+    def test_unknown_workload_key_rejected_with_choices(self):
+        with pytest.raises(ConfigurationError, match="choose from"):
+            SweepSpec(grid={"workload": ["no-such-model"]})
+
+    def test_spelling_does_not_change_fingerprint(self):
+        def fp(key):
+            return SweepSpec(
+                base=SimulationConfig(duration=1.0),
+                grid={"workload": [key]},
+            ).fingerprint()
+        assert fp("table2") == fp("SYNTHETIC")
+        assert fp("trace-replay") == fp("replay")
+
+
+class TestWorkloadParamsAxes:
+    def test_dotted_workload_params_axis(self):
+        spec = SweepSpec(
+            base=SimulationConfig(workload="flash-crowd", duration=1.0),
+            grid={"workload_params.burst_rate": [0.05, 0.2, 0.5]},
+        )
+        rates = [
+            p.config.workload_params["burst_rate"] for p in spec.iter_points()
+        ]
+        assert rates == [0.05, 0.2, 0.5]
+        assert spec.run_count == 3
+
+    def test_dotted_axis_merges_with_base_params(self):
+        spec = SweepSpec(
+            base=SimulationConfig(
+                workload="diurnal",
+                workload_params={"shape": "square"},
+                duration=1.0,
+            ),
+            grid={"workload_params.peak_utilization": [0.8]},
+        )
+        point = next(spec.iter_points())
+        assert dict(point.config.workload_params) == {
+            "shape": "square", "peak_utilization": 0.8,
+        }
+
+    def test_bad_param_name_caught_by_validate_all(self):
+        # Position 0 (flash-crowd, which has burst_rate) is clean...
+        spec = SweepSpec(
+            base=SimulationConfig(duration=1.0),
+            zip_axes={"workload": ["flash-crowd", "diurnal"],
+                      "workload_params.burst_rate": [0.1, 0.1]},
+        )
+        # ...but diurnal has no burst_rate, which the full walk names.
+        with pytest.raises(ConfigurationError, match="no parameter 'burst_rate'"):
+            spec.validate_all()
+
+    def test_point_keys_render_params_canonically(self):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=1.0),
+            points=[{"workload": "flash-crowd",
+                     "workload_params": {"burst_rate": 0.2,
+                                         "burst_duration": 1.0}}],
+        )
+        key = next(spec.iter_points()).key
+        assert 'workload_params={"burst_duration":1.0,"burst_rate":0.2}' in key
+
+    def test_param_spelling_does_not_change_identity(self):
+        def fp(value):
+            return SweepSpec(
+                base=SimulationConfig(
+                    workload="flash-crowd",
+                    workload_params={"burst_duration": value},
+                    duration=1.0,
+                ),
+                grid={"benchmark_name": ["gzip"]},
+            ).fingerprint()
+        assert fp(1) == fp(1.0)
+
+
+class TestSerializationRoundTrip:
+    def _spec(self):
+        return SweepSpec(
+            base=SimulationConfig(
+                workload="flash-crowd",
+                workload_params={"burst_utilization": 0.9},
+                duration=1.0,
+            ),
+            grid={"workload_params.burst_rate": [0.05, 0.2]},
+            points=[{"benchmark": "gzip"}, {"benchmark": "Web-med"}],
+            name="crowd-study",
+        )
+
+    def test_dict_round_trip_preserves_fingerprint_and_keys(self):
+        spec = self._spec()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.fingerprint() == spec.fingerprint()
+        assert [p.key for p in clone.iter_points()] == [
+            p.key for p in spec.iter_points()
+        ]
+        assert [dict(p.config.workload_params) for p in clone.iter_points()] == [
+            dict(p.config.workload_params) for p in spec.iter_points()
+        ]
+
+    def test_spec_file_with_workload_axes(self, tmp_path):
+        path = tmp_path / "crowd.json"
+        path.write_text(json.dumps({
+            "base": {"duration": 1.0, "workload": "flash-crowd"},
+            "grid": {"workload_params.burst_rate": [0.05, 0.2]},
+        }))
+        spec = SweepSpec.from_file(path)
+        assert spec.run_count == 2
+        first = next(spec.iter_points())
+        assert first.config.workload == "flash-crowd"
+        assert dict(first.config.workload_params) == {"burst_rate": 0.05}
+
+
+class TestSignatureBackCompat:
+    def test_workload_fields_omitted_from_signature_at_defaults(self):
+        """A config that never touches the workload fields keeps its
+        pre-refactor signature payload — old fingerprints, checkpoints,
+        and campaign ledgers stay valid."""
+        signature = config_signature(SimulationConfig(duration=2.0))
+        assert "workload" not in signature
+        assert "workload_params" not in signature
+
+    def test_non_default_workload_fields_are_captured(self):
+        signature = config_signature(SimulationConfig(
+            workload="flash-crowd",
+            workload_params={"burst_rate": 0.2},
+            duration=2.0,
+        ))
+        assert signature["workload"] == "flash-crowd"
+        assert signature["workload_params"] == {"burst_rate": 0.2}
+
+    def test_default_key_spelled_via_alias_still_omitted(self):
+        """'synthetic' normalizes to the default key, so it is still
+        absent — spelling can never fork a fingerprint."""
+        signature = config_signature(
+            SimulationConfig(workload="synthetic", duration=2.0)
+        )
+        assert "workload" not in signature
+
+
+class TestSweepAndResume:
+    def _spec(self, name="wl"):
+        return SweepSpec(
+            base=SimulationConfig(duration=1.0),
+            grid={"workload": ["table2", "diurnal", "flash-crowd"]},
+            name=name,
+        )
+
+    def test_workload_axis_runs_produce_distinct_traces(self):
+        result = SweepRunner(self._spec()).run()
+        assert result.complete and result.folded == 3
+        energies = [row["total_energy_j"] for row in result.rows]
+        assert len(set(energies)) == 3  # Each model drives a different run.
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        spec = self._spec()
+        whole = SweepRunner(spec, csv_path=tmp_path / "a.csv").run()
+        ck = tmp_path / "ck.jsonl"
+        SweepRunner(
+            spec, checkpoint=ck, csv_path=tmp_path / "b.csv", stop_after=2
+        ).run()
+        resumed = SweepRunner(
+            spec, checkpoint=ck, csv_path=tmp_path / "b.csv"
+        ).run(resume=True)
+        assert resumed.complete and resumed.resumed == 2
+        assert resumed.rows == whole.rows
+        assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "b.csv").read_bytes()
+        for agg_a, agg_b in zip(whole.aggregators, resumed.aggregators):
+            assert agg_a.rows() == agg_b.rows()
+
+    def test_csv_rows_carry_workload_columns(self, tmp_path):
+        SweepRunner(self._spec(), csv_path=tmp_path / "out.csv").run()
+        header = (tmp_path / "out.csv").read_text().splitlines()[0]
+        assert "workload" in header.split(",")
+        assert "workload_params" in header.split(",")

@@ -226,7 +226,7 @@ class TestSweepCommand:
         path.write_text(json.dumps({
             "name": "clitest",
             "base": {"duration": duration},
-            "grid": {"workload": ["gzip", "MPlayer"], "cooling": ["Var", "Max"]},
+            "grid": {"benchmark": ["gzip", "MPlayer"], "cooling": ["Var", "Max"]},
         }))
         return str(path)
 
@@ -364,7 +364,7 @@ class TestMissingOutputDirectoryErrors:
     def test_sweep_save_json(self, tmp_path):
         path = tmp_path / "spec.json"
         path.write_text(json.dumps({
-            "base": {"duration": 1.0}, "grid": {"workload": ["gzip"]},
+            "base": {"duration": 1.0}, "grid": {"benchmark": ["gzip"]},
         }))
         with pytest.raises(SystemExit, match="does not exist"):
             main([
@@ -375,7 +375,7 @@ class TestMissingOutputDirectoryErrors:
     def test_sweep_checkpoint_parent(self, tmp_path):
         path = tmp_path / "spec.json"
         path.write_text(json.dumps({
-            "base": {"duration": 1.0}, "grid": {"workload": ["gzip"]},
+            "base": {"duration": 1.0}, "grid": {"benchmark": ["gzip"]},
         }))
         with pytest.raises(SystemExit, match="does not exist"):
             main([
