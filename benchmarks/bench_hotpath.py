@@ -20,6 +20,13 @@ pre-vectorization seed in parentheses):
   repeated-run cost every sweep/batch run pays after the first; the
   system memo shares assembled networks and factorizations across
   ``Simulator`` instances of the same configuration.
+
+PR 7 adds a ``cohort`` section: warm throughput of a 16-run
+policy-only sweep at 64x64 through the serial per-run path vs cohort
+execution (exact and block modes), in runs/sec-per-core, plus the LU
+factorization counters that gate the shared-kernel property. The
+committed ``BENCH_hotpath.json`` at the repo root is the trajectory
+baseline; ``benchmarks/compare_bench.py`` diffs a fresh run against it.
 """
 
 from __future__ import annotations
@@ -39,16 +46,21 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro import units  # noqa: E402
 from repro.geometry.stack import build_stack  # noqa: E402
+from repro.runner import BatchRunner, CohortRunner  # noqa: E402
 from repro.sim.cache import CharacterizationCache  # noqa: E402
 from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.thermal.grid import ThermalGrid  # noqa: E402
 from repro.thermal.rc_network import ThermalParams, build_network  # noqa: E402
-from repro.thermal.solver import SteadyStateSolver, TransientSolver  # noqa: E402
+from repro.thermal.solver import (  # noqa: E402
+    SteadyStateSolver,
+    TransientSolver,
+    factorization_count,
+)
 
 FLOW = units.ml_per_minute(400.0)
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _median_time(fn, repeats: int) -> float:
@@ -58,6 +70,64 @@ def _median_time(fn, repeats: int) -> float:
         fn()
         samples.append(time.perf_counter() - start)
     return statistics.median(samples)
+
+
+def _cohort_configs() -> list:
+    """The cohort benchmark sweep: 16 runs (4 policies x 4 seeds) over
+    one 64x64 thermal network — policy-only, so every run shares the
+    same assembled/factorized kernel."""
+    return [
+        SimulationConfig(policy=policy, seed=seed, nx=64, ny=64, duration=0.2)
+        for seed in range(4)
+        for policy in ("TALB", "LB", "Mig", "RR")
+    ]
+
+
+def collect_cohort_metrics(repeats: int = 5) -> dict:
+    """Cohort-vs-serial throughput on the 16-run policy sweep (PR 7).
+
+    Throughput is runs/sec-per-core (everything here executes on one
+    core; divide by ``max_workers`` when extrapolating to a pool). The
+    ``warm_refactorizations`` counter is the algorithmic gate: a warm
+    cohort campaign must perform zero LU factorizations — at most one
+    factorization ever happens per (network, dt), however many runs
+    step through it.
+    """
+    cache = CharacterizationCache()
+    before = factorization_count()
+    BatchRunner(_cohort_configs(), cohort="off", cache=cache).run()  # warm
+    first_campaign_factorizations = factorization_count() - before
+
+    def campaign_time(make) -> float:
+        return _median_time(lambda: make().run(), repeats)
+
+    serial_s = campaign_time(
+        lambda: BatchRunner(_cohort_configs(), cohort="off", cache=cache)
+    )
+    exact_s = campaign_time(lambda: CohortRunner(_cohort_configs(), cache=cache))
+    block_s = campaign_time(
+        lambda: CohortRunner(_cohort_configs(), block=True, cache=cache)
+    )
+
+    before = factorization_count()
+    CohortRunner(_cohort_configs(), cache=cache).run()
+    warm_refactorizations = factorization_count() - before
+
+    n_runs = len(_cohort_configs())
+    return {
+        "sweep": "16 runs (4 policies x 4 seeds), 64x64, 0.2 s simulated",
+        "n_runs": n_runs,
+        "serial_s": serial_s,
+        "cohort_exact_s": exact_s,
+        "cohort_block_s": block_s,
+        "serial_runs_per_sec_per_core": n_runs / serial_s,
+        "cohort_exact_runs_per_sec_per_core": n_runs / exact_s,
+        "cohort_block_runs_per_sec_per_core": n_runs / block_s,
+        "cohort_exact_speedup": serial_s / exact_s,
+        "cohort_block_speedup": serial_s / block_s,
+        "first_campaign_factorizations": first_campaign_factorizations,
+        "warm_refactorizations": warm_refactorizations,
+    }
 
 
 def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
@@ -141,6 +211,7 @@ def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
             "machine": platform.machine(),
         },
         "results": results,
+        "cohort": collect_cohort_metrics(repeats=repeats),
     }
 
 
@@ -164,6 +235,12 @@ def test_hotpath_baseline(tmp_path):
         "simulated_second_32x32",
         "control_interval_32x32",
     }
+    cohort = loaded["cohort"]
+    assert cohort["n_runs"] == 16
+    assert cohort["cohort_exact_speedup"] > 0.0
+    assert cohort["cohort_block_speedup"] > 0.0
+    # The algorithmic gate: warm cohorts never refactorize.
+    assert cohort["warm_refactorizations"] == 0
 
 
 def main(argv=None) -> int:
@@ -187,6 +264,20 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     for name, seconds in sorted(payload["results"].items()):
         print(f"{name:32s} {seconds * 1e3:10.3f} ms")
+    cohort = payload["cohort"]
+    print(f"\ncohort sweep: {cohort['sweep']}")
+    print(
+        f"  serial {cohort['serial_runs_per_sec_per_core']:.1f} runs/s"
+        f"  exact {cohort['cohort_exact_runs_per_sec_per_core']:.1f}"
+        f" ({cohort['cohort_exact_speedup']:.2f}x)"
+        f"  block {cohort['cohort_block_runs_per_sec_per_core']:.1f}"
+        f" ({cohort['cohort_block_speedup']:.2f}x)"
+    )
+    print(
+        f"  factorizations: first campaign"
+        f" {cohort['first_campaign_factorizations']},"
+        f" warm {cohort['warm_refactorizations']}"
+    )
     print(f"\nwrote {args.out}")
     return 0
 

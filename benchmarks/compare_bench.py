@@ -1,0 +1,114 @@
+"""Compare a fresh hot-path run against the committed trajectory baseline.
+
+Usage (what CI's perf-trajectory job runs)::
+
+    python benchmarks/bench_hotpath.py --out hotpath-timings.json
+    python benchmarks/compare_bench.py hotpath-timings.json \
+        --baseline BENCH_hotpath.json
+
+Two kinds of checks, deliberately different in severity:
+
+* **Timing regressions are non-gating.** Absolute wall-clock depends on
+  the runner; a >20% median slowdown (or cohort-speedup loss) prints a
+  GitHub ``::warning::`` annotation so it shows up on the PR, but the
+  exit code stays 0.
+* **The algorithmic counter gates.** A warm cohort campaign performing
+  any LU factorization means kernel sharing broke — that is a property
+  of the code, not the machine, so it exits nonzero and fails CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fractional median slowdown that triggers a (non-gating) warning.
+REGRESSION_THRESHOLD = 0.20
+
+
+def _warn(message: str) -> None:
+    print(f"::warning title=perf regression::{message}")
+
+
+def compare(current: dict, baseline: dict) -> int:
+    """Print the comparison; return the number of gating failures."""
+    failures = 0
+    warnings = 0
+
+    cur_results = current.get("results", {})
+    base_results = baseline.get("results", {})
+    shared = sorted(set(cur_results) & set(base_results))
+    skipped = sorted(set(base_results) - set(cur_results))
+    print(f"{'benchmark':32s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}")
+    for name in shared:
+        base, cur = base_results[name], cur_results[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + REGRESSION_THRESHOLD:
+            flag = "  <-- regressed"
+            warnings += 1
+            _warn(
+                f"{name}: {cur * 1e3:.3f} ms vs baseline "
+                f"{base * 1e3:.3f} ms ({ratio:.2f}x)"
+            )
+        print(
+            f"{name:32s} {base * 1e3:9.3f}ms {cur * 1e3:9.3f}ms "
+            f"{ratio:6.2f}x{flag}"
+        )
+    if skipped:
+        print(f"(not measured this run: {', '.join(skipped)})")
+
+    cur_cohort = current.get("cohort", {})
+    base_cohort = baseline.get("cohort", {})
+    for key in ("cohort_exact_speedup", "cohort_block_speedup"):
+        base, cur = base_cohort.get(key), cur_cohort.get(key)
+        if base is None or cur is None:
+            continue
+        print(f"{key:32s} {base:9.2f}x  {cur:9.2f}x")
+        if cur < base * (1.0 - REGRESSION_THRESHOLD):
+            warnings += 1
+            _warn(f"{key}: {cur:.2f}x vs baseline {base:.2f}x")
+
+    refactor = cur_cohort.get("warm_refactorizations")
+    if refactor is None:
+        failures += 1
+        print(
+            "::error title=perf gate::current payload has no"
+            " cohort.warm_refactorizations counter"
+        )
+    elif refactor != 0:
+        failures += 1
+        print(
+            "::error title=perf gate::warm cohort campaign performed"
+            f" {refactor} LU factorizations (expected 0 — the shared"
+            " kernel must factorize at most once per network)"
+        )
+    else:
+        print("warm_refactorizations               0  (gate: ok)")
+
+    print(
+        f"\n{len(shared)} benchmarks compared, {warnings} regression"
+        f" warning(s) (non-gating), {failures} gating failure(s)"
+    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly measured payload")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parents[1] / "BENCH_hotpath.json",
+        help="committed trajectory baseline (default: repo BENCH_hotpath.json)",
+    )
+    args = parser.parse_args(argv)
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    return 1 if compare(current, baseline) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -267,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--quiet", action="store_true", help="suppress per-run progress"
         )
+        p.add_argument(
+            "--cohort", choices=("auto", "off", "block"), default="auto",
+            help="thermal-cohort batching: auto shares each cohort's "
+            "kernel byte-identically (default), off restores the "
+            "per-run path, block enables the multi-RHS kernel "
+            "(LU-roundoff-equivalent, not byte-identical)",
+        )
 
     sw_run = swsub.add_parser(
         "run",
@@ -372,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     d_work.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    d_work.add_argument(
+        "--cohort", choices=("auto", "off", "block"), default="auto",
+        help="thermal-cohort batching within each shard (see "
+        "'repro sweep run --cohort')",
     )
 
     d_merge = dsub.add_parser(
@@ -739,6 +751,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         csv_path=args.save_csv,
         progress=None if args.quiet else _progress,
         stop_after=args.stop_after,
+        cohort=args.cohort,
     )
     try:
         result = runner.run(resume=resume)
@@ -848,6 +861,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
                 poll_interval=args.poll_interval,
                 wait=not args.no_wait,
                 progress=None if args.quiet else _progress,
+                cohort=args.cohort,
             )
         except ConfigurationError as exc:
             raise SystemExit(f"error: {exc}") from None

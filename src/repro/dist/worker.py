@@ -40,10 +40,10 @@ from repro.io.dist import (
     open_shard_journal,
     try_claim_lease,
 )
-from repro.io.sweep import sweep_row
 from repro.runner.batch import BatchRunner
 from repro.sim.cache import CharacterizationCache
 from repro.sweep.aggregate import Aggregator, aggregator_from_spec
+from repro.sweep.runner import FoldReducer
 from repro.sweep.spec import SweepPoint, SweepSpec
 
 #: Default seconds a lease stays valid without a refresh. Refreshes
@@ -82,6 +82,7 @@ def _execute_shard(
     lease_ttl: float,
     max_workers: Optional[int],
     progress: Optional[Callable[[SweepPoint, int, float], None]],
+    cohort: str = "auto",
 ) -> int:
     """Run one shard's chunk and journal it; returns runs executed."""
     chunk = list(spec.iter_points(shard.start, shard.stop))
@@ -94,14 +95,19 @@ def _execute_shard(
             [point.config for point in chunk],
             max_workers=max_workers,
             cache=cache,
+            cohort=cohort,
         )
-        with contextlib.closing(batch.iter_runs()) as runs:
+        # Runs sharing a thermal kernel execute as one cohort, and each
+        # run collapses to its row + fold payloads on whatever process
+        # executed it (payload-only transport) — the journal line is
+        # byte-identical to the historical full-result path because
+        # sweep_row/fold_payload are pure functions of (point, result).
+        reducer = FoldReducer([agg.spec() for agg in aggregators])
+        tags = [(point.index, point.key) for point in chunk]
+        with contextlib.closing(batch.iter_reduced(reducer, tags)) as runs:
             for point, run in zip(chunk, runs):
-                row = sweep_row(point.index, point.key, point.config, run.result)
-                payloads = {
-                    str(i): agg.fold_payload(point.config, run.result)
-                    for i, agg in enumerate(aggregators)
-                }
+                row = run.payload["row"]
+                payloads = run.payload["agg"]
                 # Re-assert ownership *before* touching the journal:
                 # a lost lease means another worker reclaimed the shard
                 # and owns its journal now, so this attempt must stop
@@ -139,6 +145,7 @@ def run_worker(
     poll_interval: float = 0.5,
     wait: bool = True,
     progress: Optional[Callable[[SweepPoint, int, float], None]] = None,
+    cohort: str = "auto",
 ) -> WorkerReport:
     """Work a campaign until it is done (or ``max_shards`` is reached).
 
@@ -166,6 +173,13 @@ def run_worker(
         instead of waiting for other workers' shards to finish.
     progress:
         Callback ``(point, shard_index, elapsed_s)`` per completed run.
+    cohort:
+        Thermal-cohort grouping within each shard, as for
+        :class:`~repro.runner.BatchRunner` (``"auto"`` — the default —
+        shares each cohort's kernel byte-identically; ``"off"``
+        restores the per-run path; ``"block"`` enables the multi-RHS
+        kernel, LU-roundoff-equivalent rather than byte-identical, so
+        merged campaigns lose the bitwise guarantee).
     """
     if lease_ttl <= 0:
         raise ConfigurationError("lease_ttl must be positive")
@@ -226,6 +240,7 @@ def run_worker(
                     report.runs_executed += _execute_shard(
                         ledger, spec, aggregators, shard, cache,
                         report.worker_id, lease_ttl, max_workers, progress,
+                        cohort,
                     )
                     report.shards_executed.append(shard.shard_id)
                 done.add(shard.shard_id)

@@ -3,14 +3,32 @@
 See :mod:`repro.runner.batch` for the design; the experiments layer
 (:func:`repro.experiments.common.run_matrix`), the ``repro batch`` CLI
 command, and ``benchmarks/bench_batch.py`` all route multi-run work
-through :class:`BatchRunner`.
+through :class:`BatchRunner`. :mod:`repro.runner.cohort` adds
+thermal-cohort grouping — runs sharing one network advance through one
+shared numeric kernel (:class:`CohortRunner`, or ``cohort=`` on
+:class:`BatchRunner`).
 """
 
-from repro.runner.batch import BatchResult, BatchRun, BatchRunner, reseeded
+from repro.runner.batch import (
+    BatchResult,
+    BatchRun,
+    BatchRunner,
+    ReducedRun,
+    reseeded,
+)
+from repro.runner.cohort import (
+    CohortRunner,
+    cohort_signature,
+    group_cohorts,
+)
 
 __all__ = [
     "BatchRunner",
     "BatchResult",
     "BatchRun",
+    "CohortRunner",
+    "ReducedRun",
+    "cohort_signature",
+    "group_cohorts",
     "reseeded",
 ]

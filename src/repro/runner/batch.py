@@ -31,7 +31,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Iterator, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim import engine
@@ -130,6 +130,29 @@ class BatchResult:
         return rows
 
 
+@dataclass
+class ReducedRun:
+    """One completed run, collapsed to its reducer payload.
+
+    What :meth:`BatchRunner.iter_reduced` yields instead of a
+    :class:`BatchRun`: the full :class:`SimulationResult` (megabytes of
+    time series) is reduced *in the worker process* and only the
+    payload crosses the pool boundary — the transport the sweep and
+    distributed layers use, since their folds never need the series.
+    """
+
+    index: int
+    config: SimulationConfig
+    payload: Any
+    elapsed: float
+
+
+#: A worker-side reducer: ``(tag, config, result) -> payload``. Must be
+#: picklable (a module-level function or a class instance) and pure —
+#: it runs on whatever process executed the run.
+RunReducer = Callable[[Any, SimulationConfig, Any], Any]
+
+
 def _execute_one(
     task: tuple[int, SimulationConfig, Optional[ThreadTrace]],
 ) -> BatchRun:
@@ -143,6 +166,41 @@ def _execute_one(
         result=result,
         elapsed=time.perf_counter() - start,
     )
+
+
+def _execute_group(
+    task: tuple[list[tuple], bool, Optional[RunReducer]],
+) -> list:
+    """Run one task group (a cohort slice, or a singleton).
+
+    ``task`` is ``(group, block, reducer)`` with ``group`` a list of
+    ``(index, config, trace, tag)``. Multi-member groups share their
+    thermal kernel through :func:`repro.runner.cohort.execute_cohort`;
+    singletons take the plain path. With a reducer, results collapse
+    to :class:`ReducedRun` before leaving the process.
+    """
+    group, block, reducer = task
+    if len(group) == 1:
+        index, config, trace, _ = group[0]
+        runs = [_execute_one((index, config, trace))]
+    else:
+        from repro.runner.cohort import execute_cohort
+
+        runs = execute_cohort(
+            [(index, config, trace) for index, config, trace, _ in group],
+            block=block,
+        )
+    if reducer is None:
+        return runs
+    return [
+        ReducedRun(
+            index=run.index,
+            config=run.config,
+            payload=reducer(tag, run.config, run.result),
+            elapsed=run.elapsed,
+        )
+        for run, (_, _, _, tag) in zip(runs, group)
+    ]
 
 
 def _worker_init(cache: CharacterizationCache) -> None:
@@ -178,7 +236,20 @@ class BatchRunner:
         Pre-derive all needed characterizations in the parent before
         fanning out (strongly recommended for parallel runs: the
         artifacts are computed once instead of once per worker).
+    cohort:
+        Thermal-cohort grouping (see :mod:`repro.runner.cohort`):
+        ``"off"`` (the default — one task per run, the historical
+        behavior), ``"exact"``/``"auto"`` (group runs sharing a
+        thermal kernel and execute each cohort against one shared
+        system + steady init; bit-identical to ``"off"``), or
+        ``"block"`` (additionally batch same-setting solves into one
+        multi-RHS call — fastest, LU-roundoff-equivalent rather than
+        byte-identical). In parallel mode cohorts are split into
+        balanced per-worker slices so one big cohort still fills the
+        pool.
     """
+
+    _COHORT_MODES = ("off", "auto", "exact", "block")
 
     def __init__(
         self,
@@ -187,9 +258,16 @@ class BatchRunner:
         max_workers: Optional[int] = None,
         cache: Optional[CharacterizationCache] = None,
         warm: bool = True,
+        cohort: str = "off",
     ) -> None:
         if not configs:
             raise ConfigurationError("a batch needs at least one config")
+        if cohort not in self._COHORT_MODES:
+            raise ConfigurationError(
+                f"unknown cohort mode {cohort!r}; expected one of "
+                f"{self._COHORT_MODES}"
+            )
+        self.cohort = "exact" if cohort == "auto" else cohort
         if traces is not None and len(traces) != len(configs):
             raise ConfigurationError(
                 f"got {len(traces)} traces for {len(configs)} configs"
@@ -218,28 +296,76 @@ class BatchRunner:
         self.cache.warm(self.configs)
         return time.perf_counter() - start
 
-    def iter_runs(self) -> Iterator[BatchRun]:
-        """Stream completed runs in submission order.
+    def _plan_groups(self) -> list[list[int]]:
+        """The task groups this batch executes, as index lists.
 
-        The workhorse behind :meth:`run` and the sweep layer
-        (:class:`repro.sweep.SweepRunner`): each :class:`BatchRun` is
-        yielded as soon as it (and everything before it) has finished,
-        so a consumer holds O(in-flight) results instead of O(batch).
-        Yield order is always submission order — downstream folds
-        (aggregators, journals) are therefore deterministic regardless
-        of worker scheduling. Closing the generator early cancels the
-        unconsumed remainder of a parallel batch.
+        Cohort off: one singleton per run. Cohort on: the
+        :func:`repro.runner.cohort.group_cohorts` partition, with each
+        cohort further split into balanced slices in parallel mode so
+        a single large cohort still occupies every worker (exact-mode
+        members are independent, so slicing never changes results).
+        Groups are ordered by first member; members keep submission
+        order.
+        """
+        if self.cohort == "off":
+            return [[i] for i in range(len(self.configs))]
+        from repro.runner.cohort import group_cohorts, split_cohort
+
+        groups = group_cohorts(self.configs)
+        if self.max_workers > 1:
+            groups = [
+                part
+                for members in groups
+                for part in split_cohort(members, self.max_workers)
+            ]
+        return groups
+
+    def _iter_grouped(
+        self,
+        reducer: Optional[RunReducer],
+        tags: Optional[Sequence],
+    ) -> Iterator:
+        """Shared engine behind :meth:`iter_runs` / :meth:`iter_reduced`.
+
+        Executes the planned groups and re-emits their members in
+        global submission order: a group's results are buffered until
+        every earlier index has landed, so downstream folds stay
+        deterministic however runs were grouped or scheduled.
         """
         if self.warm:
             self.warm_cache()
-        tasks = list(zip(range(len(self.configs)), self.configs, self.traces))
+        block = self.cohort == "block"
+        groups = [
+            [
+                (
+                    i,
+                    self.configs[i],
+                    self.traces[i],
+                    None if tags is None else tags[i],
+                )
+                for i in members
+            ]
+            for members in self._plan_groups()
+        ]
+        tasks = [(group, block, reducer) for group in groups]
+        buffered: dict[int, Any] = {}
+        emit_next = 0
+
+        def ready():
+            nonlocal emit_next
+            while emit_next in buffered:
+                yield buffered.pop(emit_next)
+                emit_next += 1
+
         if self.max_workers <= 1:
             # Serial path: run in-process against the (now warm) cache.
             previous = engine.default_cache()
             engine.set_default_cache(self.cache)
             try:
                 for task in tasks:
-                    yield _execute_one(task)
+                    for item in _execute_group(task):
+                        buffered[item.index] = item
+                    yield from ready()
             finally:
                 engine.set_default_cache(previous)
         else:
@@ -249,10 +375,48 @@ class BatchRunner:
                 initargs=(self.cache,),
             )
             try:
-                # pool.map yields in submission order as results land.
-                yield from pool.map(_execute_one, tasks, chunksize=1)
+                # pool.map yields groups in submission order as they land.
+                for items in pool.map(_execute_group, tasks, chunksize=1):
+                    for item in items:
+                        buffered[item.index] = item
+                    yield from ready()
             finally:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+    def iter_runs(self) -> Iterator[BatchRun]:
+        """Stream completed runs in submission order.
+
+        The workhorse behind :meth:`run` and the sweep layer
+        (:class:`repro.sweep.SweepRunner`): each :class:`BatchRun` is
+        yielded as soon as it (and everything before it) has finished,
+        so a consumer holds O(in-flight) results instead of O(batch)
+        (cohort grouping raises the in-flight bound to O(cohort
+        slice)). Yield order is always submission order — downstream
+        folds (aggregators, journals) are therefore deterministic
+        regardless of worker scheduling. Closing the generator early
+        cancels the unconsumed remainder of a parallel batch.
+        """
+        return self._iter_grouped(None, None)
+
+    def iter_reduced(
+        self, reducer: RunReducer, tags: Optional[Sequence] = None
+    ) -> Iterator[ReducedRun]:
+        """Stream runs collapsed to reducer payloads, in submission order.
+
+        ``reducer(tag, config, result)`` executes on whatever process
+        ran the simulation, so a parallel batch ships only its payload
+        (an export row, fold payloads — kilobytes) back to the parent
+        instead of pickling full result arrays. ``tags`` optionally
+        aligns one opaque value per config (e.g. a sweep point's
+        ``(index, key)``) for the reducer's benefit. Identical math to
+        :meth:`iter_runs` + reducing in the parent — the reducer must
+        be pure, and fold payloads are defined to be state-independent.
+        """
+        if tags is not None and len(tags) != len(self.configs):
+            raise ConfigurationError(
+                f"got {len(tags)} tags for {len(self.configs)} configs"
+            )
+        return self._iter_grouped(reducer, tags)
 
     def run(self) -> BatchResult:
         """Execute the batch; results come back in submission order."""

@@ -1,0 +1,229 @@
+"""Cohort execution: many runs, one thermal network, one numeric kernel.
+
+A sweep over policies, controllers, workloads, or seeds revisits the
+*same* 3D stack run after run — every config maps to one assembled
+:class:`~repro.sim.system.ThermalSystem` and its cached LU
+factorizations. This module groups a batch's configs by that identity
+(:func:`cohort_signature`) and executes each cohort against a single
+shared system:
+
+* the steady-state initialization (the paper starts every run "with
+  steady state temperature values", a leakage fixed-point costing six
+  sparse solves) is computed once per distinct initial condition and
+  installed into every member via
+  :meth:`~repro.sim.engine.Simulator.set_initial_temperatures`;
+* the assembled networks and LU factorizations are shared through the
+  process-wide system memo, so a cohort factorizes each (setting, dt)
+  system at most once however many members step through it;
+* per-run state — scheduler queues, DPM, controller, forecaster,
+  workload trace, recorders — stays fully independent per member.
+
+Two execution modes:
+
+``exact`` (the default)
+    Every member performs its own per-column ``TransientSolver.step``
+    against the shared LU. Bit-identical to serial execution by
+    construction: the same float operations in the same order per run.
+    This is the mode :class:`repro.sweep.SweepRunner` and the
+    distributed workers route through.
+
+``block``
+    Members are stepped per control interval in lockstep
+    (:meth:`~repro.sim.engine.Simulator.step_begin` /
+    :meth:`~repro.sim.engine.Simulator.step_finish`), and all members
+    at the same pump setting advance through one multi-RHS
+    :meth:`~repro.thermal.solver.TransientSolver.step_many` solve.
+    Fastest, but SuperLU's blocked multi-RHS kernels round differently
+    than its single-vector path (~1e-14 K), so block results are
+    LU-roundoff-equivalent to serial, not byte-identical — which is
+    why it is opt-in and never the default for checkpointed sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.sim import engine
+from repro.sim.cache import _system_memo_key
+from repro.sim.config import SimulationConfig
+from repro.workload.generator import ThreadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us)
+    from repro.runner.batch import BatchRun
+
+
+def cohort_signature(config: SimulationConfig) -> tuple:
+    """The thermal-kernel identity of a config.
+
+    The projection of the config onto the fields that decide which
+    assembled network *and* which backward-Euler system matrix a run
+    steps through: the system-memo key (layers, cooling kind, grid,
+    thermal params — see :func:`repro.sim.cache._system_memo_key`)
+    plus the sampling interval (the LU depends on dt). Configs with
+    equal signatures share every factorization; nothing else about
+    them (policy, controller, workload, seed, duration) matters to the
+    numeric kernel.
+    """
+    return _system_memo_key(config) + (config.sampling_interval,)
+
+
+def group_cohorts(configs: Sequence[SimulationConfig]) -> list[list[int]]:
+    """Partition config indices into cohorts sharing one thermal kernel.
+
+    Returns index lists: every index appears in exactly one cohort (a
+    true partition — property-tested over arbitrary sweep expansions),
+    all members of a cohort agree on :func:`cohort_signature`, cohorts
+    are ordered by first appearance, and members keep submission
+    order.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, config in enumerate(configs):
+        groups.setdefault(cohort_signature(config), []).append(i)
+    return list(groups.values())
+
+
+def split_cohort(members: list[int], parts: int) -> list[list[int]]:
+    """Split one cohort into up to ``parts`` balanced, ordered slices.
+
+    The parallel batch path uses this so a single large cohort still
+    occupies every pool worker; exact-mode members are independent, so
+    slicing never changes results. Slice sizes differ by at most one
+    and concatenate back to ``members``.
+    """
+    parts = max(1, min(parts, len(members)))
+    base, extra = divmod(len(members), parts)
+    out, at = [], 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        out.append(members[at:at + size])
+        at += size
+    return out
+
+
+def _share_initial_state(sims: Sequence[engine.Simulator]) -> None:
+    """Compute each distinct steady initial field once, install it in
+    every member that starts from it (bit-identical to each member
+    solving for itself — same system instance, same LU, same ops)."""
+    fields: dict[tuple, np.ndarray] = {}
+    for sim in sims:
+        key = sim.initial_condition_key()
+        if key not in fields:
+            fields[key] = sim.steady_initial_temperatures()
+        sim.set_initial_temperatures(fields[key])
+
+
+def _run_block(sims: Sequence[engine.Simulator]) -> None:
+    """Step all members per control interval, batching same-setting
+    solves into one multi-RHS call against the shared LU."""
+    active = [sim for sim in sims if not sim.finished]
+    while active:
+        pendings = [(sim, sim.step_begin()) for sim in active]
+        by_setting: dict[int, list] = {}
+        for sim, pending in pendings:
+            by_setting.setdefault(pending.setting, []).append((sim, pending))
+        for setting, members in by_setting.items():
+            system = members[0][0].system
+            dt = members[0][0].config.sampling_interval
+            solver = system.transient_solver(setting, dt)
+            if len(members) == 1:
+                sim, pending = members[0]
+                solved = solver.step(pending.temperatures, pending.node_power)
+                sim.step_finish(pending, solved)
+            else:
+                temps = np.stack(
+                    [pending.temperatures for _, pending in members], axis=1
+                )
+                powers = np.stack(
+                    [pending.node_power for _, pending in members], axis=1
+                )
+                out = solver.step_many(temps, powers)
+                for j, (sim, pending) in enumerate(members):
+                    sim.step_finish(
+                        pending, np.ascontiguousarray(out[:, j])
+                    )
+        active = [sim for sim in active if not sim.finished]
+
+
+def execute_cohort(
+    tasks: Sequence[tuple[int, SimulationConfig, Optional[ThreadTrace]]],
+    block: bool = False,
+) -> "list[BatchRun]":
+    """Execute one cohort of same-signature configs; returns
+    :class:`~repro.runner.batch.BatchRun` entries in task order.
+
+    Singleton cohorts fall back to the plain serial path (nothing to
+    share beyond what the system memo already provides). Per-run
+    ``elapsed`` is the cohort's wall time split evenly — members
+    advance through shared solves, so finer attribution would be
+    arbitrary.
+    """
+    from repro.runner.batch import BatchRun
+
+    start = time.perf_counter()
+    sims = [
+        engine.Simulator(config, trace=trace) for _, config, trace in tasks
+    ]
+    if len(sims) > 1:
+        _share_initial_state(sims)
+        if block:
+            _run_block(sims)
+        else:
+            for sim in sims:
+                sim.run()
+    else:
+        sims[0].run()
+    elapsed = (time.perf_counter() - start) / len(sims)
+    return [
+        BatchRun(index=index, config=config, result=sim.result(), elapsed=elapsed)
+        for (index, config, _), sim in zip(tasks, sims)
+    ]
+
+
+class CohortRunner:
+    """Batch execution with cohort grouping always on.
+
+    A thin, discoverable face over :class:`repro.runner.BatchRunner`'s
+    cohort mode: ``CohortRunner(configs).run()`` groups the configs by
+    :func:`cohort_signature`, shares each cohort's thermal kernel, and
+    returns a normal :class:`~repro.runner.batch.BatchResult` in
+    submission order — byte-identical to ``BatchRunner(configs).run()``
+    unless ``block=True`` trades bitwise identity for the multi-RHS
+    kernel.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SimulationConfig],
+        traces: Optional[Sequence[Optional[ThreadTrace]]] = None,
+        max_workers: Optional[int] = None,
+        cache=None,
+        warm: bool = True,
+        block: bool = False,
+    ) -> None:
+        from repro.runner.batch import BatchRunner
+
+        self._batch = BatchRunner(
+            configs,
+            traces=traces,
+            max_workers=max_workers,
+            cache=cache,
+            warm=warm,
+            cohort="block" if block else "exact",
+        )
+
+    @property
+    def cohorts(self) -> list[list[int]]:
+        """The cohort partition of the submitted configs."""
+        return group_cohorts(self._batch.configs)
+
+    def iter_runs(self):
+        """Stream completed runs in submission order (see
+        :meth:`repro.runner.BatchRunner.iter_runs`)."""
+        return self._batch.iter_runs()
+
+    def run(self):
+        """Execute every cohort; results in submission order."""
+        return self._batch.run()

@@ -166,6 +166,46 @@ class IntervalState:
         return self.index + 1 >= self.n_intervals
 
 
+@dataclass(frozen=True)
+class PendingInterval:
+    """One control interval paused between stages 1-2 and 3-6.
+
+    :meth:`Simulator.step_begin` runs the scheduler substrate and the
+    power model (stages 1-2) and returns this: everything the thermal
+    solve needs, with the solve itself left to the caller. Feeding the
+    solved field to :meth:`Simulator.step_finish` completes the
+    interval (stages 4-6). The cohort runner uses the split to batch
+    many runs' solves into one multi-RHS call against the shared LU;
+    :meth:`Simulator.step` composes the same pieces with a per-run
+    solve.
+
+    Attributes
+    ----------
+    index:
+        Zero-based interval index being executed.
+    t_end:
+        Simulation time at the interval's end, s.
+    setting:
+        Pump setting the solve must use (-1 for air cooling).
+    temperatures:
+        Node temperature field entering the solve, degC.
+    node_power:
+        Per-node power injection for the interval, W.
+    unit_powers:
+        Per-unit power map (recorded by ``step_finish``), W.
+    completed_threads:
+        Threads that finished during the interval's quanta.
+    """
+
+    index: int
+    t_end: float
+    setting: int
+    temperatures: np.ndarray
+    node_power: np.ndarray
+    unit_powers: np.ndarray
+    completed_threads: int
+
+
 @runtime_checkable
 class IntervalObserver(Protocol):
     """A streaming hook :meth:`Simulator.run` invokes per interval.
@@ -265,6 +305,8 @@ class Simulator:
                     ),
                 )
         self._state: Optional[_RunState] = None
+        self._initial_temperatures: Optional[np.ndarray] = None
+        self._pending = False
 
     def add_observer(self, observer: IntervalObserver) -> None:
         """Register another per-interval observer."""
@@ -298,6 +340,42 @@ class Simulator:
         """Whether every configured interval has executed."""
         return self.intervals_completed >= self.interval_count
 
+    # --- shared steady-state initialization --------------------------------
+
+    def initial_condition_key(self) -> tuple:
+        """Identity of the steady-state field this run starts from.
+
+        Two simulators of one cohort (same :class:`ThermalSystem`) with
+        equal keys start from bit-identical initial fields, so the
+        cohort runner computes the steady solve once per key and
+        installs it with :meth:`set_initial_temperatures`.
+        """
+        setting0 = self._pump_state.current_index if self._pump_state else -1
+        return (self.config.spec.utilization, setting0)
+
+    def steady_initial_temperatures(self) -> np.ndarray:
+        """The steady-state initial field — exactly the computation the
+        first :meth:`step` performs when nothing was injected."""
+        setting0 = self._pump_state.current_index if self._pump_state else -1
+        return self.system.initial_temperatures(
+            self.power_model, self.config.spec.utilization, setting_index=setting0
+        )
+
+    def set_initial_temperatures(self, temperatures: np.ndarray) -> None:
+        """Install a pre-computed steady-state initial field.
+
+        Must equal what :meth:`steady_initial_temperatures` would
+        return (same system, utilization, initial pump setting) — the
+        cohort runner shares one steady solve across runs this way,
+        keeping results bit-identical to each run solving for itself.
+        Only valid before the first step.
+        """
+        if self._state is not None:
+            raise ConfigurationError(
+                "initial temperatures must be installed before the first step"
+            )
+        self._initial_temperatures = np.array(temperatures, dtype=float, copy=True)
+
     def _ensure_state(self) -> _RunState:
         if self._state is not None:
             return self._state
@@ -313,10 +391,13 @@ class Simulator:
         st.dpm = DpmPolicy(core_names, enabled=config.dpm_enabled)
         st.spec = config.spec
 
-        setting0 = self._pump_state.current_index if self._pump_state else -1
-        st.temperatures = self.system.initial_temperatures(
-            self.power_model, st.spec.utilization, setting_index=setting0
-        )
+        if self._initial_temperatures is not None:
+            st.temperatures = self._initial_temperatures
+        else:
+            setting0 = self._pump_state.current_index if self._pump_state else -1
+            st.temperatures = self.system.initial_temperatures(
+                self.power_model, st.spec.utilization, setting_index=setting0
+            )
         # Vector-native per-interval state: unit/core temperatures live
         # in arrays aligned to the grid's stable unit ordering; the
         # small per-core dict is rebuilt only for the policy interface.
@@ -354,9 +435,20 @@ class Simulator:
         self._state = st
         return st
 
-    def step(self) -> IntervalState:
-        """Execute one control interval (stages 1-6) and record it."""
+    def step_begin(self) -> PendingInterval:
+        """Stages 1-2 of one control interval: scheduler quanta + power.
+
+        Returns the thermal solve's inputs; the caller performs the
+        backward-Euler step — alone, or batched across a cohort sharing
+        this system's LU — and hands the solved field to
+        :meth:`step_finish`. :meth:`step` is the fused per-run form.
+        """
         st = self._ensure_state()
+        if self._pending:
+            raise ConfigurationError(
+                "step_begin called with an interval still pending; feed "
+                "the solved field to step_finish first"
+            )
         if st.k >= st.n_intervals:
             raise ConfigurationError(
                 "simulation already ran its configured duration; build a "
@@ -425,14 +517,55 @@ class Simulator:
         unit_powers = self.power_model.unit_power_vector(
             st.unit_keys, core_util, states, st.spec.memory_intensity, st.unit_vec
         )
-        setting = self._pump_state.current_index if self._pump_state else -1
-        solver = self.system.transient_solver(setting, interval) \
-            if self._cooling_kind is CoolingKind.LIQUID \
-            else self.system.transient_solver(-1, interval)
-        st.temperatures = solver.step(
-            st.temperatures, grid.power_vector_from_array(unit_powers)
+        # The solve setting: the commanded pump setting for liquid
+        # cooling, -1 (the air network) otherwise.
+        setting = (
+            self._pump_state.current_index
+            if self._pump_state is not None
+            and self._cooling_kind is CoolingKind.LIQUID
+            else -1
+        )
+        self._pending = True
+        return PendingInterval(
+            index=k,
+            t_end=t_end,
+            setting=setting,
+            temperatures=st.temperatures,
+            node_power=grid.power_vector_from_array(unit_powers),
+            unit_powers=unit_powers,
+            completed_threads=completed_in_interval,
         )
 
+    def step_finish(
+        self, pending: PendingInterval, new_temperatures: np.ndarray
+    ) -> IntervalState:
+        """Stages 4-6: sensors, forecast, control, rebalance, record.
+
+        ``new_temperatures`` is the solved field for ``pending`` (what
+        ``transient_solver(pending.setting, dt).step(...)`` returns, or
+        one column of the cohort's :meth:`~repro.thermal.solver.
+        TransientSolver.step_many` block).
+        """
+        st = self._state
+        if st is None or not self._pending:
+            raise ConfigurationError(
+                "step_finish called without a pending step_begin"
+            )
+        if pending.index != st.k:
+            raise ConfigurationError(
+                f"pending interval {pending.index} does not match run "
+                f"state at interval {st.k}"
+            )
+        self._pending = False
+        config = self.config
+        grid = self.system.grid
+        core_names = self.system.core_names
+        k = pending.index
+        t_end = pending.t_end
+        completed_in_interval = pending.completed_threads
+        unit_powers = pending.unit_powers
+
+        st.temperatures = new_temperatures
         st.unit_vec = grid.unit_temperature_vector(st.temperatures)
         st.core_vec = st.unit_vec[grid.core_index]
         st.core_temps = dict(zip(core_names, st.core_vec.tolist()))
@@ -488,6 +621,15 @@ class Simulator:
             completed_threads=completed_in_interval,
             migrations=int(st.rec_migrations[k]),
         )
+
+    def step(self) -> IntervalState:
+        """Execute one control interval (stages 1-6) and record it."""
+        pending = self.step_begin()
+        solver = self.system.transient_solver(
+            pending.setting, self.config.sampling_interval
+        )
+        new_temperatures = solver.step(pending.temperatures, pending.node_power)
+        return self.step_finish(pending, new_temperatures)
 
     def result(self) -> SimulationResult:
         """The recorded series through the last executed interval.

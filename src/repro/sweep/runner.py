@@ -63,6 +63,62 @@ _CHECKPOINT_FORMAT = "repro-sweep-checkpoint"
 _CHECKPOINT_VERSION = 1
 
 
+class FoldReducer:
+    """Worker-side reduction of a run to its row + fold payloads.
+
+    Handed to :meth:`repro.runner.BatchRunner.iter_reduced` so a
+    parallel sweep ships each run's deterministic export row and
+    per-aggregator fold payloads (kilobytes) across the pool boundary
+    instead of full time-series arrays. Folding stays byte-identical:
+    ``Aggregator.update()`` is defined as
+    ``update_payload(fold_payload(...))`` and ``fold_payload`` is
+    state-independent, so extracting worker-side and applying
+    parent-side in run order performs the same float operations in the
+    same order as the full-result path. Aggregator instances are
+    rebuilt from their specs lazily per process (pickling ships only
+    the specs).
+    """
+
+    def __init__(self, aggregator_specs: Sequence[dict]) -> None:
+        self.aggregator_specs = list(aggregator_specs)
+        self._aggregators: Optional[list[Aggregator]] = None
+
+    def __getstate__(self) -> dict:
+        return {"aggregator_specs": self.aggregator_specs}
+
+    def __setstate__(self, state: dict) -> None:
+        self.aggregator_specs = state["aggregator_specs"]
+        self._aggregators = None
+
+    def __call__(self, tag, config, result) -> dict:
+        index, key = tag
+        if self._aggregators is None:
+            self._aggregators = [
+                aggregator_from_spec(s) for s in self.aggregator_specs
+            ]
+        return {
+            "row": sweep_row(index, key, config, result),
+            "agg": {
+                str(i): agg.fold_payload(config, result)
+                for i, agg in enumerate(self._aggregators)
+            },
+        }
+
+
+def _spec_rebuildable(aggregators: Sequence[Aggregator]) -> bool:
+    """Whether every reducer round-trips through its spec — the
+    precondition for payload-only transport (a custom
+    :class:`Aggregator` subclass the factory doesn't know must keep
+    receiving full results)."""
+    try:
+        return all(
+            type(aggregator_from_spec(agg.spec())) is type(agg)
+            for agg in aggregators
+        )
+    except Exception:
+        return False
+
+
 @dataclass
 class SweepResult:
     """Outcome of one :meth:`SweepRunner.run` session.
@@ -274,6 +330,17 @@ class SweepRunner:
         chunk), while staying large enough to amortize pool start-up
         across a chunk. The default (256) never changes results — only
         the memory/latency trade.
+    cohort:
+        Thermal-cohort grouping, forwarded to
+        :class:`repro.runner.BatchRunner`. The default ``"auto"``
+        groups each chunk's runs by shared thermal kernel and executes
+        cohorts in exact mode — byte-identical to ``"off"`` (the
+        historical per-run path) but skipping redundant steady
+        initializations and factorizations. ``"block"`` additionally
+        batches same-setting solves into multi-RHS calls; fastest, but
+        LU-roundoff-equivalent rather than byte-identical, so leave it
+        off for checkpointed campaigns whose resumes must replay
+        bit-exactly.
     """
 
     #: Default execution chunk: large enough that per-chunk pool
@@ -293,6 +360,7 @@ class SweepRunner:
         progress: Optional[Callable[[int, int, SweepPoint, float], None]] = None,
         stop_after: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        cohort: str = "auto",
     ) -> None:
         if snapshot_every < 1:
             raise ConfigurationError("snapshot_every must be >= 1")
@@ -314,6 +382,7 @@ class SweepRunner:
         self.on_result = on_result
         self.progress = progress
         self.stop_after = stop_after
+        self.cohort = cohort
 
     # --- checkpoint plumbing ----------------------------------------------
 
@@ -455,6 +524,13 @@ class SweepRunner:
                 ),
                 session_count,
             )
+            # Payload-only transport: when nobody downstream needs the
+            # full result (no on_result) and every reducer round-trips
+            # through its spec, runs collapse to row + fold payloads in
+            # the worker — byte-identical folds, kilobytes of pickling.
+            reduced = self.on_result is None and _spec_rebuildable(
+                self.aggregators
+            )
             while True:
                 chunk = list(itertools.islice(points_iter, self.chunk_size))
                 if not chunk:
@@ -462,16 +538,29 @@ class SweepRunner:
                 batch = BatchRunner(
                     [point.config for point in chunk],
                     max_workers=self.max_workers,
+                    cohort=self.cohort,
                 )
+                if reduced:
+                    stream = batch.iter_reduced(
+                        FoldReducer([agg.spec() for agg in self.aggregators]),
+                        tags=[(point.index, point.key) for point in chunk],
+                    )
+                else:
+                    stream = batch.iter_runs()
                 # closing() makes pool shutdown (and the serial path's
                 # default-cache restore) deterministic if a fold raises.
-                with contextlib.closing(batch.iter_runs()) as batch_runs:
+                with contextlib.closing(stream) as batch_runs:
                     for point, run in zip(chunk, batch_runs):
-                        row = sweep_row(
-                            point.index, point.key, point.config, run.result
-                        )
-                        for agg in self.aggregators:
-                            agg.update(point.config, run.result)
+                        if reduced:
+                            row = run.payload["row"]
+                            for i, agg in enumerate(self.aggregators):
+                                agg.update_payload(run.payload["agg"][str(i)])
+                        else:
+                            row = sweep_row(
+                                point.index, point.key, point.config, run.result
+                            )
+                            for agg in self.aggregators:
+                                agg.update(point.config, run.result)
                         rows.append(row)
                         folded += 1
                         if appender is not None:

@@ -23,6 +23,28 @@ import scipy.sparse.linalg as spla
 from repro.errors import SolverError
 from repro.thermal.rc_network import RCNetwork
 
+_factorizations = 0
+"""Monotonic count of sparse LU factorizations this process has
+performed (steady + transient). Factorizing is the expensive,
+cacheable step — a batched cohort campaign must hit each distinct
+(network, dt) system exactly once, and ``benchmarks/bench_hotpath.py``
+plus the CI perf job gate on deltas of this counter rather than on
+wall-clock."""
+
+
+def factorization_count() -> int:
+    """LU factorizations performed so far in this process.
+
+    Monotonic; callers measure a campaign by snapshotting before and
+    after (there is deliberately no reset — concurrent measurement
+    scopes would clobber each other's baselines)."""
+    return _factorizations
+
+
+def _count_factorization() -> None:
+    global _factorizations
+    _factorizations += 1
+
 
 class SteadyStateSolver:
     """Solves ``G T = P + b`` for the equilibrium temperature field.
@@ -38,6 +60,7 @@ class SteadyStateSolver:
                 lu = spla.splu(network.conductance.tocsc())
             except RuntimeError as exc:
                 raise SolverError(f"steady-state factorization failed: {exc}") from exc
+            _count_factorization()
         self._lu = lu
 
     def solve(self, power: np.ndarray) -> np.ndarray:
@@ -97,6 +120,7 @@ class TransientSolver:
             self._lu = spla.splu(system.tocsc())
         except RuntimeError as exc:
             raise SolverError(f"transient factorization failed: {exc}") from exc
+        _count_factorization()
         self._c_over_dt = c_over_dt
 
     def step(self, temperatures: np.ndarray, power: np.ndarray) -> np.ndarray:
@@ -107,6 +131,39 @@ class TransientSolver:
         if temperatures.shape != (n,) or power.shape != (n,):
             raise SolverError("temperature/power vector shape mismatch")
         rhs = self._c_over_dt * temperatures + power + self.network.boundary
+        out = self._lu.solve(rhs)
+        if not np.all(np.isfinite(out)):
+            raise SolverError("transient step produced non-finite temperatures")
+        return out
+
+    def step_many(self, temperatures: np.ndarray, powers: np.ndarray) -> np.ndarray:
+        """Advance many independent states one step at once.
+
+        ``temperatures`` and ``powers`` have shape ``(n_nodes, k)`` —
+        one column per independent run sharing this factorization;
+        returns the same shape. One multi-RHS triangular solve;
+        columns agree with separate :meth:`step` calls to within LU
+        roundoff (~1e-14 K — SuperLU uses blocked kernels for multiple
+        right-hand sides), which is why the cohort runner's bitwise
+        default steps per column and this path is opt-in.
+        """
+        temperatures = np.asarray(temperatures, dtype=float)
+        powers = np.asarray(powers, dtype=float)
+        n = self.network.n_nodes
+        if (
+            temperatures.ndim != 2
+            or temperatures.shape[0] != n
+            or powers.shape != temperatures.shape
+        ):
+            raise SolverError(
+                f"temperature/power matrix shape mismatch: "
+                f"{temperatures.shape} vs {powers.shape}, expected ({n}, k)"
+            )
+        rhs = (
+            self._c_over_dt[:, None] * temperatures
+            + powers
+            + self.network.boundary[:, None]
+        )
         out = self._lu.solve(rhs)
         if not np.all(np.isfinite(out)):
             raise SolverError("transient step produced non-finite temperatures")

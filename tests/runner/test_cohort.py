@@ -1,0 +1,259 @@
+"""Cohort execution: grouping partitions any expansion, kernels are
+shared (no re-factorization), and exact mode is byte-identical to the
+serial per-run path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    BatchRunner,
+    CohortRunner,
+    cohort_signature,
+    group_cohorts,
+)
+from repro.runner.cohort import split_cohort
+from repro.sim import engine
+from repro.sim.cache import CharacterizationCache, clear_system_memo
+from repro.sim.config import CoolingMode, SimulationConfig
+from repro.sweep import SweepSpec
+from repro.thermal.solver import factorization_count
+
+RESULT_ARRAYS = (
+    "times", "tmax", "tmax_cell", "core_temperatures", "unit_temperatures",
+    "chip_power", "pump_power", "flow_setting", "completed_threads",
+    "forecast_tmax", "migrations",
+)
+
+
+def assert_results_identical(a, b):
+    """Bitwise equality of two SimulationResults (NaN == NaN)."""
+    for name in RESULT_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name
+        )
+    assert a.unit_names == b.unit_names
+    assert a.core_names == b.core_names
+    assert a.retrain_count == b.retrain_count
+    assert a.sojourn_sum == b.sojourn_sum
+    assert a.sojourn_count == b.sojourn_count
+
+
+def policy_seed_configs(n=4, duration=0.5, **overrides):
+    """n same-network configs differing only in policy/seed."""
+    kwargs = dict(nx=12, ny=12, duration=duration)
+    kwargs.update(overrides)
+    configs = [
+        SimulationConfig(policy=policy, seed=seed, **kwargs)
+        for seed in (0, 1)
+        for policy in ("TALB", "LB", "Mig", "RR")
+    ]
+    return configs[:n]
+
+
+# Axis values the property test draws sweep grids from — all jointly
+# valid, spanning every field of the cohort signature plus fields that
+# must NOT affect it (policy, seed, benchmark).
+AXES = {
+    "policy": ("TALB", "LB", "RR"),
+    "benchmark_name": ("gzip", "Web-med"),
+    "nx": (6, 8),
+    "n_layers": (2, 4),
+    "cooling": ("Var", "Max", "Air"),
+    "sampling_interval": (0.1, 0.2),
+    "seed": (0, 1),
+}
+
+
+@st.composite
+def sweep_grids(draw):
+    names = draw(
+        st.lists(
+            st.sampled_from(sorted(AXES)), unique=True, min_size=1, max_size=4
+        )
+    )
+    return {
+        name: draw(
+            st.lists(
+                st.sampled_from(AXES[name]),
+                unique=True,
+                min_size=1,
+                max_size=len(AXES[name]),
+            )
+        )
+        for name in names
+    }
+
+
+class TestGroupingPartition:
+    @given(grid=sweep_grids())
+    @settings(max_examples=30, deadline=None)
+    def test_grouping_partitions_any_expansion(self, grid):
+        """Every run lands in exactly one cohort, cohorts agree on
+        their thermal signature, and distinct cohorts differ."""
+        spec = SweepSpec(
+            base=SimulationConfig(duration=0.3, nx=8, ny=8),
+            grid=grid,
+            name="prop",
+        )
+        configs = [point.config for point in spec.iter_points()]
+        cohorts = group_cohorts(configs)
+        flat = sorted(i for members in cohorts for i in members)
+        assert flat == list(range(len(configs)))
+        for members in cohorts:
+            assert members == sorted(members)
+            signatures = {cohort_signature(configs[i]) for i in members}
+            assert len(signatures) == 1
+        firsts = [cohort_signature(configs[members[0]]) for members in cohorts]
+        assert len(set(firsts)) == len(firsts)
+
+    def test_signature_ignores_non_thermal_fields(self):
+        base = SimulationConfig(duration=0.5)
+        same = SimulationConfig(
+            duration=9.0, policy="RR", seed=7, benchmark_name="gzip"
+        )
+        assert cohort_signature(base) == cohort_signature(same)
+        for override in (
+            {"nx": 8}, {"ny": 8}, {"n_layers": 4},
+            {"cooling": CoolingMode.AIR}, {"sampling_interval": 0.2},
+        ):
+            other = SimulationConfig(duration=0.5, **override)
+            assert cohort_signature(base) != cohort_signature(other)
+
+    def test_singletons_fall_back_to_serial_groups(self):
+        """An all-distinct-signature batch plans one group per run."""
+        configs = [
+            SimulationConfig(nx=nx, ny=nx, duration=0.3) for nx in (6, 8, 10)
+        ]
+        batch = BatchRunner(configs, cohort="exact")
+        assert batch._plan_groups() == [[0], [1], [2]]
+
+    def test_split_cohort_is_balanced_and_ordered(self):
+        members = list(range(10))
+        for parts in (1, 2, 3, 4, 10, 99):
+            slices = split_cohort(members, parts)
+            assert [i for part in slices for i in part] == members
+            sizes = [len(part) for part in slices]
+            assert max(sizes) - min(sizes) <= 1
+            assert len(slices) == min(parts, len(members))
+
+    def test_unknown_cohort_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="cohort mode"):
+            BatchRunner(policy_seed_configs(1), cohort="banana")
+
+
+class TestTwoPhaseStep:
+    def test_begin_solve_finish_matches_fused_step(self):
+        config = SimulationConfig(duration=1.0, nx=12, ny=12)
+        fused = engine.Simulator(config)
+        split = engine.Simulator(config)
+        expected = fused.run()
+        while not split.finished:
+            pending = split.step_begin()
+            solver = split.system.transient_solver(
+                pending.setting, config.sampling_interval
+            )
+            solved = solver.step(pending.temperatures, pending.node_power)
+            split.step_finish(pending, solved)
+        assert_results_identical(expected, split.result())
+
+    def test_double_begin_raises(self):
+        sim = engine.Simulator(SimulationConfig(duration=0.5, nx=8, ny=8))
+        sim.step_begin()
+        with pytest.raises(ConfigurationError, match="pending"):
+            sim.step_begin()
+
+    def test_finish_without_begin_raises(self):
+        config = SimulationConfig(duration=0.5, nx=8, ny=8)
+        sim = engine.Simulator(config)
+        pending = sim.step_begin()
+        sim.step_finish(pending, pending.temperatures)
+        with pytest.raises(ConfigurationError, match="pending"):
+            sim.step_finish(pending, pending.temperatures)
+
+    def test_shared_initial_state_is_bitwise(self):
+        config = SimulationConfig(duration=0.5, nx=12, ny=12)
+        plain = engine.Simulator(config)
+        injected = engine.Simulator(config)
+        injected.set_initial_temperatures(
+            injected.steady_initial_temperatures()
+        )
+        assert_results_identical(plain.run(), injected.run())
+
+    def test_set_initial_after_start_raises(self):
+        sim = engine.Simulator(SimulationConfig(duration=0.5, nx=8, ny=8))
+        sim.step()
+        with pytest.raises(ConfigurationError, match="before the first step"):
+            sim.set_initial_temperatures(np.zeros(3))
+
+
+class TestCohortByteIdentity:
+    def test_exact_cohort_equals_serial(self):
+        configs = policy_seed_configs(6)
+        serial = BatchRunner(configs, cohort="off").run()
+        cohort = CohortRunner(configs).run()
+        assert [r.index for r in cohort.runs] == list(range(len(configs)))
+        for a, b in zip(serial.runs, cohort.runs):
+            assert_results_identical(a.result, b.result)
+
+    def test_exact_cohort_equals_serial_parallel(self):
+        configs = policy_seed_configs(4, duration=0.3)
+        serial = BatchRunner(configs, cohort="off").run()
+        cohort = BatchRunner(configs, cohort="auto", max_workers=2).run()
+        for a, b in zip(serial.runs, cohort.runs):
+            assert_results_identical(a.result, b.result)
+
+    def test_mixed_networks_partition_and_match(self):
+        """Two interleaved cohorts plus a singleton, exact vs serial."""
+        configs = []
+        for seed in (0, 1):
+            configs.append(SimulationConfig(seed=seed, nx=12, ny=12, duration=0.4))
+            configs.append(SimulationConfig(seed=seed, nx=8, ny=8, duration=0.4))
+        configs.append(SimulationConfig(cooling=CoolingMode.AIR, nx=8, ny=8, duration=0.4))
+        assert [len(c) for c in group_cohorts(configs)] == [2, 2, 1]
+        serial = BatchRunner(configs, cohort="off").run()
+        cohort = CohortRunner(configs).run()
+        for a, b in zip(serial.runs, cohort.runs):
+            assert_results_identical(a.result, b.result)
+
+    def test_block_mode_is_lu_roundoff_equivalent(self):
+        configs = policy_seed_configs(6)
+        serial = BatchRunner(configs, cohort="off").run()
+        block = CohortRunner(configs, block=True).run()
+        for a, b in zip(serial.runs, block.runs):
+            np.testing.assert_allclose(
+                a.result.unit_temperatures,
+                b.result.unit_temperatures,
+                rtol=0, atol=1e-6,
+            )
+            np.testing.assert_allclose(
+                a.result.tmax, b.result.tmax, rtol=0, atol=1e-6
+            )
+
+
+class TestFactorizationSharing:
+    def test_warm_cohort_adds_no_factorizations(self):
+        """The algorithmic perf gate: a warm cohort campaign performs
+        zero LU factorizations — every (network, dt) system is hit at
+        most once per process, however many runs step through it."""
+        configs = policy_seed_configs(8, duration=0.3)
+        CohortRunner(configs).run()
+        before = factorization_count()
+        CohortRunner(configs).run()
+        assert factorization_count() == before
+
+    def test_cold_factorizations_independent_of_cohort_size(self):
+        """<=1 factorization per network: 8 runs through one network
+        factorize exactly as much as 2 runs (cooling Max pins the pump,
+        so the visited settings cannot differ)."""
+
+        def cold_count(n):
+            clear_system_memo()
+            configs = policy_seed_configs(n, duration=0.3, cooling=CoolingMode.LIQUID_MAX)
+            before = factorization_count()
+            CohortRunner(configs, cache=CharacterizationCache()).run()
+            return factorization_count() - before
+
+        assert cold_count(8) == cold_count(2)

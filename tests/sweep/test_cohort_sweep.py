@@ -1,0 +1,200 @@
+"""Cohort execution through the sweep layer is byte-identical to the
+serial per-run path — aggregates, CSV, and completion JSON — for
+grid/zip/points sweeps, with or without payload-only transport.
+
+``TestCohortSerialSmoke`` is the gating CI smoke (mirroring the
+2-worker distributed smoke): a small policy/controller grid through
+both paths, byte-compared end to end.
+"""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import SimulationResult
+from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep.aggregate import Aggregator, default_aggregators
+from repro.sweep.runner import FoldReducer, _spec_rebuildable
+
+
+def run_both(tmp_path, spec, **kwargs):
+    """Run a spec with cohort off and on; return both output byte sets."""
+    outputs = {}
+    for mode in ("off", "auto"):
+        json_path = tmp_path / f"{mode}.json"
+        csv_path = tmp_path / f"{mode}.csv"
+        result = SweepRunner(
+            spec, csv_path=csv_path, cohort=mode, **kwargs
+        ).run()
+        result.save_json(json_path)
+        outputs[mode] = {
+            "rows": result.rows,
+            "agg_rows": [agg.rows() for agg in result.aggregators],
+            "json": json_path.read_bytes(),
+            "csv": csv_path.read_bytes(),
+        }
+    return outputs["off"], outputs["auto"]
+
+
+def assert_outputs_identical(serial, cohort):
+    assert cohort["rows"] == serial["rows"]
+    assert cohort["agg_rows"] == serial["agg_rows"]
+    assert cohort["json"] == serial["json"]
+    assert cohort["csv"] == serial["csv"]
+
+
+class TestCohortSerialSmoke:
+    """The gating CI smoke: policy/controller grid, cohort vs serial."""
+
+    def test_policy_controller_grid_byte_identical(self, tmp_path):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=0.6, nx=12, ny=12),
+            grid={
+                "policy": ["TALB", "RR"],
+                "controller": ["lut", "stepwise"],
+            },
+            name="cohort-smoke",
+        )
+        serial, cohort = run_both(tmp_path, spec)
+        assert_outputs_identical(serial, cohort)
+
+
+class TestCohortSweepByteIdentity:
+    def test_zip_sweep(self, tmp_path):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=0.5, nx=12, ny=12),
+            zip_axes={
+                "policy": ["TALB", "LB", "RR"],
+                "seed": [0, 1, 2],
+            },
+            name="cohort-zip",
+        )
+        serial, cohort = run_both(tmp_path, spec)
+        assert_outputs_identical(serial, cohort)
+
+    def test_points_sweep_mixed_networks(self, tmp_path):
+        """Explicit points spanning two networks plus a singleton."""
+        spec = SweepSpec(
+            base=SimulationConfig(duration=0.5, nx=12, ny=12),
+            points=[
+                {"policy": "TALB"},
+                {"nx": 8, "ny": 8},
+                {"policy": "RR"},
+                {"nx": 8, "ny": 8, "policy": "LB"},
+                {"cooling": "Air"},
+            ],
+            name="cohort-points",
+        )
+        serial, cohort = run_both(tmp_path, spec)
+        assert_outputs_identical(serial, cohort)
+
+    def test_grid_sweep_parallel_workers(self, tmp_path):
+        spec = SweepSpec(
+            base=SimulationConfig(duration=0.4, nx=12, ny=12),
+            grid={"policy": ["TALB", "RR"], "seed": [0, 1]},
+            name="cohort-par",
+        )
+        serial, cohort = run_both(tmp_path, spec, max_workers=2)
+        assert_outputs_identical(serial, cohort)
+
+    def test_checkpoint_resume_crosses_cohort(self, tmp_path):
+        """Interrupting mid-cohort and resuming stays byte-identical."""
+        def spec():
+            return SweepSpec(
+                base=SimulationConfig(duration=0.4, nx=12, ny=12),
+                grid={"policy": ["TALB", "LB", "RR"]},
+                name="cohort-resume",
+            )
+
+        ref_json = tmp_path / "ref.json"
+        ref = SweepRunner(spec(), csv_path=tmp_path / "ref.csv").run()
+        ref.save_json(ref_json)
+
+        ckpt = tmp_path / "sweep.ckpt"
+        SweepRunner(spec(), checkpoint=ckpt, stop_after=1).run()
+        resumed = SweepRunner(
+            spec(), checkpoint=ckpt, csv_path=tmp_path / "res.csv"
+        ).run(resume=True)
+        resumed.save_json(tmp_path / "res.json")
+        assert resumed.complete and resumed.resumed == 1
+        assert (tmp_path / "res.json").read_bytes() == ref_json.read_bytes()
+        assert (
+            (tmp_path / "res.csv").read_bytes()
+            == (tmp_path / "ref.csv").read_bytes()
+        )
+
+
+class TestPayloadTransport:
+    def test_fold_reducer_matches_full_path(self, tmp_path):
+        """on_result forces full-result transport; without it the
+        reduced path must produce the same bytes."""
+        def spec():
+            return SweepSpec(
+                base=SimulationConfig(duration=0.4, nx=12, ny=12),
+                grid={"policy": ["TALB", "RR"], "seed": [0, 1]},
+                name="transport",
+            )
+
+        seen = []
+
+        def on_result(point, result):
+            assert isinstance(result, SimulationResult)
+            seen.append(point.index)
+
+        full = SweepRunner(
+            spec(), csv_path=tmp_path / "full.csv", on_result=on_result
+        ).run()
+        full.save_json(tmp_path / "full.json")
+        assert seen == [0, 1, 2, 3]
+
+        reduced = SweepRunner(spec(), csv_path=tmp_path / "red.csv").run()
+        reduced.save_json(tmp_path / "red.json")
+        assert (
+            (tmp_path / "red.json").read_bytes()
+            == (tmp_path / "full.json").read_bytes()
+        )
+        assert (
+            (tmp_path / "red.csv").read_bytes()
+            == (tmp_path / "full.csv").read_bytes()
+        )
+
+    def test_fold_reducer_pickles_without_instances(self):
+        import pickle
+
+        reducer = FoldReducer([agg.spec() for agg in default_aggregators()])
+        clone = pickle.loads(pickle.dumps(reducer))
+        assert clone.aggregator_specs == reducer.aggregator_specs
+        assert clone._aggregators is None
+
+    def test_custom_aggregator_disables_reduced_transport(self, tmp_path):
+        """A subclass the spec factory can't rebuild must keep getting
+        full results (and the sweep still completes)."""
+
+        class Peaks(Aggregator):
+            def __init__(self):
+                self.peaks = []
+
+            def spec(self):
+                return {"kind": "scalar"}  # lies: factory builds ScalarAggregator
+
+            def update(self, config, result):
+                self.peaks.append(result.peak_temperature())
+
+            def state_dict(self):
+                return {"peaks": self.peaks}
+
+            def load_state(self, state):
+                self.peaks = list(state["peaks"])
+
+            def rows(self):
+                return []
+
+        assert not _spec_rebuildable([Peaks()])
+        agg = Peaks()
+        spec = SweepSpec(
+            base=SimulationConfig(duration=0.4, nx=12, ny=12),
+            grid={"policy": ["TALB", "RR"]},
+            name="custom",
+        )
+        result = SweepRunner(spec, aggregators=[agg]).run()
+        assert result.complete
+        assert len(agg.peaks) == 2

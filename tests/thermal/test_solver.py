@@ -149,3 +149,53 @@ class TestSteadySolverMemo:
         t2 = initial_state(net)  # second call reuses the cached LU
         np.testing.assert_array_equal(t1, t2)
         assert np.allclose(t1, 60.0, atol=1e-6)
+
+
+class TestStepMany:
+    def test_columns_match_single_steps(self, net, power):
+        solver = TransientSolver(net, dt=0.1)
+        t0 = initial_state(net, power)
+        temps = np.stack([t0, t0 + 1.0, t0 - 2.0], axis=1)
+        powers = np.stack([power, 0.5 * power, 2.0 * power], axis=1)
+        block = solver.step_many(temps, powers)
+        assert block.shape == temps.shape
+        for j in range(3):
+            single = solver.step(temps[:, j], powers[:, j])
+            # SuperLU's blocked multi-RHS kernels round differently
+            # than the single-vector path: equivalent to LU roundoff,
+            # documented as such (the cohort runner's bitwise default
+            # therefore steps per column).
+            np.testing.assert_allclose(block[:, j], single, rtol=0, atol=1e-9)
+
+    def test_single_column_block_is_exact(self, net, power):
+        solver = TransientSolver(net, dt=0.1)
+        t0 = initial_state(net, power)
+        block = solver.step_many(t0[:, None], power[:, None])
+        np.testing.assert_array_equal(block[:, 0], solver.step(t0, power))
+
+    def test_shape_mismatch_raises(self, net, power):
+        solver = TransientSolver(net, dt=0.1)
+        t0 = initial_state(net, power)
+        with pytest.raises(SolverError):
+            solver.step_many(t0, power)  # 1-D inputs
+        with pytest.raises(SolverError):
+            solver.step_many(t0[:, None], np.stack([power, power], axis=1))
+
+
+class TestFactorizationCounter:
+    def test_counts_each_factorization_once(self, net):
+        from repro.thermal.solver import factorization_count
+
+        before = factorization_count()
+        solver = TransientSolver(net, dt=0.05)
+        assert factorization_count() == before + 1
+        # Stepping never factorizes.
+        state = np.full(net.n_nodes, 40.0)
+        solver.step(state, np.zeros(net.n_nodes))
+        assert factorization_count() == before + 1
+        # Reusing an existing LU is free; factorizing anew is counted.
+        lu = SteadyStateSolver(net)._lu
+        after_steady = factorization_count()
+        assert after_steady == before + 2
+        SteadyStateSolver(net, lu=lu)
+        assert factorization_count() == after_steady
