@@ -27,6 +27,14 @@ execution (exact and block modes), in runs/sec-per-core, plus the LU
 factorization counters that gate the shared-kernel property. The
 committed ``BENCH_hotpath.json`` at the repo root is the trajectory
 baseline; ``benchmarks/compare_bench.py`` diffs a fresh run against it.
+
+PR 8 (schema v3) adds a ``cross_network`` section: a 16-point
+``thermal_params`` sweep at 64x64 where every design point is a
+*different* network, run cold through both solver tiers. Exact pays a
+fresh LU per point; krylov factorizes once and preconditions every
+later point off the nearest retained LU, so the section records
+factorization counts, the preconditioner hit rate, the worst
+temperature deviation vs exact, and runs/sec-per-core for both tiers.
 """
 
 from __future__ import annotations
@@ -47,7 +55,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 from repro import units  # noqa: E402
 from repro.geometry.stack import build_stack  # noqa: E402
 from repro.runner import BatchRunner, CohortRunner  # noqa: E402
-from repro.sim.cache import CharacterizationCache  # noqa: E402
+from repro.sim.cache import (  # noqa: E402
+    CharacterizationCache,
+    clear_system_memo,
+)
 from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.thermal.grid import ThermalGrid  # noqa: E402
@@ -55,12 +66,14 @@ from repro.thermal.rc_network import ThermalParams, build_network  # noqa: E402
 from repro.thermal.solver import (  # noqa: E402
     SteadyStateSolver,
     TransientSolver,
+    clear_neighbor_cache,
     factorization_count,
+    krylov_stats,
 )
 
 FLOW = units.ml_per_minute(400.0)
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _median_time(fn, repeats: int) -> float:
@@ -127,6 +140,94 @@ def collect_cohort_metrics(repeats: int = 5) -> dict:
         "cohort_block_speedup": serial_s / block_s,
         "first_campaign_factorizations": first_campaign_factorizations,
         "warm_refactorizations": warm_refactorizations,
+    }
+
+
+def _cross_network_configs(solver: str, n_points: int = 16) -> list:
+    """The cross-network benchmark sweep: ``n_points`` design points
+    over a ``thermal_params`` axis at 64x64, so every run assembles a
+    *different* network. RR + Max cooling keeps characterization (and
+    controller quantization) out of the measurement."""
+    return [
+        SimulationConfig(
+            policy="RR",
+            cooling=CoolingMode.LIQUID_MAX,
+            nx=64,
+            ny=64,
+            duration=0.2,
+            solver=solver,
+            thermal_params=ThermalParams(resistance_scale=4.0 + 0.06 * i),
+        )
+        for i in range(n_points)
+    ]
+
+
+def collect_cross_network_metrics(repeats: int = 3) -> dict:
+    """Cross-network sweep throughput, exact vs krylov (PR 8).
+
+    Every repetition runs *cold* (system memo and neighbor-LU cache
+    cleared), so each sample pays the full per-point assembly and
+    factorization/preconditioning cost — that is the cost a fresh
+    design-space sweep pays. The algorithmic gate is the factorization
+    count: exact pays steady+transient LUs per point, krylov must pay
+    strictly fewer LUs than it has design points.
+    """
+    n_points = len(_cross_network_configs("exact"))
+
+    def campaign(solver: str):
+        clear_system_memo()
+        clear_neighbor_cache()
+        before_f = factorization_count()
+        before_s = krylov_stats()
+        batch = BatchRunner(
+            _cross_network_configs(solver),
+            cohort="auto",
+            cache=CharacterizationCache(),
+        )
+        start = time.perf_counter()
+        runs = batch.run().runs
+        elapsed = time.perf_counter() - start
+        stats = {k: v - before_s[k] for k, v in krylov_stats().items()}
+        return elapsed, factorization_count() - before_f, stats, runs
+
+    exact_samples, krylov_samples = [], []
+    max_abs_dT = 0.0
+    for rep in range(max(1, repeats)):
+        exact_s, exact_f, _, exact_runs = campaign("exact")
+        krylov_s, krylov_f, k_stats, krylov_runs = campaign("krylov")
+        exact_samples.append(exact_s)
+        krylov_samples.append(krylov_s)
+        if rep == 0:
+            for e, k in zip(exact_runs, krylov_runs):
+                max_abs_dT = max(
+                    max_abs_dT,
+                    float(np.abs(e.result.tmax - k.result.tmax).max()),
+                )
+    clear_system_memo()
+    clear_neighbor_cache()
+
+    exact_s = statistics.median(exact_samples)
+    krylov_s = statistics.median(krylov_samples)
+    hits = k_stats["preconditioner_hits"]
+    misses = k_stats["preconditioner_misses"]
+    return {
+        "sweep": (
+            f"{n_points} design points over thermal_params"
+            " (resistance_scale), 64x64, 0.2 s simulated, cold"
+        ),
+        "n_points": n_points,
+        "exact_s": exact_s,
+        "krylov_s": krylov_s,
+        "exact_runs_per_sec_per_core": n_points / exact_s,
+        "krylov_runs_per_sec_per_core": n_points / krylov_s,
+        "krylov_speedup": exact_s / krylov_s,
+        "exact_factorizations": exact_f,
+        "krylov_factorizations": krylov_f,
+        "preconditioner_hit_rate": (
+            hits / (hits + misses) if hits + misses else 0.0
+        ),
+        "krylov_fallbacks": k_stats["fallbacks"],
+        "max_abs_dT_vs_exact_K": max_abs_dT,
     }
 
 
@@ -212,6 +313,9 @@ def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
         },
         "results": results,
         "cohort": collect_cohort_metrics(repeats=repeats),
+        "cross_network": collect_cross_network_metrics(
+            repeats=max(1, repeats // 2)
+        ),
     }
 
 
@@ -241,6 +345,15 @@ def test_hotpath_baseline(tmp_path):
     assert cohort["cohort_block_speedup"] > 0.0
     # The algorithmic gate: warm cohorts never refactorize.
     assert cohort["warm_refactorizations"] == 0
+    cross = loaded["cross_network"]
+    assert cross["n_points"] == 16
+    # The cross-network gate: krylov factorizes strictly fewer times
+    # than it has design points, while exact pays steady+transient LUs
+    # for every one of them.
+    assert cross["exact_factorizations"] == 2 * cross["n_points"]
+    assert cross["krylov_factorizations"] < cross["n_points"]
+    assert cross["preconditioner_hit_rate"] > 0.0
+    assert cross["max_abs_dT_vs_exact_K"] < 1.0e-6
 
 
 def main(argv=None) -> int:
@@ -277,6 +390,20 @@ def main(argv=None) -> int:
         f"  factorizations: first campaign"
         f" {cohort['first_campaign_factorizations']},"
         f" warm {cohort['warm_refactorizations']}"
+    )
+    cross = payload["cross_network"]
+    print(f"\ncross-network sweep: {cross['sweep']}")
+    print(
+        f"  exact {cross['exact_runs_per_sec_per_core']:.1f} runs/s"
+        f"  krylov {cross['krylov_runs_per_sec_per_core']:.1f}"
+        f" ({cross['krylov_speedup']:.2f}x)"
+    )
+    print(
+        f"  factorizations: exact {cross['exact_factorizations']},"
+        f" krylov {cross['krylov_factorizations']}"
+        f" (hit rate {cross['preconditioner_hit_rate']:.0%},"
+        f" {cross['krylov_fallbacks']} fallbacks,"
+        f" max |dT| {cross['max_abs_dT_vs_exact_K']:.2e} K)"
     )
     print(f"\nwrote {args.out}")
     return 0

@@ -12,9 +12,16 @@ Two kinds of checks, deliberately different in severity:
   the runner; a >20% median slowdown (or cohort-speedup loss) prints a
   GitHub ``::warning::`` annotation so it shows up on the PR, but the
   exit code stays 0.
-* **The algorithmic counter gates.** A warm cohort campaign performing
-  any LU factorization means kernel sharing broke — that is a property
-  of the code, not the machine, so it exits nonzero and fails CI.
+* **The algorithmic counters gate.** A warm cohort campaign performing
+  any LU factorization means kernel sharing broke, and a cross-network
+  krylov campaign factorizing as often as it has design points means
+  neighbor-LU preconditioning broke — those are properties of the
+  code, not the machine, so either exits nonzero and fails CI.
+
+Schema changes are tolerated in both directions: benchmarks present on
+only one side are reported as "new" / "not measured" instead of
+failing, and a missing ``cross_network`` section (pre-v3 payloads) is
+a note, not an error.
 """
 
 from __future__ import annotations
@@ -32,6 +39,31 @@ def _warn(message: str) -> None:
     print(f"::warning title=perf regression::{message}")
 
 
+def _compare_cross_network(cur: dict | None, base: dict | None) -> int:
+    """Non-gating cross-network comparison; returns warning count.
+
+    Either side may lack the section: the current payload when the
+    bench predates schema v3, the baseline until the first v3 payload
+    is committed. Both are reported, neither is an error.
+    """
+    if not cur:
+        print("(cross_network: not measured this run)")
+        return 0
+    if not base:
+        print("(cross_network: new this run, no baseline yet)")
+        return 0
+    warnings = 0
+    for key in ("krylov_speedup", "preconditioner_hit_rate"):
+        b, c = base.get(key), cur.get(key)
+        if b is None or c is None:
+            continue
+        print(f"{key:32s} {b:9.2f}   {c:9.2f}")
+        if c < b * (1.0 - REGRESSION_THRESHOLD):
+            warnings += 1
+            _warn(f"{key}: {c:.2f} vs baseline {b:.2f}")
+    return warnings
+
+
 def compare(current: dict, baseline: dict) -> int:
     """Print the comparison; return the number of gating failures."""
     failures = 0
@@ -41,6 +73,10 @@ def compare(current: dict, baseline: dict) -> int:
     base_results = baseline.get("results", {})
     shared = sorted(set(cur_results) & set(base_results))
     skipped = sorted(set(base_results) - set(cur_results))
+    # One-sided keys are informational, never fatal: a schema bump adds
+    # benchmarks the old baseline lacks ("new"), and a trimmed run may
+    # omit benchmarks the baseline has ("not measured this run").
+    new = sorted(set(cur_results) - set(base_results))
     print(f"{'benchmark':32s} {'baseline':>10s} {'current':>10s} {'ratio':>7s}")
     for name in shared:
         base, cur = base_results[name], cur_results[name]
@@ -59,6 +95,8 @@ def compare(current: dict, baseline: dict) -> int:
         )
     if skipped:
         print(f"(not measured this run: {', '.join(skipped)})")
+    if new:
+        print(f"(new this run, no baseline yet: {', '.join(new)})")
 
     cur_cohort = current.get("cohort", {})
     base_cohort = baseline.get("cohort", {})
@@ -70,6 +108,10 @@ def compare(current: dict, baseline: dict) -> int:
         if cur < base * (1.0 - REGRESSION_THRESHOLD):
             warnings += 1
             _warn(f"{key}: {cur:.2f}x vs baseline {base:.2f}x")
+
+    warnings += _compare_cross_network(
+        current.get("cross_network"), baseline.get("cross_network")
+    )
 
     refactor = cur_cohort.get("warm_refactorizations")
     if refactor is None:
@@ -87,6 +129,25 @@ def compare(current: dict, baseline: dict) -> int:
         )
     else:
         print("warm_refactorizations               0  (gate: ok)")
+
+    cross = current.get("cross_network")
+    if cross is not None:
+        factorizations = cross.get("krylov_factorizations")
+        n_points = cross.get("n_points", 0)
+        if factorizations is None or factorizations >= n_points:
+            failures += 1
+            print(
+                "::error title=perf gate::cross-network krylov campaign"
+                f" performed {factorizations} LU factorizations over"
+                f" {n_points} design points (expected strictly fewer —"
+                " neighbor-LU preconditioning must reuse factors across"
+                " thermal-parameter points)"
+            )
+        else:
+            print(
+                f"krylov_factorizations   {factorizations:12d}"
+                f"  (gate: ok, < {n_points} design points)"
+            )
 
     print(
         f"\n{len(shared)} benchmarks compared, {warnings} regression"

@@ -165,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. --workload-param path=trace.csv for trace-replay",
     )
     sim.add_argument("--layers", type=int, default=2, choices=(2, 4))
+    sim.add_argument(
+        "--solver",
+        default="exact",
+        choices=("exact", "krylov"),
+        help="thermal linear-solver tier: exact (sparse LU, "
+        "bit-reproducible) or krylov (neighbor-preconditioned GMRES, "
+        "reuses nearby design points' factorizations; see README)",
+    )
     sim.add_argument("--duration", type=float, default=20.0, help="simulated seconds")
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--dpm", action="store_true", help="enable the 200 ms DPM policy")
@@ -294,6 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="continue from --checkpoint if it already exists",
     )
+    sw_run.add_argument(
+        "--solver", default=None, choices=("exact", "krylov"),
+        help="override the base config's thermal-solver tier; changes "
+        "the sweep fingerprint, so exact and krylov checkpoints never "
+        "mix (resume with the same --solver)",
+    )
     _sweep_exec_args(sw_run)
 
     sw_resume = swsub.add_parser(
@@ -303,6 +317,10 @@ def build_parser() -> argparse.ArgumentParser:
     sw_resume.add_argument("--spec", required=True, metavar="NAME|FILE")
     sw_resume.add_argument("--duration", type=float, default=None)
     sw_resume.add_argument("--seed", type=int, default=None)
+    sw_resume.add_argument(
+        "--solver", default=None, choices=("exact", "krylov"),
+        help="must match the --solver the sweep was started with",
+    )
     _sweep_exec_args(sw_resume)
 
     sw_status = swsub.add_parser(
@@ -384,6 +402,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cohort", choices=("auto", "off", "block"), default="auto",
         help="thermal-cohort batching within each shard (see "
         "'repro sweep run --cohort')",
+    )
+    d_work.add_argument(
+        "--solver", default=None, choices=("exact", "krylov"),
+        help="override every run's thermal-solver tier for this worker "
+        "(krylov reuses neighbor factorizations across thermal_params "
+        "design points; results match exact within the documented "
+        "tolerance but the merged campaign loses the bitwise "
+        "guarantee, like --cohort block)",
     )
 
     d_merge = dsub.add_parser(
@@ -540,6 +566,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             duration=duration,
             seed=args.seed,
             dpm_enabled=args.dpm,
+            solver=args.solver,
         )
     except ConfigurationError as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -701,6 +728,30 @@ def _resolve_spec(args: argparse.Namespace):
         raise SystemExit(f"error: cannot read spec {raw!r}: {exc}") from None
 
 
+def _solver_override(spec, solver: Optional[str]):
+    """Rebuild a spec with its base config's solver tier replaced.
+
+    Declared solver axes/points still win over the base (normal
+    override semantics). The rebuilt spec fingerprints differently, so
+    exact and krylov campaigns keep separate checkpoints/ledgers by
+    construction.
+    """
+    if solver is None:
+        return spec
+    from dataclasses import replace
+
+    from repro.sweep import SweepSpec
+
+    return SweepSpec(
+        base=replace(spec.base, solver=solver),
+        grid=spec.grid,
+        zip_axes=spec.zip_axes,
+        points=spec.points,
+        reseed=spec.reseed,
+        name=spec.name,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepRunner, read_status
 
@@ -726,7 +777,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # from scratch (`run --resume` stays permissive by contract:
         # "continue from --checkpoint if it already exists").
         _existing_file(args.checkpoint, "checkpoint")
-    spec = _resolve_spec(args)
+    spec = _solver_override(_resolve_spec(args), args.solver)
     _checked_output(args.save_json, "JSON output")
     _checked_output(args.save_csv, "CSV output")
     _checked_output(args.checkpoint, "checkpoint")
@@ -862,6 +913,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
                 wait=not args.no_wait,
                 progress=None if args.quiet else _progress,
                 cohort=args.cohort,
+                solver=args.solver,
             )
         except ConfigurationError as exc:
             raise SystemExit(f"error: {exc}") from None

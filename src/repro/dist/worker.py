@@ -22,7 +22,7 @@ import contextlib
 import os
 import socket
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -83,6 +83,7 @@ def _execute_shard(
     max_workers: Optional[int],
     progress: Optional[Callable[[SweepPoint, int, float], None]],
     cohort: str = "auto",
+    solver: Optional[str] = None,
 ) -> int:
     """Run one shard's chunk and journal it; returns runs executed."""
     chunk = list(spec.iter_points(shard.start, shard.stop))
@@ -91,8 +92,13 @@ def _execute_shard(
         ledger.shard_journal_path(shard), ledger.fingerprint, shard, worker_id
     )
     try:
+        configs = [
+            point.config if solver is None
+            else replace(point.config, solver=solver)
+            for point in chunk
+        ]
         batch = BatchRunner(
-            [point.config for point in chunk],
+            configs,
             max_workers=max_workers,
             cache=cache,
             cohort=cohort,
@@ -146,6 +152,7 @@ def run_worker(
     wait: bool = True,
     progress: Optional[Callable[[SweepPoint, int, float], None]] = None,
     cohort: str = "auto",
+    solver: Optional[str] = None,
 ) -> WorkerReport:
     """Work a campaign until it is done (or ``max_shards`` is reached).
 
@@ -180,7 +187,20 @@ def run_worker(
         restores the per-run path; ``"block"`` enables the multi-RHS
         kernel, LU-roundoff-equivalent rather than byte-identical, so
         merged campaigns lose the bitwise guarantee).
+    solver:
+        When set (``"exact"`` or ``"krylov"``), override every run's
+        thermal-solver tier for this worker session. ``"krylov"``
+        trades bitwise identity for neighbor-LU preconditioner reuse
+        across thermal-parameter design points (agreement within
+        :data:`repro.thermal.solver.KRYLOV_TEMPERATURE_TOLERANCE`), so
+        campaigns merged from krylov workers lose the bitwise
+        guarantee exactly as ``cohort="block"`` does. ``None`` (the
+        default) runs each config as planned.
     """
+    if solver is not None and solver not in ("exact", "krylov"):
+        raise ConfigurationError(
+            f"solver must be 'exact' or 'krylov', got {solver!r}"
+        )
     if lease_ttl <= 0:
         raise ConfigurationError("lease_ttl must be positive")
     if max_shards is not None and max_shards < 1:
@@ -240,7 +260,7 @@ def run_worker(
                     report.runs_executed += _execute_shard(
                         ledger, spec, aggregators, shard, cache,
                         report.worker_id, lease_ttl, max_workers, progress,
-                        cohort,
+                        cohort, solver,
                     )
                     report.shards_executed.append(shard.shard_id)
                 done.add(shard.shard_id)

@@ -20,6 +20,7 @@ from repro.runner.cohort import (
     CohortRunner,
     cohort_signature,
     group_cohorts,
+    structural_signature,
 )
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "ReducedRun",
     "cohort_signature",
     "group_cohorts",
+    "structural_signature",
     "reseeded",
 ]

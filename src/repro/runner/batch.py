@@ -311,7 +311,11 @@ class BatchRunner:
             return [[i] for i in range(len(self.configs))]
         from repro.runner.cohort import group_cohorts, split_cohort
 
-        groups = group_cohorts(self.configs)
+        # neighbors=True: krylov-solver configs differing only in
+        # thermal_params group into one cohort so they execute back to
+        # back and reuse each other's preconditioner LUs; exact-solver
+        # configs partition exactly as before.
+        groups = group_cohorts(self.configs, neighbors=True)
         if self.max_workers > 1:
             groups = [
                 part

@@ -49,6 +49,7 @@ import numpy as np
 from repro.sim import engine
 from repro.sim.cache import _system_memo_key
 from repro.sim.config import SimulationConfig
+from repro.thermal.rc_network import ThermalParams
 from repro.workload.generator import ThreadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us)
@@ -70,7 +71,27 @@ def cohort_signature(config: SimulationConfig) -> tuple:
     return _system_memo_key(config) + (config.sampling_interval,)
 
 
-def group_cohorts(configs: Sequence[SimulationConfig]) -> list[list[int]]:
+def structural_signature(config: SimulationConfig) -> tuple:
+    """The *structural* thermal identity of a config.
+
+    :func:`cohort_signature` with the swept thermal-parameter values
+    projected out: layers, cooling kind, grid resolution, solver tier,
+    and sampling interval — everything that decides the sparsity
+    structure of the system matrices, but not their values. Configs
+    that agree here but differ in ``thermal_params`` build *different*
+    networks of the *same* shape, which is exactly the neighborhood a
+    ``solver="krylov"`` run preconditions across.
+    """
+    return tuple(
+        part
+        for part in _system_memo_key(config)
+        if not isinstance(part, ThermalParams)
+    ) + (config.sampling_interval,)
+
+
+def group_cohorts(
+    configs: Sequence[SimulationConfig], neighbors: bool = False
+) -> list[list[int]]:
     """Partition config indices into cohorts sharing one thermal kernel.
 
     Returns index lists: every index appears in exactly one cohort (a
@@ -78,10 +99,23 @@ def group_cohorts(configs: Sequence[SimulationConfig]) -> list[list[int]]:
     all members of a cohort agree on :func:`cohort_signature`, cohorts
     are ordered by first appearance, and members keep submission
     order.
+
+    With ``neighbors=True``, ``solver="krylov"`` configs group by
+    :func:`structural_signature` instead, so design points that differ
+    only in ``thermal_params`` values land in one *neighbor cohort*
+    and share the preconditioner pool (and the in-process LRU caches)
+    by running back to back. Exact-solver configs always group by the
+    full :func:`cohort_signature` — the default partition is unchanged,
+    which keeps the byte-identity guarantee of exact mode trivially
+    intact.
     """
     groups: dict[tuple, list[int]] = {}
     for i, config in enumerate(configs):
-        groups.setdefault(cohort_signature(config), []).append(i)
+        if neighbors and config.solver == "krylov":
+            key: tuple = ("structural",) + structural_signature(config)
+        else:
+            key = ("exact",) + cohort_signature(config)
+        groups.setdefault(key, []).append(i)
     return list(groups.values())
 
 
@@ -167,9 +201,21 @@ def execute_cohort(
         engine.Simulator(config, trace=trace) for _, config, trace in tasks
     ]
     if len(sims) > 1:
-        _share_initial_state(sims)
+        # A neighbor cohort (krylov mode) mixes members whose networks
+        # differ in thermal-parameter values; initial-state sharing and
+        # block stepping are only valid between members with identical
+        # kernels, so both operate per full-signature subgroup. A
+        # uniform cohort is one subgroup — the historical behavior,
+        # bit for bit.
+        subgroups: dict[tuple, list[engine.Simulator]] = {}
+        for sim, (_, config, _) in zip(sims, tasks):
+            subgroups.setdefault(cohort_signature(config), []).append(sim)
+        for members in subgroups.values():
+            if len(members) > 1:
+                _share_initial_state(members)
         if block:
-            _run_block(sims)
+            for members in subgroups.values():
+                _run_block(members)
         else:
             for sim in sims:
                 sim.run()

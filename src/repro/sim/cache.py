@@ -75,6 +75,7 @@ def _system_memo_key(config: SimulationConfig) -> tuple:
         config.nx,
         config.ny,
         config.thermal_params,
+        config.solver,
     )
 
 
@@ -103,6 +104,7 @@ def system_for(config: SimulationConfig) -> tuple["ThermalSystem", "PowerModel"]
         nx=config.nx,
         ny=config.ny,
         params=config.thermal_params,
+        solver=config.solver,
     )
     pair = (system, PowerModel(system.stack, leakage=LeakageModel()))
     _system_memo[key] = pair

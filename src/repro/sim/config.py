@@ -133,6 +133,13 @@ class SimulationConfig:
     workload_params: Mapping[str, Any] = field(default_factory=FrozenParams)
     """Parameters for the workload model (e.g. ``{"path": ...}`` for
     ``trace-replay``, ``{"burst_rate": 0.2}`` for ``flash-crowd``)."""
+    solver: str = "exact"
+    """Thermal linear-solver tier: ``"exact"`` (sparse LU per distinct
+    network — bit-reproducible, the default) or ``"krylov"``
+    (neighbor-LU preconditioned GMRES — reuses nearby design points'
+    factorizations across ``thermal_params`` sweeps; agrees with exact
+    within :data:`repro.thermal.solver.KRYLOV_TEMPERATURE_TOLERANCE`).
+    Sweepable like any other field."""
 
     def __post_init__(self) -> None:
         if self.n_layers not in (2, 4):
@@ -159,6 +166,10 @@ class SimulationConfig:
         if not isinstance(self.cooling, CoolingMode):
             raise ConfigurationError(
                 f"cooling must be a CoolingMode, got {self.cooling!r}"
+            )
+        if self.solver not in ("exact", "krylov"):
+            raise ConfigurationError(
+                f"solver must be 'exact' or 'krylov', got {self.solver!r}"
             )
         # Normalize the registry keys (enums and aliases -> canonical)
         # and validate the parameter mappings against each component's

@@ -22,7 +22,13 @@ from repro.pump.laing_ddc import PumpModel, laing_ddc
 from repro.thermal.grid import ThermalGrid
 from repro.thermal.package import AirPackage
 from repro.thermal.rc_network import RCNetwork, ThermalParams, build_network
-from repro.thermal.solver import SteadyStateSolver, TransientSolver
+from repro.thermal.solver import (
+    KrylovSteadySolver,
+    KrylovTransientSolver,
+    SteadyStateSolver,
+    TransientSolver,
+    structure_signature,
+)
 
 
 class ThermalSystem:
@@ -44,6 +50,12 @@ class ThermalSystem:
     package:
         Air package; defaults to :class:`AirPackage`. Ignored for
         liquid cooling.
+    solver:
+        Thermal linear-solver tier: ``"exact"`` (sparse LU, the
+        default) or ``"krylov"`` (neighbor-LU preconditioned GMRES —
+        reuses nearby design points' factorizations from the
+        process-wide :func:`repro.thermal.solver.neighbor_factor_cache`
+        instead of factorizing per system).
     """
 
     def __init__(
@@ -55,7 +67,13 @@ class ThermalSystem:
         params: ThermalParams = ThermalParams(),
         pump: Optional[PumpModel] = None,
         package: Optional[AirPackage] = None,
+        solver: str = "exact",
     ) -> None:
+        if solver not in ("exact", "krylov"):
+            raise ConfigurationError(
+                f"solver must be 'exact' or 'krylov', got {solver!r}"
+            )
+        self.solver = solver
         self.stack: Stack3D = build_stack(n_layers, cooling)
         self.grid = ThermalGrid(self.stack, nx=nx, ny=ny)
         self.params = params
@@ -71,8 +89,8 @@ class ThermalSystem:
             die_height=self.stack.height,
         )
         self._networks: dict[int, RCNetwork] = {}
-        self._transients: dict[tuple[int, float], TransientSolver] = {}
-        self._steadies: dict[int, SteadyStateSolver] = {}
+        self._transients: dict[tuple, "TransientSolver | KrylovTransientSolver"] = {}
+        self._steadies: dict[tuple, "SteadyStateSolver | KrylovSteadySolver"] = {}
 
     # --- network/solver caches --------------------------------------------------
 
@@ -110,18 +128,64 @@ class ThermalSystem:
             channel_model=self.channel_model,
         )
 
-    def transient_solver(self, setting_index: int, dt: float) -> TransientSolver:
-        """Cached backward-Euler solver for a setting and step size."""
-        key = (setting_index, dt)
+    def _structure_key(self, setting_index: int, tail: tuple) -> tuple:
+        """Preconditioner-pool key: sparsity structure + setting + dt.
+
+        The pump-setting index is part of the key even though different
+        settings share a sparsity pattern — their coolant conductances
+        differ enough that cross-setting preconditioning converges
+        poorly, and keeping settings apart makes the pool's nearest
+        lookup a pure thermal-parameter distance.
+        """
+        return structure_signature(self.network(setting_index)) + (
+            setting_index,
+        ) + tail
+
+    def transient_solver(
+        self, setting_index: int, dt: float, solver: Optional[str] = None
+    ) -> "TransientSolver | KrylovTransientSolver":
+        """Cached backward-Euler solver for a setting and step size.
+
+        ``solver`` overrides the system-wide tier for this lookup
+        (``"exact"`` or ``"krylov"``); distinct tiers cache separately.
+        """
+        mode = solver if solver is not None else self.solver
+        key = (setting_index, dt, mode)
         if key not in self._transients:
-            self._transients[key] = TransientSolver(self.network(setting_index), dt)
+            if mode == "krylov":
+                built: "TransientSolver | KrylovTransientSolver" = (
+                    KrylovTransientSolver(
+                        self.network(setting_index),
+                        dt,
+                        params=self.params,
+                        structure=self._structure_key(setting_index, ("dt", dt)),
+                    )
+                )
+            else:
+                built = TransientSolver(self.network(setting_index), dt)
+            self._transients[key] = built
         return self._transients[key]
 
-    def steady_solver(self, setting_index: int = -1) -> SteadyStateSolver:
-        """Cached steady-state solver for a setting (-1 = air)."""
-        if setting_index not in self._steadies:
-            self._steadies[setting_index] = SteadyStateSolver(self.network(setting_index))
-        return self._steadies[setting_index]
+    def steady_solver(
+        self, setting_index: int = -1, solver: Optional[str] = None
+    ) -> "SteadyStateSolver | KrylovSteadySolver":
+        """Cached steady-state solver for a setting (-1 = air).
+
+        ``solver`` overrides the system-wide tier for this lookup.
+        """
+        mode = solver if solver is not None else self.solver
+        key = (setting_index, mode)
+        if key not in self._steadies:
+            if mode == "krylov":
+                built: "SteadyStateSolver | KrylovSteadySolver" = KrylovSteadySolver(
+                    self.network(setting_index),
+                    params=self.params,
+                    structure=self._structure_key(setting_index, ("steady",)),
+                )
+            else:
+                built = SteadyStateSolver(self.network(setting_index))
+            self._steadies[key] = built
+        return self._steadies[key]
 
     # --- steady-state evaluation ---------------------------------------------
 

@@ -108,6 +108,7 @@ _SIGNATURE_DEFAULTS: dict[str, Any] = {
     "forecaster_params": FrozenParams(),
     "workload": "table2",
     "workload_params": FrozenParams(),
+    "solver": "exact",
 }
 
 

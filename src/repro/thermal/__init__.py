@@ -11,7 +11,21 @@ from repro.thermal.analytic import AnalyticUnitCell, UnitCellResult
 from repro.thermal.grid import Slab, SlabKind, ThermalGrid
 from repro.thermal.package import AirPackage
 from repro.thermal.rc_network import RCNetwork, ThermalParams, build_network
-from repro.thermal.solver import SteadyStateSolver, TransientSolver
+from repro.thermal.solver import (
+    KRYLOV_MAX_ITERATIONS,
+    KRYLOV_TEMPERATURE_TOLERANCE,
+    KRYLOV_TOLERANCE,
+    KrylovSteadySolver,
+    KrylovTransientSolver,
+    NeighborFactorCache,
+    SteadyStateSolver,
+    TransientSolver,
+    clear_neighbor_cache,
+    factorization_count,
+    krylov_stats,
+    neighbor_factor_cache,
+    structure_signature,
+)
 
 __all__ = [
     "AnalyticUnitCell",
@@ -25,4 +39,15 @@ __all__ = [
     "build_network",
     "SteadyStateSolver",
     "TransientSolver",
+    "KrylovSteadySolver",
+    "KrylovTransientSolver",
+    "NeighborFactorCache",
+    "KRYLOV_TOLERANCE",
+    "KRYLOV_TEMPERATURE_TOLERANCE",
+    "KRYLOV_MAX_ITERATIONS",
+    "clear_neighbor_cache",
+    "factorization_count",
+    "krylov_stats",
+    "neighbor_factor_cache",
+    "structure_signature",
 ]

@@ -13,7 +13,11 @@ setting is cached and each step costs a pair of triangular solves.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import weakref
+from collections import OrderedDict
+from dataclasses import fields as dataclass_fields
 from typing import Optional
 
 import numpy as np
@@ -21,7 +25,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.errors import SolverError
-from repro.thermal.rc_network import RCNetwork
+from repro.thermal.rc_network import RCNetwork, ThermalParams
 
 _factorizations = 0
 """Monotonic count of sparse LU factorizations this process has
@@ -30,6 +34,12 @@ cacheable step — a batched cohort campaign must hit each distinct
 (network, dt) system exactly once, and ``benchmarks/bench_hotpath.py``
 plus the CI perf job gate on deltas of this counter rather than on
 wall-clock."""
+
+_count_lock = threading.Lock()
+"""Guards ``_factorizations``: solvers are constructed from multiple
+threads by the planned async digital-twin service, and ``+=`` on a
+module global is not atomic under free-threaded builds (and only
+incidentally so under the GIL)."""
 
 
 def factorization_count() -> int:
@@ -43,7 +53,8 @@ def factorization_count() -> int:
 
 def _count_factorization() -> None:
     global _factorizations
-    _factorizations += 1
+    with _count_lock:
+        _factorizations += 1
 
 
 class SteadyStateSolver:
@@ -217,3 +228,492 @@ def initial_state(network: RCNetwork, power: Optional[np.ndarray] = None) -> np.
     if power is None:
         power = np.zeros(network.n_nodes)
     return steady_solver_for(network).solve(power)
+
+
+# --- iterative tier: neighbor-preconditioned Krylov solvers -------------------
+#
+# A sweep over ``thermal_params.*`` (or grid/geometry) changes the
+# matrix *values* but not its sparsity structure, and nearby design
+# points produce nearly identical systems. The classes below exploit
+# that: instead of a fresh sparse LU per design point, they solve with
+# preconditioned GMRES (the advection rows make G asymmetric, so CG is
+# out) using the *closest already-factorized neighbor's* LU as the
+# preconditioner, and only factorize when no usable neighbor exists or
+# the iteration stalls.
+
+KRYLOV_TOLERANCE = 1.0e-10
+"""Relative residual (``||b - Ax|| / ||b||``) each Krylov linear solve
+is driven to. Tight enough that temperature trajectories agree with
+the exact LU path to :data:`KRYLOV_TEMPERATURE_TOLERANCE`."""
+
+KRYLOV_TEMPERATURE_TOLERANCE = 1.0e-6
+"""Documented accuracy contract of ``solver="krylov"``: maximum
+absolute temperature difference (K) versus ``solver="exact"`` on the
+same config. CI gates a small krylov-vs-exact sweep on this bound.
+Well below the 0.5 K controller hysteresis and the paper's reported
+0.1 K sensor resolution."""
+
+KRYLOV_MAX_ITERATIONS = 64
+"""GMRES iteration budget per solve (one un-restarted cycle). A
+usable neighbor preconditioner converges in a handful of iterations;
+hitting this budget means the neighbor was too far away, and the
+solver falls back to an exact factorization of its own matrix."""
+
+_krylov_lock = threading.Lock()
+_krylov_stats = {
+    "preconditioner_hits": 0,
+    "preconditioner_misses": 0,
+    "fallbacks": 0,
+    "iterations": 0,
+    "gmres_solves": 0,
+    "direct_solves": 0,
+}
+
+
+def krylov_stats() -> dict:
+    """Process-wide Krylov solver counters (monotonic, like
+    :func:`factorization_count`; snapshot before/after to measure).
+
+    ``preconditioner_hits``/``preconditioner_misses`` count solver
+    constructions that found / failed to find a retained neighbor LU;
+    ``fallbacks`` counts GMRES stalls that forced an exact
+    factorization; ``iterations``/``gmres_solves`` accumulate inner
+    GMRES work; ``direct_solves`` counts solves served by an exact LU
+    (own factorization, exact cache hit, or post-fallback).
+    """
+    with _krylov_lock:
+        return dict(_krylov_stats)
+
+
+def _bump_krylov(**deltas: int) -> None:
+    with _krylov_lock:
+        for key, delta in deltas.items():
+            _krylov_stats[key] += delta
+
+
+def structure_signature(network: RCNetwork) -> tuple:
+    """Hashable identity of a network's sparsity *structure*.
+
+    Two networks share a signature exactly when their conductance
+    matrices have the same shape and sparsity pattern — the condition
+    for one network's LU to be a meaningful preconditioner for the
+    other. Assembly is canonical (sorted CSR), so the pattern hash is
+    deterministic.
+    """
+    csr = network.conductance.tocsr()
+    digest = hashlib.sha256()
+    digest.update(np.asarray(csr.indptr).tobytes())
+    digest.update(np.asarray(csr.indices).tobytes())
+    return (csr.shape[0], int(csr.nnz), digest.hexdigest()[:16])
+
+
+_PARAM_FIELDS = tuple(f.name for f in dataclass_fields(ThermalParams))
+
+
+def _params_vector(params: ThermalParams) -> np.ndarray:
+    """The swept thermal parameters as a float vector (distance space)."""
+    return np.array([float(getattr(params, name)) for name in _PARAM_FIELDS])
+
+
+def params_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Scalar distance between two thermal-parameter vectors.
+
+    Sum of symmetric relative per-field differences — scale-free, so a
+    1% change in ``resistance_scale`` and a 1% change in
+    ``inlet_temperature`` count the same, and identical params are at
+    distance exactly 0.0.
+    """
+    num = np.abs(a - b)
+    den = np.abs(a) + np.abs(b)
+    with np.errstate(invalid="ignore"):
+        rel = np.where(den > 0.0, num / np.where(den > 0.0, den, 1.0), 0.0)
+    return float(rel.sum())
+
+
+class NeighborFactorCache:
+    """LRU pool of retained LU factorizations for Krylov preconditioning.
+
+    Entries are keyed by ``(structure, params)`` where ``structure`` is
+    a :func:`structure_signature`-style tuple (grid shape + sparsity
+    pattern + setting/dt) and ``params`` the
+    :class:`~repro.thermal.rc_network.ThermalParams` the matrix was
+    assembled from. :meth:`nearest` returns the retained LU with the
+    same structure whose parameter vector minimizes
+    :func:`params_distance` — the preconditioner a
+    :class:`KrylovTransientSolver` steps with; :meth:`exact` shortcuts
+    the identical design point (same structure *and* params), whose LU
+    solves directly with no iteration at all. Thread-safe; least
+    recently used entries evict beyond ``capacity`` (each retained LU
+    at 64x64 is tens of MB, so the pool must stay small).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise SolverError("neighbor cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple[np.ndarray, spla.SuperLU]]" = (
+            OrderedDict()
+        )
+
+    def exact(self, structure: tuple, params: ThermalParams) -> Optional[spla.SuperLU]:
+        """The retained LU of this exact design point, if any."""
+        key = (structure, params)
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is None:
+                return None
+            self._entries.move_to_end(key)
+            return hit[1]
+
+    def nearest(
+        self, structure: tuple, params_vec: np.ndarray
+    ) -> Optional[tuple[spla.SuperLU, float]]:
+        """Closest same-structure retained LU, as ``(lu, distance)``."""
+        with self._lock:
+            best_key, best_lu, best_dist = None, None, np.inf
+            for (skey, _), (vec, lu) in self._entries.items():
+                if skey != structure:
+                    continue
+                dist = params_distance(vec, params_vec)
+                if dist < best_dist:
+                    best_key, best_lu, best_dist = (skey, _), lu, dist
+            if best_lu is None:
+                return None
+            self._entries.move_to_end(best_key)
+            return best_lu, best_dist
+
+    def retain(
+        self,
+        structure: tuple,
+        params: ThermalParams,
+        lu: spla.SuperLU,
+    ) -> None:
+        """Add (or refresh) a factorization; evicts LRU past capacity."""
+        key = (structure, params)
+        with self._lock:
+            self._entries[key] = (_params_vector(params), lu)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_neighbor_cache = NeighborFactorCache()
+"""Process-wide preconditioner pool. Shared across every
+``solver="krylov"`` system in the process, so a sweep's design points
+reuse each other's factorizations no matter how the batch planner
+groups them (the system memo's small capacity means *systems* come and
+go; retained LUs outlive them)."""
+
+
+def neighbor_factor_cache() -> NeighborFactorCache:
+    """The process-wide :class:`NeighborFactorCache`."""
+    return _neighbor_cache
+
+
+def clear_neighbor_cache() -> None:
+    """Drop every retained preconditioner LU (frees their memory)."""
+    _neighbor_cache.clear()
+
+
+def _gmres(matrix, rhs, x0, M, rtol, restart, maxiter, callback):
+    """scipy.sparse.linalg.gmres across the ``tol``->``rtol`` rename."""
+    try:
+        return spla.gmres(
+            matrix, rhs, x0=x0, M=M, rtol=rtol, atol=0.0,
+            restart=restart, maxiter=maxiter,
+            callback=callback, callback_type="pr_norm",
+        )
+    except TypeError:  # pragma: no cover - scipy < 1.12
+        return spla.gmres(
+            matrix, rhs, x0=x0, M=M, tol=rtol, atol=0.0,
+            restart=restart, maxiter=maxiter,
+            callback=callback, callback_type="pr_norm",
+        )
+
+
+class _KrylovLinearSolver:
+    """Shared machinery of the Krylov steady/transient solvers.
+
+    Owns one system matrix and solves ``A x = b`` with neighbor-LU
+    preconditioned GMRES, maintaining the invariant: every answer it
+    returns satisfies ``||b - Ax|| <= tolerance * ||b||`` (verified
+    with an explicit residual, not trusted from the iteration), or an
+    exact LU produced it. The first design point of a structure (no
+    retained neighbor) and any stalled iteration factorize exactly —
+    so krylov mode is never *less* robust than exact, only cheaper
+    when neighbors exist.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        structure: tuple,
+        params: ThermalParams,
+        tolerance: float,
+        max_iterations: int,
+        cache: Optional[NeighborFactorCache],
+    ) -> None:
+        if tolerance <= 0.0:
+            raise SolverError("krylov tolerance must be positive")
+        if max_iterations < 1:
+            raise SolverError("krylov max_iterations must be >= 1")
+        self.tolerance = float(tolerance)
+        self.max_iterations = int(max_iterations)
+        self.structure = structure
+        self._params = params
+        self._cache = cache if cache is not None else _neighbor_cache
+        self._matrix = matrix.tocsr()
+        self._csc = None  # built lazily, only if we must factorize
+        self._lu: Optional[spla.SuperLU] = None
+        self._precond: Optional[spla.SuperLU] = None
+        self.neighbor_distance: Optional[float] = None
+        self.fallback_count = 0
+        lu = self._cache.exact(structure, params)
+        if lu is not None:
+            # Same structure + params => bit-identical matrix (canonical
+            # assembly), so this LU solves exactly, no iteration needed.
+            self._lu = lu
+            _bump_krylov(preconditioner_hits=1)
+            return
+        near = self._cache.nearest(structure, _params_vector(params))
+        if near is not None:
+            self._precond, self.neighbor_distance = near
+            _bump_krylov(preconditioner_hits=1)
+        else:
+            _bump_krylov(preconditioner_misses=1)
+            self._factorize()
+
+    def _factorize(self) -> spla.SuperLU:
+        """Exact LU of *this* matrix; retained for future neighbors."""
+        if self._lu is None:
+            try:
+                self._lu = spla.splu(self._matrix.tocsc())
+            except RuntimeError as exc:
+                raise SolverError(f"krylov factorization failed: {exc}") from exc
+            _count_factorization()
+            self._cache.retain(self.structure, self._params, self._lu)
+        return self._lu
+
+    def solve_linear(self, rhs: np.ndarray, x0: Optional[np.ndarray]) -> np.ndarray:
+        """Solve ``A x = rhs`` to the residual tolerance."""
+        if self._lu is not None:
+            _bump_krylov(direct_solves=1)
+            out = self._lu.solve(rhs)
+            if not np.all(np.isfinite(out)):
+                raise SolverError("krylov direct solve produced non-finite values")
+            return out
+        n = self._matrix.shape[0]
+        precond = spla.LinearOperator((n, n), matvec=self._precond.solve)
+        iterations = [0]
+
+        def _count(_pr_norm: float) -> None:
+            iterations[0] += 1
+
+        x, info = _gmres(
+            self._matrix, rhs, x0=x0, M=precond, rtol=self.tolerance,
+            restart=self.max_iterations, maxiter=1, callback=_count,
+        )
+        _bump_krylov(gmres_solves=1, iterations=iterations[0])
+        if info == 0 and np.all(np.isfinite(x)):
+            # Trust but verify: the documented contract is the true
+            # residual, not GMRES's preconditioned estimate.
+            rhs_norm = float(np.linalg.norm(rhs))
+            residual = float(np.linalg.norm(rhs - self._matrix @ x))
+            if residual <= self.tolerance * max(rhs_norm, 1.0e-300):
+                return x
+        # Stalled (or residual floor unmet): this neighbor is not good
+        # enough — factorize our own matrix and answer exactly. The LU
+        # is kept, so subsequent steps of this solver are direct.
+        self.fallback_count += 1
+        _bump_krylov(fallbacks=1, direct_solves=1)
+        out = self._factorize().solve(rhs)
+        if not np.all(np.isfinite(out)):
+            raise SolverError("krylov fallback solve produced non-finite values")
+        return out
+
+    def solve_linear_many(
+        self, rhs: np.ndarray, x0: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Column-by-column :meth:`solve_linear` (GMRES is single-RHS)."""
+        out = np.empty_like(rhs)
+        for c in range(rhs.shape[1]):
+            guess = None if x0 is None else np.ascontiguousarray(x0[:, c])
+            out[:, c] = self.solve_linear(np.ascontiguousarray(rhs[:, c]), guess)
+        return out
+
+
+class KrylovTransientSolver:
+    """Backward-Euler stepping via neighbor-preconditioned GMRES.
+
+    Drop-in for :class:`TransientSolver` (same ``step``/``step_many``/
+    ``run`` surface) that does *not* factorize its own system matrix
+    when a nearby design point's LU is retained in the
+    :class:`NeighborFactorCache`: each step solves
+    ``(C/dt + G) T' = (C/dt) T + P + b`` iteratively, preconditioned by
+    the closest neighbor, warm-started from the current state. Results
+    agree with the exact path to :data:`KRYLOV_TEMPERATURE_TOLERANCE`;
+    a stalled iteration falls back to an exact factorization
+    (recorded in ``fallback_count``), after which stepping is direct.
+    """
+
+    def __init__(
+        self,
+        network: RCNetwork,
+        dt: float,
+        params: ThermalParams,
+        structure: Optional[tuple] = None,
+        tolerance: float = KRYLOV_TOLERANCE,
+        max_iterations: int = KRYLOV_MAX_ITERATIONS,
+        cache: Optional[NeighborFactorCache] = None,
+    ) -> None:
+        if dt <= 0.0:
+            raise SolverError("time step must be positive")
+        self.network = network
+        self.dt = dt
+        c_over_dt = network.capacitance / dt
+        if np.any(c_over_dt < 0.0):
+            raise SolverError("negative capacitance in network")
+        self._c_over_dt = c_over_dt
+        if structure is None:
+            structure = structure_signature(network) + ("dt", float(dt))
+        self._core = _KrylovLinearSolver(
+            network.conductance + sp.diags(c_over_dt),
+            structure, params, tolerance, max_iterations, cache,
+        )
+
+    @property
+    def fallback_count(self) -> int:
+        """Exact-factorization fallbacks this solver has performed."""
+        return self._core.fallback_count
+
+    @property
+    def neighbor_distance(self) -> Optional[float]:
+        """Parameter distance to the preconditioning neighbor (None if
+        this solver factorized its own matrix up front)."""
+        return self._core.neighbor_distance
+
+    def step(self, temperatures: np.ndarray, power: np.ndarray) -> np.ndarray:
+        """Advance one time step; returns the new temperature vector."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        power = np.asarray(power, dtype=float)
+        n = self.network.n_nodes
+        if temperatures.shape != (n,) or power.shape != (n,):
+            raise SolverError("temperature/power vector shape mismatch")
+        rhs = self._c_over_dt * temperatures + power + self.network.boundary
+        out = self._core.solve_linear(rhs, x0=temperatures)
+        if not np.all(np.isfinite(out)):
+            raise SolverError("transient step produced non-finite temperatures")
+        return out
+
+    def step_many(self, temperatures: np.ndarray, powers: np.ndarray) -> np.ndarray:
+        """Advance many independent states one step (column-wise GMRES)."""
+        temperatures = np.asarray(temperatures, dtype=float)
+        powers = np.asarray(powers, dtype=float)
+        n = self.network.n_nodes
+        if (
+            temperatures.ndim != 2
+            or temperatures.shape[0] != n
+            or powers.shape != temperatures.shape
+        ):
+            raise SolverError(
+                f"temperature/power matrix shape mismatch: "
+                f"{temperatures.shape} vs {powers.shape}, expected ({n}, k)"
+            )
+        rhs = (
+            self._c_over_dt[:, None] * temperatures
+            + powers
+            + self.network.boundary[:, None]
+        )
+        out = self._core.solve_linear_many(rhs, x0=temperatures)
+        if not np.all(np.isfinite(out)):
+            raise SolverError("transient step produced non-finite temperatures")
+        return out
+
+    def run(
+        self,
+        temperatures: np.ndarray,
+        power: np.ndarray,
+        n_steps: int,
+    ) -> np.ndarray:
+        """Advance ``n_steps`` with constant power; returns the final state."""
+        if n_steps < 0:
+            raise SolverError("n_steps must be non-negative")
+        state = np.asarray(temperatures, dtype=float)
+        for _ in range(n_steps):
+            state = self.step(state, power)
+        return state
+
+
+class KrylovSteadySolver:
+    """Steady-state ``G T = P + b`` via neighbor-preconditioned GMRES.
+
+    Drop-in for :class:`SteadyStateSolver` under ``solver="krylov"``.
+    Consecutive solves warm-start from the previous solution — the
+    leakage fixed point's successive iterates differ by well under a
+    kelvin, so after the first solve GMRES converges in very few
+    iterations.
+    """
+
+    def __init__(
+        self,
+        network: RCNetwork,
+        params: ThermalParams,
+        structure: Optional[tuple] = None,
+        tolerance: float = KRYLOV_TOLERANCE,
+        max_iterations: int = KRYLOV_MAX_ITERATIONS,
+        cache: Optional[NeighborFactorCache] = None,
+    ) -> None:
+        self.network = network
+        if structure is None:
+            structure = structure_signature(network) + ("steady",)
+        self._core = _KrylovLinearSolver(
+            network.conductance, structure, params, tolerance, max_iterations, cache
+        )
+        self._last: Optional[np.ndarray] = None
+        self._last_block: Optional[np.ndarray] = None
+
+    @property
+    def fallback_count(self) -> int:
+        """Exact-factorization fallbacks this solver has performed."""
+        return self._core.fallback_count
+
+    def solve(self, power: np.ndarray) -> np.ndarray:
+        """Equilibrium temperatures for a per-node power injection (W)."""
+        power = np.asarray(power, dtype=float)
+        if power.shape != (self.network.n_nodes,):
+            raise SolverError(
+                f"power vector has shape {power.shape}, expected ({self.network.n_nodes},)"
+            )
+        temps = self._core.solve_linear(power + self.network.boundary, x0=self._last)
+        if not np.all(np.isfinite(temps)):
+            raise SolverError("steady-state solve produced non-finite temperatures")
+        self._last = temps
+        return temps
+
+    def solve_many(self, powers: np.ndarray) -> np.ndarray:
+        """Equilibrium fields for many injections (column-wise GMRES)."""
+        powers = np.asarray(powers, dtype=float)
+        n = self.network.n_nodes
+        if powers.ndim != 2 or powers.shape[0] != n:
+            raise SolverError(
+                f"power matrix has shape {powers.shape}, expected ({n}, k)"
+            )
+        x0 = self._last_block
+        if x0 is not None and x0.shape != powers.shape:
+            x0 = None
+        temps = self._core.solve_linear_many(
+            powers + self.network.boundary[:, None], x0=x0
+        )
+        if not np.all(np.isfinite(temps)):
+            raise SolverError("steady-state solve produced non-finite temperatures")
+        self._last_block = temps
+        return temps
