@@ -35,6 +35,13 @@ fresh LU per point; krylov factorizes once and preconditions every
 later point off the nearest retained LU, so the section records
 factorization counts, the preconditioner hit rate, the worst
 temperature deviation vs exact, and runs/sec-per-core for both tiers.
+
+PR 9 (schema v4) sources every factorization and hit-rate counter from
+the :mod:`repro.telemetry` metrics registry (snapshot diffs instead of
+module-global reads) and adds a ``timing_breakdown`` section: the
+``span.*`` timer histograms of a traced cold cohort sweep, reporting
+where the wall clock goes (assembly, factorization, steady solves,
+transient steps) as absolute totals and shares.
 """
 
 from __future__ import annotations
@@ -63,17 +70,17 @@ from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig  # noqa: 
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.thermal.grid import ThermalGrid  # noqa: E402
 from repro.thermal.rc_network import ThermalParams, build_network  # noqa: E402
+from repro.telemetry import metrics as telemetry_metrics  # noqa: E402
+from repro.telemetry import trace as telemetry_trace  # noqa: E402
 from repro.thermal.solver import (  # noqa: E402
     SteadyStateSolver,
     TransientSolver,
     clear_neighbor_cache,
-    factorization_count,
-    krylov_stats,
 )
 
 FLOW = units.ml_per_minute(400.0)
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def _median_time(fn, repeats: int) -> float:
@@ -83,6 +90,11 @@ def _median_time(fn, repeats: int) -> float:
         fn()
         samples.append(time.perf_counter() - start)
     return statistics.median(samples)
+
+
+def _counter_delta(before: dict, after: dict, name: str) -> int:
+    """A telemetry counter's movement between two registry snapshots."""
+    return after["counters"].get(name, 0) - before["counters"].get(name, 0)
 
 
 def _cohort_configs() -> list:
@@ -107,9 +119,11 @@ def collect_cohort_metrics(repeats: int = 5) -> dict:
     step through it.
     """
     cache = CharacterizationCache()
-    before = factorization_count()
+    before = telemetry_metrics.snapshot()
     BatchRunner(_cohort_configs(), cohort="off", cache=cache).run()  # warm
-    first_campaign_factorizations = factorization_count() - before
+    first_campaign_factorizations = _counter_delta(
+        before, telemetry_metrics.snapshot(), "solver.factorizations"
+    )
 
     def campaign_time(make) -> float:
         return _median_time(lambda: make().run(), repeats)
@@ -122,9 +136,11 @@ def collect_cohort_metrics(repeats: int = 5) -> dict:
         lambda: CohortRunner(_cohort_configs(), block=True, cache=cache)
     )
 
-    before = factorization_count()
+    before = telemetry_metrics.snapshot()
     CohortRunner(_cohort_configs(), cache=cache).run()
-    warm_refactorizations = factorization_count() - before
+    warm_refactorizations = _counter_delta(
+        before, telemetry_metrics.snapshot(), "solver.factorizations"
+    )
 
     n_runs = len(_cohort_configs())
     return {
@@ -177,8 +193,7 @@ def collect_cross_network_metrics(repeats: int = 3) -> dict:
     def campaign(solver: str):
         clear_system_memo()
         clear_neighbor_cache()
-        before_f = factorization_count()
-        before_s = krylov_stats()
+        before = telemetry_metrics.snapshot()
         batch = BatchRunner(
             _cross_network_configs(solver),
             cohort="auto",
@@ -187,8 +202,13 @@ def collect_cross_network_metrics(repeats: int = 3) -> dict:
         start = time.perf_counter()
         runs = batch.run().runs
         elapsed = time.perf_counter() - start
-        stats = {k: v - before_s[k] for k, v in krylov_stats().items()}
-        return elapsed, factorization_count() - before_f, stats, runs
+        after = telemetry_metrics.snapshot()
+        stats = {
+            key: _counter_delta(before, after, "solver.krylov." + key)
+            for key in ("preconditioner_hits", "preconditioner_misses", "fallbacks")
+        }
+        factorizations = _counter_delta(before, after, "solver.factorizations")
+        return elapsed, factorizations, stats, runs
 
     exact_samples, krylov_samples = [], []
     max_abs_dT = 0.0
@@ -228,6 +248,42 @@ def collect_cross_network_metrics(repeats: int = 3) -> dict:
         ),
         "krylov_fallbacks": k_stats["fallbacks"],
         "max_abs_dT_vs_exact_K": max_abs_dT,
+    }
+
+
+def collect_timing_breakdown() -> dict:
+    """Span-derived timing shares of one cold cohort sweep (PR 9 / v4).
+
+    Runs the 16-run cohort campaign cold with span tracing enabled and
+    reports every ``span.*`` timer's count, total, and share of the
+    campaign wall clock — the same breakdown ``repro telemetry
+    summary`` prints for a ``--trace`` run, committed here so the
+    trajectory tracks *where* the time goes, not just how much.
+    """
+    telemetry_trace.enable()
+    clear_system_memo()
+    before = telemetry_metrics.snapshot()
+    start = time.perf_counter()
+    BatchRunner(
+        _cohort_configs(), cohort="auto", cache=CharacterizationCache()
+    ).run()
+    wall = time.perf_counter() - start
+    delta = telemetry_metrics.snapshot_diff(before, telemetry_metrics.snapshot())
+    telemetry_trace.disable()
+    telemetry_trace.clear()
+    spans = {}
+    for key, stats in delta["timers"].items():
+        if not key.startswith("span."):
+            continue
+        spans[key[len("span."):]] = {
+            "count": stats["count"],
+            "total_s": stats["total_s"],
+            "share_of_wall": stats["total_s"] / wall if wall > 0 else 0.0,
+        }
+    return {
+        "sweep": "16 runs (4 policies x 4 seeds), 64x64, 0.2 s simulated, cold",
+        "wall_s": wall,
+        "spans": spans,
     }
 
 
@@ -316,6 +372,7 @@ def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
         "cross_network": collect_cross_network_metrics(
             repeats=max(1, repeats // 2)
         ),
+        "timing_breakdown": collect_timing_breakdown(),
     }
 
 
@@ -354,6 +411,13 @@ def test_hotpath_baseline(tmp_path):
     assert cross["krylov_factorizations"] < cross["n_points"]
     assert cross["preconditioner_hit_rate"] > 0.0
     assert cross["max_abs_dT_vs_exact_K"] < 1.0e-6
+    breakdown = loaded["timing_breakdown"]
+    assert breakdown["wall_s"] > 0.0
+    # The traced cold campaign must surface the core hot-path spans.
+    assert {"factorize", "steady", "step"} <= set(breakdown["spans"])
+    for stats in breakdown["spans"].values():
+        assert stats["count"] > 0
+        assert 0.0 <= stats["share_of_wall"]
 
 
 def main(argv=None) -> int:
@@ -405,6 +469,18 @@ def main(argv=None) -> int:
         f" {cross['krylov_fallbacks']} fallbacks,"
         f" max |dT| {cross['max_abs_dT_vs_exact_K']:.2e} K)"
     )
+    breakdown = payload["timing_breakdown"]
+    print(f"\ntiming breakdown: {breakdown['sweep']} ({breakdown['wall_s']:.2f}s)")
+    for name, stats in sorted(
+        breakdown["spans"].items(),
+        key=lambda item: item[1]["total_s"],
+        reverse=True,
+    ):
+        print(
+            f"  {name:16s} count {stats['count']:>6}"
+            f"  total {stats['total_s'] * 1e3:9.1f} ms"
+            f"  {stats['share_of_wall']:6.1%} of wall"
+        )
     print(f"\nwrote {args.out}")
     return 0
 

@@ -20,8 +20,8 @@ Two kinds of checks, deliberately different in severity:
 
 Schema changes are tolerated in both directions: benchmarks present on
 only one side are reported as "new" / "not measured" instead of
-failing, and a missing ``cross_network`` section (pre-v3 payloads) is
-a note, not an error.
+failing, and a missing ``cross_network`` (pre-v3) or
+``timing_breakdown`` (pre-v4) section is a note, not an error.
 """
 
 from __future__ import annotations
@@ -62,6 +62,32 @@ def _compare_cross_network(cur: dict | None, base: dict | None) -> int:
             warnings += 1
             _warn(f"{key}: {c:.2f} vs baseline {b:.2f}")
     return warnings
+
+
+def _compare_timing_breakdown(cur: dict | None, base: dict | None) -> None:
+    """Informational span-share comparison (schema v4; never gates).
+
+    Timing shares are machine-sensitive and the section may be absent
+    on either side (pre-v4 payloads), so this only prints — no
+    warnings, no failures.
+    """
+    if not cur:
+        print("(timing_breakdown: not measured this run)")
+        return
+    if not base:
+        print("(timing_breakdown: new this run, no baseline yet)")
+        return
+    cur_spans = cur.get("spans", {})
+    base_spans = base.get("spans", {})
+    shared = sorted(set(cur_spans) & set(base_spans))
+    if not shared:
+        return
+    print(f"{'span share of wall':32s} {'baseline':>10s} {'current':>10s}")
+    for name in shared:
+        print(
+            f"span.{name:27s} {base_spans[name]['share_of_wall']:9.1%} "
+            f"{cur_spans[name]['share_of_wall']:9.1%}"
+        )
 
 
 def compare(current: dict, baseline: dict) -> int:
@@ -111,6 +137,9 @@ def compare(current: dict, baseline: dict) -> int:
 
     warnings += _compare_cross_network(
         current.get("cross_network"), baseline.get("cross_network")
+    )
+    _compare_timing_breakdown(
+        current.get("timing_breakdown"), baseline.get("timing_breakdown")
     )
 
     refactor = cur_cohort.get("warm_refactorizations")

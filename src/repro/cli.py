@@ -21,6 +21,10 @@ be driven without writing Python:
   shards (with stale-lease reclaim when a worker crashes), and
   ``merge`` folds the shard journals into aggregates/CSV/JSON
   byte-identical to a single-host ``sweep run``;
+* ``telemetry summary | validate`` — inspect the trace JSONL files the
+  ``--trace`` flags (on ``simulate``, ``sweep run|resume``, and ``dist
+  work``) export: per-span timing breakdowns, the final metrics
+  snapshot, and schema validation for CI gating;
 * ``list policies | controllers | forecasters | workloads`` — the
   registered component keys (:mod:`repro.registry`), each with its
   aliases and declared parameter schema; any key shown here is a valid
@@ -186,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--save-json", metavar="PATH", help="write the full result as JSON")
     sim.add_argument("--save-csv", metavar="PATH", help="write the time series as CSV")
+    sim.add_argument(
+        "--trace", metavar="PATH",
+        help="record span telemetry and export it as trace JSONL "
+        "(inspect with 'repro telemetry summary')",
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -281,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
             "kernel byte-identically (default), off restores the "
             "per-run path, block enables the multi-RHS kernel "
             "(LU-roundoff-equivalent, not byte-identical)",
+        )
+        p.add_argument(
+            "--trace", metavar="PATH",
+            help="record span telemetry during the sweep and export it "
+            "as trace JSONL (results stay byte-identical)",
         )
 
     sw_run = swsub.add_parser(
@@ -411,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
         "tolerance but the merged campaign loses the bitwise "
         "guarantee, like --cohort block)",
     )
+    d_work.add_argument(
+        "--trace", metavar="PATH",
+        help="record span telemetry for this worker session, export it "
+        "as trace JSONL, and journal per-shard metric deltas for "
+        "'repro dist merge' to aggregate (journals and results stay "
+        "byte-identical without this flag)",
+    )
 
     d_merge = dsub.add_parser(
         "merge",
@@ -434,6 +455,26 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="report a campaign directory's progress"
     )
     d_status.add_argument("--dir", required=True, metavar="DIR")
+
+    tel = sub.add_parser(
+        "telemetry",
+        help="inspect and validate trace JSONL files",
+        description="Work with the trace JSONL files the --trace flags "
+        "export: 'summary' prints the per-span timing breakdown and the "
+        "final metrics snapshot, 'validate' checks the file against the "
+        "documented schema (every line parses, required span keys "
+        "present, ids unique, children nested within parents) and exits "
+        "non-zero on any violation — CI uses it as the telemetry gate.",
+    )
+    tsub = tel.add_subparsers(dest="telemetry_command", required=True)
+    t_summary = tsub.add_parser(
+        "summary", help="per-span timing breakdown of a trace file"
+    )
+    t_summary.add_argument("path", metavar="PATH", help="trace JSONL file")
+    t_validate = tsub.add_parser(
+        "validate", help="check a trace file against the schema"
+    )
+    t_validate.add_argument("path", metavar="PATH", help="trace JSONL file")
 
     for name, help_text in (
         ("fig3", "pump power and per-cavity flows"),
@@ -531,6 +572,7 @@ def _parse_cli_params(items: list, what: str) -> dict:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     _checked_output(args.save_json, "JSON output")
     _checked_output(args.save_csv, "CSV output")
+    _trace_enable(args.trace)
     thread_trace = None
     duration = args.duration
     if args.trace_csv:
@@ -581,6 +623,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.save_csv:
         write_timeseries_csv(result, args.save_csv)
         print(f"  wrote CSV  -> {args.save_csv}")
+    _trace_export(args.trace)
     return 0
 
 
@@ -607,6 +650,52 @@ def _checked_output(path_str: Optional[str], what: str) -> Optional[str]:
             f"directory {str(parent)!r} does not exist"
         )
     return path_str
+
+
+def _trace_enable(path_str: Optional[str]) -> Optional[str]:
+    """Validate a ``--trace`` output path and switch span tracing on.
+
+    A no-op (tracing stays disabled, zero overhead) when the flag was
+    not given.
+    """
+    if path_str is None:
+        return None
+    from repro.telemetry import trace
+
+    _checked_output(path_str, "trace output")
+    trace.enable()
+    return path_str
+
+
+def _trace_export(path_str: Optional[str]) -> None:
+    """Export the buffered spans + metrics snapshot to a ``--trace`` path."""
+    if path_str is None:
+        return
+    from repro.telemetry import trace
+
+    trace.export_trace(path_str)
+    print(f"wrote trace -> {path_str}")
+
+
+def _print_metrics_report(snapshot: dict, indent: str = "  ") -> None:
+    """Render a metrics snapshot: counters, then per-span timings."""
+    counters = snapshot.get("counters") or {}
+    if counters:
+        width = max(len(key) for key in counters)
+        for key in sorted(counters):
+            print(f"{indent}{key:<{width}} {counters[key]}")
+    timers = snapshot.get("timers") or {}
+    if timers:
+        width = max(len(key) for key in timers)
+        for key in sorted(timers):
+            stats = timers[key]
+            print(
+                f"{indent}{key:<{width}} count {stats.get('count', 0):>6} "
+                f"total {stats.get('total_s', 0.0):.3f}s "
+                f"max {stats.get('max_s', 0.0):.4f}s"
+            )
+    if not counters and not timers:
+        print(f"{indent}(no metrics recorded)")
 
 
 def _split_choices(raw: str, values: list[str], what: str) -> list[str]:
@@ -781,6 +870,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     _checked_output(args.save_json, "JSON output")
     _checked_output(args.save_csv, "CSV output")
     _checked_output(args.checkpoint, "checkpoint")
+    _trace_enable(args.trace)
     if args.stop_after is not None and args.stop_after < 1:
         raise SystemExit("--stop-after must be >= 1")
     if args.snapshot_every < 1:
@@ -857,6 +947,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         if args.save_json:
             print("JSON export skipped (written only when the sweep completes)")
+    _trace_export(args.trace)
     return 0
 
 
@@ -891,6 +982,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         return 0
 
     if args.dist_command == "work":
+        _trace_enable(args.trace)
         reporter = ProgressReporter(0, label="dist", quiet=args.quiet)
         runs_seen = 0
 
@@ -929,6 +1021,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             f"{report.runs_executed} run(s) in {report.wall_time:.2f}s"
             + reclaimed
         )
+        _trace_export(args.trace)
         return 0
 
     if args.dist_command == "merge":
@@ -955,6 +1048,9 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             if rows and kind in ("scalar", "quantile"):
                 print(f"\n-- {kind} aggregates --")
                 _print_rows(rows)
+        if merged.telemetry is not None:
+            print("\n-- campaign telemetry --")
+            _print_metrics_report(merged.telemetry)
         if args.save_csv:
             merged.save_csv(args.save_csv)
             print(f"wrote CSV  -> {args.save_csv}")
@@ -984,13 +1080,16 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         )
         print(f"runs:       {status.runs_done}/{status.n_runs} journaled-complete")
         for state in status.shards:
-            if state.state != "done":
-                holder = f" ({state.worker})" if state.worker else ""
-                print(
-                    f"  shard {state.shard.index} "
-                    f"[{state.shard.start},{state.shard.stop}): "
-                    f"{state.state}{holder}, {state.runs_journaled} journaled"
-                )
+            holder = f" ({state.worker})" if state.worker else ""
+            heartbeat = ""
+            if state.heartbeat_age_s is not None:
+                heartbeat = f", heartbeat {state.heartbeat_age_s:.0f}s ago"
+            print(
+                f"  shard {state.shard.index} "
+                f"[{state.shard.start},{state.shard.stop}): "
+                f"{state.state}{holder}, {state.runs_journaled} journaled, "
+                f"{state.elapsed_s:.1f}s run time{heartbeat}"
+            )
         if status.count("stale"):
             print(
                 "stale leases are reclaimed automatically by the next "
@@ -998,6 +1097,43 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             )
         return 0
     raise AssertionError(f"unhandled dist command {args.dist_command!r}")
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import validate_trace
+
+    report = validate_trace(_existing_file(args.path, "trace file"))
+    if args.telemetry_command == "validate":
+        if report.ok:
+            print(f"ok: {args.path} ({report.n_spans} spans)")
+            return 0
+        print(f"invalid: {args.path}")
+        for error in report.errors:
+            print(f"  {error}")
+        return 1
+
+    # summary
+    print(f"trace: {args.path} ({report.n_spans} spans)")
+    if report.errors:
+        print(f"  ({len(report.errors)} schema violation(s); "
+              "see 'repro telemetry validate')")
+    if report.span_totals:
+        print("\n-- span totals --")
+        width = max(len(name) for name in report.span_totals)
+        ordered = sorted(
+            report.span_totals.items(),
+            key=lambda item: item[1]["total_s"],
+            reverse=True,
+        )
+        for name, agg in ordered:
+            print(
+                f"  {name:<{width}} count {agg['count']:>6} "
+                f"total {agg['total_s']:.3f}s"
+            )
+    if report.metrics is not None:
+        print("\n-- metrics snapshot --")
+        _print_metrics_report(report.metrics)
+    return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -1073,6 +1209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sweep(args)
     if command == "dist":
         return _cmd_dist(args)
+    if command == "telemetry":
+        return _cmd_telemetry(args)
     if command == "fig3":
         _print_rows(fig3.run())
         return 0

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.io.dist import (
@@ -35,6 +35,7 @@ from repro.sweep.aggregate import (
     aggregate_tables,
     aggregator_from_spec,
 )
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass
@@ -58,6 +59,10 @@ class MergeResult:
     #: missing (replay is order-sensitive, so a gap ends a partial merge).
     shards_skipped: list[str] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Campaign-wide metrics snapshot summed from the per-shard deltas
+    #: telemetry-enabled workers journal (``None`` when no merged shard
+    #: carried one — i.e. the campaign ran with telemetry off).
+    telemetry: Optional[dict] = None
 
     @property
     def complete(self) -> bool:
@@ -117,6 +122,12 @@ def merge_campaign(
     elapsed = 0.0
     shards_merged = 0
     skipped: list[str] = []
+    # Per-shard metric deltas (journaled only by telemetry-enabled
+    # workers) sum into one campaign-wide snapshot through a private
+    # registry — never the process one, so merging a campaign does not
+    # pollute the merger's own counters.
+    telemetry_registry = MetricsRegistry()
+    saw_telemetry = False
     folding = True
     for shard, journal in zip(ledger.shards, journals):
         if journal is None:
@@ -133,6 +144,9 @@ def merge_campaign(
             for i, agg in enumerate(aggregators):
                 agg.update_payload(payloads[str(i)])
             elapsed += seconds
+        if journal.telemetry is not None:
+            telemetry_registry.merge(journal.telemetry)
+            saw_telemetry = True
         shards_merged += 1
     return MergeResult(
         name=ledger.name,
@@ -145,6 +159,7 @@ def merge_campaign(
         shards_missing=missing,
         shards_skipped=skipped,
         elapsed_s=elapsed,
+        telemetry=telemetry_registry.snapshot() if saw_telemetry else None,
     )
 
 
@@ -180,6 +195,12 @@ class ShardState:
     state: str  # done | running | stale | pending
     worker: str = ""
     runs_journaled: int = 0
+    #: Sum of the shard journal's per-run wall times (0 when nothing
+    #: has been journaled yet).
+    elapsed_s: float = 0.0
+    #: Seconds since the holding worker last refreshed its lease;
+    #: ``None`` for done/pending shards (no live lease to age).
+    heartbeat_age_s: Optional[float] = None
 
 
 @dataclass
@@ -216,18 +237,23 @@ def campaign_status(directory: Union[str, Path]) -> CampaignStatus:
             ledger.shard_journal_path(shard), shard, ledger.fingerprint
         )
         journaled = journal.n_runs if journal is not None else 0
+        elapsed = journal.elapsed_s if journal is not None else 0.0
         if journal is not None and journal.complete:
             states.append(
-                ShardState(shard, "done", journal.worker, journaled)
+                ShardState(shard, "done", journal.worker, journaled, elapsed)
             )
             continue
         lease = read_lease(ledger.lease_path(shard))
         if lease is None:
-            states.append(ShardState(shard, "pending", "", journaled))
-        elif lease.stale(now):
-            states.append(ShardState(shard, "stale", lease.worker, journaled))
+            states.append(ShardState(shard, "pending", "", journaled, elapsed))
         else:
-            states.append(ShardState(shard, "running", lease.worker, journaled))
+            state = "stale" if lease.stale(now) else "running"
+            states.append(
+                ShardState(
+                    shard, state, lease.worker, journaled, elapsed,
+                    heartbeat_age_s=lease.heartbeat_age(now),
+                )
+            )
     return CampaignStatus(
         name=ledger.name,
         fingerprint=ledger.fingerprint,

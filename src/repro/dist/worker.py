@@ -45,6 +45,8 @@ from repro.sim.cache import CharacterizationCache
 from repro.sweep.aggregate import Aggregator, aggregator_from_spec
 from repro.sweep.runner import FoldReducer
 from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 #: Default seconds a lease stays valid without a refresh. Refreshes
 #: happen after every run, so this only needs to exceed one *run*, not
@@ -88,6 +90,7 @@ def _execute_shard(
     """Run one shard's chunk and journal it; returns runs executed."""
     chunk = list(spec.iter_points(shard.start, shard.stop))
     lease_path = ledger.lease_path(shard)
+    metrics_before = _metrics.snapshot()
     appender = open_shard_journal(
         ledger.shard_journal_path(shard), ledger.fingerprint, shard, worker_id
     )
@@ -134,6 +137,20 @@ def _execute_shard(
                     progress(point, shard.index, run.elapsed)
         if not refresh_lease(lease_path, worker_id, lease_ttl):
             raise _LeaseLost(shard.shard_id)
+        # With telemetry enabled the shard journals its metric delta so
+        # the merger can report a campaign-wide breakdown; disabled (the
+        # default), the journal stays byte-identical to the historical
+        # format.
+        if _trace.enabled():
+            appender.append(
+                {
+                    "kind": "telemetry",
+                    "worker": worker_id,
+                    "metrics": _metrics.snapshot_diff(
+                        metrics_before, _metrics.snapshot()
+                    ),
+                }
+            )
         appender.append(
             {"kind": "complete", "shard": shard.shard_id, "n_runs": len(chunk)}
         )

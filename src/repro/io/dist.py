@@ -205,10 +205,18 @@ class ShardJournal:
     elapsed: list[float] = field(default_factory=list)
     complete: bool = False
     torn: bool = False
+    #: Metric snapshot-diff journaled by a telemetry-enabled worker
+    #: (``None`` for the historical, telemetry-off journal format).
+    telemetry: Optional[dict] = None
 
     @property
     def n_runs(self) -> int:
         return len(self.rows)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total journaled run wall time for this shard."""
+        return sum(self.elapsed)
 
 
 def shard_journal_header(
@@ -294,6 +302,8 @@ def read_shard_journal(
             journal.rows.append(entry["row"])
             journal.payloads.append(entry.get("agg", {}))
             journal.elapsed.append(float(entry.get("elapsed_s", 0.0)))
+        elif kind == "telemetry":
+            journal.telemetry = entry.get("metrics", {})
         elif kind == "complete":
             journal.complete = True
     return journal
@@ -316,6 +326,15 @@ class LeaseInfo:
         """Expired — or torn, which only a crashed claimer leaves behind
         (claims are tiny single-write files)."""
         return not self.parseable or now >= self.deadline
+
+    def heartbeat_age(self, now: float) -> Optional[float]:
+        """Seconds since the holder last refreshed (claimed or extended)
+        this lease, or ``None`` for a torn lease. Refreshes rewrite the
+        deadline as ``refresh_time + ttl``, so the last heartbeat is
+        recoverable as ``deadline - ttl`` without a new field."""
+        if not self.parseable:
+            return None
+        return max(0.0, now - (self.deadline - self.ttl))
 
 
 def read_lease(path: Union[str, Path]) -> Optional[LeaseInfo]:

@@ -38,6 +38,8 @@ from repro.sim import engine
 from repro.sim.cache import CharacterizationCache
 from repro.sim.config import SimulationConfig
 from repro.sim.results import SimulationResult
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 from repro.workload.generator import ThreadTrace
 
 
@@ -159,7 +161,8 @@ def _execute_one(
     """Run one configured simulation (worker side and serial path)."""
     index, config, trace = task
     start = time.perf_counter()
-    result = engine.Simulator(config, trace=trace).run()
+    with _trace.span("run", index=index, policy=config.policy, solver=config.solver):
+        result = engine.Simulator(config, trace=trace).run()
     return BatchRun(
         index=index,
         config=config,
@@ -183,12 +186,16 @@ def _execute_group(
     if len(group) == 1:
         index, config, trace, _ = group[0]
         runs = [_execute_one((index, config, trace))]
+        _metrics.counter("runner.runs").inc(mode="single")
     else:
         from repro.runner.cohort import execute_cohort
 
         runs = execute_cohort(
             [(index, config, trace) for index, config, trace, _ in group],
             block=block,
+        )
+        _metrics.counter("runner.runs").inc(
+            len(runs), mode="block" if block else "exact"
         )
     if reducer is None:
         return runs
@@ -203,13 +210,32 @@ def _execute_group(
     ]
 
 
-def _worker_init(cache: CharacterizationCache) -> None:
+def _execute_group_remote(task: tuple) -> tuple[list, dict]:
+    """Pool entrypoint: run a group and ship its metric delta back.
+
+    Workers snapshot the telemetry registry around the group so only
+    the group's *own* activity travels back (under ``fork`` the child
+    inherits the parent's counter values; the diff cancels them). The
+    parent merges every delta, so campaign counters aggregate across
+    the pool exactly as they do serially.
+    """
+    before = _metrics.snapshot()
+    items = _execute_group(task)
+    return items, _metrics.snapshot_diff(before, _metrics.snapshot())
+
+
+def _worker_init(
+    cache: CharacterizationCache, trace_context: Optional[dict] = None
+) -> None:
     """Install the parent's pre-warmed cache as the worker's default.
 
     Redundant under the ``fork`` start method (the child inherits the
     parent's module state) but required for ``spawn``/``forkserver``.
+    Also activates the parent's trace context, so worker-side spans
+    feed the worker's ``span.*`` timers (merged back per group).
     """
     engine.set_default_cache(cache)
+    _trace.install_trace_context(trace_context)
 
 
 class BatchRunner:
@@ -376,11 +402,14 @@ class BatchRunner:
             pool = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_worker_init,
-                initargs=(self.cache,),
+                initargs=(self.cache, _trace.trace_context()),
             )
             try:
                 # pool.map yields groups in submission order as they land.
-                for items in pool.map(_execute_group, tasks, chunksize=1):
+                for items, delta in pool.map(
+                    _execute_group_remote, tasks, chunksize=1
+                ):
+                    _metrics.merge(delta)
                     for item in items:
                         buffered[item.index] = item
                     yield from ready()

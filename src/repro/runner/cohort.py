@@ -49,6 +49,7 @@ import numpy as np
 from repro.sim import engine
 from repro.sim.cache import _system_memo_key
 from repro.sim.config import SimulationConfig
+from repro.telemetry import trace as _trace
 from repro.thermal.rc_network import ThermalParams
 from repro.workload.generator import ThreadTrace
 
@@ -109,14 +110,18 @@ def group_cohorts(
     which keeps the byte-identity guarantee of exact mode trivially
     intact.
     """
-    groups: dict[tuple, list[int]] = {}
-    for i, config in enumerate(configs):
-        if neighbors and config.solver == "krylov":
-            key: tuple = ("structural",) + structural_signature(config)
-        else:
-            key = ("exact",) + cohort_signature(config)
-        groups.setdefault(key, []).append(i)
-    return list(groups.values())
+    with _trace.span(
+        "cohort.plan", n_configs=len(configs), neighbors=neighbors
+    ) as plan_span:
+        groups: dict[tuple, list[int]] = {}
+        for i, config in enumerate(configs):
+            if neighbors and config.solver == "krylov":
+                key: tuple = ("structural",) + structural_signature(config)
+            else:
+                key = ("exact",) + cohort_signature(config)
+            groups.setdefault(key, []).append(i)
+        plan_span.set_attrs(n_cohorts=len(groups))
+        return list(groups.values())
 
 
 def split_cohort(members: list[int], parts: int) -> list[list[int]]:
@@ -197,6 +202,21 @@ def execute_cohort(
     from repro.runner.batch import BatchRun
 
     start = time.perf_counter()
+    with _trace.span(
+        "cohort.execute", n_members=len(tasks), mode="block" if block else "exact"
+    ):
+        sims = _execute_cohort_sims(tasks, block)
+    elapsed = (time.perf_counter() - start) / len(sims)
+    return [
+        BatchRun(index=index, config=config, result=sim.result(), elapsed=elapsed)
+        for (index, config, _), sim in zip(tasks, sims)
+    ]
+
+
+def _execute_cohort_sims(
+    tasks: Sequence[tuple[int, SimulationConfig, Optional[ThreadTrace]]],
+    block: bool,
+) -> "list[engine.Simulator]":
     sims = [
         engine.Simulator(config, trace=trace) for _, config, trace in tasks
     ]
@@ -221,11 +241,7 @@ def execute_cohort(
                 sim.run()
     else:
         sims[0].run()
-    elapsed = (time.perf_counter() - start) / len(sims)
-    return [
-        BatchRun(index=index, config=config, result=sim.result(), elapsed=elapsed)
-        for (index, config, _), sim in zip(tasks, sims)
-    ]
+    return sims
 
 
 class CohortRunner:

@@ -37,7 +37,19 @@ from repro.registry import (
 )
 from repro.sched.weights import ThermalWeights
 from repro.sim.config import CoolingMode, SimulationConfig
+from repro.telemetry import metrics as _metrics
 from repro.workload.generator import ThreadTrace
+
+_CHAR_HITS = _metrics.counter("cache.characterization.hits")
+_CHAR_MISSES = _metrics.counter("cache.characterization.misses")
+"""Characterization-cache traffic, labeled by artifact kind
+(``kind=table|floor|weights|trace``) — the telemetry view of whether a
+campaign's workers received finished artifacts or re-derived them."""
+
+_SYSTEM_HITS = _metrics.counter("cache.system.hits")
+_SYSTEM_MISSES = _metrics.counter("cache.system.misses")
+"""System-memo traffic: a miss is a full network assembly plus
+factorization; warm campaigns should be nearly all hits."""
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.sim.system import ThermalSystem
@@ -94,7 +106,9 @@ def system_for(config: SimulationConfig) -> tuple["ThermalSystem", "PowerModel"]
     hit = _system_memo.get(key)
     if hit is not None:
         _system_memo.move_to_end(key)
+        _SYSTEM_HITS.inc()
         return hit
+    _SYSTEM_MISSES.inc()
     cooling = (
         CoolingKind.AIR if config.cooling is CoolingMode.AIR else CoolingKind.LIQUID
     )
@@ -170,7 +184,10 @@ class CharacterizationCache:
     ) -> FlowRateTable:
         """The (cached) offline flow-table characterization (Figure 5)."""
         key = self._key(config, CoolingKind.LIQUID, system)
-        if key not in self.tables:
+        if key in self.tables:
+            _CHAR_HITS.inc(kind="table")
+        else:
+            _CHAR_MISSES.inc(kind="table")
             self.tables[key] = FlowRateTable.characterize(
                 steady_tmax_batch=lambda setting, utils: system.steady_tmax_batch(
                     power_model, utils, setting_index=setting
@@ -195,7 +212,10 @@ class CharacterizationCache:
         section 8).
         """
         key = self._key(config, CoolingKind.LIQUID, system)
-        if key not in self.floors:
+        if key in self.floors:
+            _CHAR_HITS.inc(kind="floor")
+        else:
+            _CHAR_MISSES.inc(kind="floor")
             floor = system.pump.n_settings - 1
             for k in range(system.pump.n_settings):
                 tmax = system.steady_tmax_concentrated(power_model, setting_index=k)
@@ -218,7 +238,10 @@ class CharacterizationCache:
             setting_index,
             config.talb_weight_target,
         )
-        if key not in self.weight_sets:
+        if key in self.weight_sets:
+            _CHAR_HITS.inc(kind="weights")
+        else:
+            _CHAR_MISSES.inc(kind="weights")
             self.weight_sets[key] = ThermalWeights.from_network(
                 system.network(setting_index),
                 target_temperature=config.talb_weight_target,
@@ -271,7 +294,10 @@ class CharacterizationCache:
         if not workload_registry().get(config.workload).trait("cache_trace"):
             return self._build_trace(config)
         key = self._trace_key(config)
-        if key not in self.traces:
+        if key in self.traces:
+            _CHAR_HITS.inc(kind="trace")
+        else:
+            _CHAR_MISSES.inc(kind="trace")
             self.traces[key] = self._build_trace(config)
         # Always a pristine copy: the scheduler mutates Thread objects,
         # so the cached original must never run.

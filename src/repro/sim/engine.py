@@ -61,6 +61,7 @@ from repro.sim.cache import CharacterizationCache, system_for
 from repro.sim.config import CoolingMode, SimulationConfig
 from repro.sim.results import SimulationResult
 from repro.sim.system import ThermalSystem
+from repro.telemetry import trace as _trace
 from repro.workload.generator import ThreadTrace
 
 _default_cache = CharacterizationCache()
@@ -443,6 +444,12 @@ class Simulator:
         this system's LU — and hands the solved field to
         :meth:`step_finish`. :meth:`step` is the fused per-run form.
         """
+        with _trace.span("step_begin") as sb_span:
+            pending = self._step_begin_impl()
+            sb_span.set_attrs(index=pending.index)
+            return pending
+
+    def _step_begin_impl(self) -> PendingInterval:
         st = self._ensure_state()
         if self._pending:
             raise ConfigurationError(
@@ -546,6 +553,12 @@ class Simulator:
         one column of the cohort's :meth:`~repro.thermal.solver.
         TransientSolver.step_many` block).
         """
+        with _trace.span("step_finish", index=pending.index):
+            return self._step_finish_impl(pending, new_temperatures)
+
+    def _step_finish_impl(
+        self, pending: PendingInterval, new_temperatures: np.ndarray
+    ) -> IntervalState:
         st = self._state
         if st is None or not self._pending:
             raise ConfigurationError(
@@ -624,12 +637,14 @@ class Simulator:
 
     def step(self) -> IntervalState:
         """Execute one control interval (stages 1-6) and record it."""
-        pending = self.step_begin()
-        solver = self.system.transient_solver(
-            pending.setting, self.config.sampling_interval
-        )
-        new_temperatures = solver.step(pending.temperatures, pending.node_power)
-        return self.step_finish(pending, new_temperatures)
+        with _trace.span("step") as step_span:
+            pending = self.step_begin()
+            step_span.set_attrs(index=pending.index, setting=pending.setting)
+            solver = self.system.transient_solver(
+                pending.setting, self.config.sampling_interval
+            )
+            new_temperatures = solver.step(pending.temperatures, pending.node_power)
+            return self.step_finish(pending, new_temperatures)
 
     def result(self) -> SimulationResult:
         """The recorded series through the last executed interval.

@@ -58,6 +58,7 @@ from repro.sweep.aggregate import (
     default_aggregators,
 )
 from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.telemetry import trace as _trace
 
 _CHECKPOINT_FORMAT = "repro-sweep-checkpoint"
 _CHECKPOINT_VERSION = 1
@@ -551,16 +552,17 @@ class SweepRunner:
                 # default-cache restore) deterministic if a fold raises.
                 with contextlib.closing(stream) as batch_runs:
                     for point, run in zip(chunk, batch_runs):
-                        if reduced:
-                            row = run.payload["row"]
-                            for i, agg in enumerate(self.aggregators):
-                                agg.update_payload(run.payload["agg"][str(i)])
-                        else:
-                            row = sweep_row(
-                                point.index, point.key, point.config, run.result
-                            )
-                            for agg in self.aggregators:
-                                agg.update(point.config, run.result)
+                        with _trace.span("fold", index=point.index):
+                            if reduced:
+                                row = run.payload["row"]
+                                for i, agg in enumerate(self.aggregators):
+                                    agg.update_payload(run.payload["agg"][str(i)])
+                            else:
+                                row = sweep_row(
+                                    point.index, point.key, point.config, run.result
+                                )
+                                for agg in self.aggregators:
+                                    agg.update(point.config, run.result)
                         rows.append(row)
                         folded += 1
                         if appender is not None:

@@ -41,6 +41,7 @@ from repro.geometry.floorplan import UnitKind
 from repro.geometry.stack import CoolingKind
 from repro.microchannel.geometry import ChannelGeometry
 from repro.microchannel.model import MicrochannelModel
+from repro.telemetry import trace as _trace
 from repro.thermal.grid import SlabKind, ThermalGrid
 from repro.thermal.package import AirPackage
 
@@ -333,10 +334,17 @@ def build_network(
             geometry=ChannelGeometry(length=stack.width),
             die_height=stack.height,
         )
-        return _build_liquid(grid, params, flows, model)
+        with _trace.span(
+            "assemble", cooling="liquid", grid=(grid.nx, grid.ny),
+            n_nodes=grid.n_nodes,
+        ):
+            return _build_liquid(grid, params, flows, model)
     if cavity_flows is not None:
         raise ConfigurationError("air-cooled networks take no cavity_flows")
-    return _build_air(grid, params, package or AirPackage())
+    with _trace.span(
+        "assemble", cooling="air", grid=(grid.nx, grid.ny), n_nodes=grid.n_nodes,
+    ):
+        return _build_air(grid, params, package or AirPackage())
 
 
 def _broadcast_flows(cavity_flows: Sequence[float], n_cavities: int) -> tuple[float, ...]:

@@ -25,36 +25,32 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.errors import SolverError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 from repro.thermal.rc_network import RCNetwork, ThermalParams
 
-_factorizations = 0
+_FACTORIZATIONS = _metrics.counter("solver.factorizations")
 """Monotonic count of sparse LU factorizations this process has
-performed (steady + transient). Factorizing is the expensive,
-cacheable step — a batched cohort campaign must hit each distinct
-(network, dt) system exactly once, and ``benchmarks/bench_hotpath.py``
-plus the CI perf job gate on deltas of this counter rather than on
-wall-clock."""
-
-_count_lock = threading.Lock()
-"""Guards ``_factorizations``: solvers are constructed from multiple
-threads by the planned async digital-twin service, and ``+=`` on a
-module global is not atomic under free-threaded builds (and only
-incidentally so under the GIL)."""
+performed (steady + transient), kept in the process-wide
+:mod:`repro.telemetry` registry (thread-safe increments). Factorizing
+is the expensive, cacheable step — a batched cohort campaign must hit
+each distinct (network, dt) system exactly once, and
+``benchmarks/bench_hotpath.py`` plus the CI perf job gate on deltas of
+this counter rather than on wall-clock."""
 
 
 def factorization_count() -> int:
     """LU factorizations performed so far in this process.
 
-    Monotonic; callers measure a campaign by snapshotting before and
-    after (there is deliberately no reset — concurrent measurement
-    scopes would clobber each other's baselines)."""
-    return _factorizations
+    Byte-compatible shim over the ``solver.factorizations`` telemetry
+    counter. Monotonic; callers measure a campaign by snapshotting
+    before and after (there is deliberately no reset here — concurrent
+    measurement scopes would clobber each other's baselines)."""
+    return _FACTORIZATIONS.value()
 
 
 def _count_factorization() -> None:
-    global _factorizations
-    with _count_lock:
-        _factorizations += 1
+    _FACTORIZATIONS.inc()
 
 
 class SteadyStateSolver:
@@ -67,10 +63,13 @@ class SteadyStateSolver:
     def __init__(self, network: RCNetwork, lu: Optional[spla.SuperLU] = None) -> None:
         self.network = network
         if lu is None:
-            try:
-                lu = spla.splu(network.conductance.tocsc())
-            except RuntimeError as exc:
-                raise SolverError(f"steady-state factorization failed: {exc}") from exc
+            with _trace.span("factorize", kind="steady", n_nodes=network.n_nodes):
+                try:
+                    lu = spla.splu(network.conductance.tocsc())
+                except RuntimeError as exc:
+                    raise SolverError(
+                        f"steady-state factorization failed: {exc}"
+                    ) from exc
             _count_factorization()
         self._lu = lu
 
@@ -81,7 +80,8 @@ class SteadyStateSolver:
             raise SolverError(
                 f"power vector has shape {power.shape}, expected ({self.network.n_nodes},)"
             )
-        temps = self._lu.solve(power + self.network.boundary)
+        with _trace.span("steady", n_nodes=self.network.n_nodes):
+            temps = self._lu.solve(power + self.network.boundary)
         if not np.all(np.isfinite(temps)):
             raise SolverError("steady-state solve produced non-finite temperatures")
         return temps
@@ -100,7 +100,10 @@ class SteadyStateSolver:
             raise SolverError(
                 f"power matrix has shape {powers.shape}, expected ({n}, k)"
             )
-        temps = self._lu.solve(powers + self.network.boundary[:, None])
+        with _trace.span(
+            "steady", n_nodes=self.network.n_nodes, n_rhs=powers.shape[1]
+        ):
+            temps = self._lu.solve(powers + self.network.boundary[:, None])
         if not np.all(np.isfinite(temps)):
             raise SolverError("steady-state solve produced non-finite temperatures")
         return temps
@@ -127,10 +130,11 @@ class TransientSolver:
         if np.any(c_over_dt < 0.0):
             raise SolverError("negative capacitance in network")
         system = network.conductance + sp.diags(c_over_dt)
-        try:
-            self._lu = spla.splu(system.tocsc())
-        except RuntimeError as exc:
-            raise SolverError(f"transient factorization failed: {exc}") from exc
+        with _trace.span("factorize", kind="transient", n_nodes=network.n_nodes):
+            try:
+                self._lu = spla.splu(system.tocsc())
+            except RuntimeError as exc:
+                raise SolverError(f"transient factorization failed: {exc}") from exc
         _count_factorization()
         self._c_over_dt = c_over_dt
 
@@ -259,20 +263,26 @@ usable neighbor preconditioner converges in a handful of iterations;
 hitting this budget means the neighbor was too far away, and the
 solver falls back to an exact factorization of its own matrix."""
 
-_krylov_lock = threading.Lock()
-_krylov_stats = {
-    "preconditioner_hits": 0,
-    "preconditioner_misses": 0,
-    "fallbacks": 0,
-    "iterations": 0,
-    "gmres_solves": 0,
-    "direct_solves": 0,
+_KRYLOV_STAT_KEYS = (
+    "preconditioner_hits",
+    "preconditioner_misses",
+    "fallbacks",
+    "iterations",
+    "gmres_solves",
+    "direct_solves",
+)
+_KRYLOV_COUNTERS = {
+    key: _metrics.counter("solver.krylov." + key) for key in _KRYLOV_STAT_KEYS
 }
 
 
 def krylov_stats() -> dict:
     """Process-wide Krylov solver counters (monotonic, like
     :func:`factorization_count`; snapshot before/after to measure).
+
+    Byte-compatible shim over the ``solver.krylov.*`` telemetry
+    counters; always a freshly built dict, so mutating the returned
+    mapping cannot corrupt the live counters.
 
     ``preconditioner_hits``/``preconditioner_misses`` count solver
     constructions that found / failed to find a retained neighbor LU;
@@ -281,14 +291,12 @@ def krylov_stats() -> dict:
     GMRES work; ``direct_solves`` counts solves served by an exact LU
     (own factorization, exact cache hit, or post-fallback).
     """
-    with _krylov_lock:
-        return dict(_krylov_stats)
+    return {key: counter.value() for key, counter in _KRYLOV_COUNTERS.items()}
 
 
 def _bump_krylov(**deltas: int) -> None:
-    with _krylov_lock:
-        for key, delta in deltas.items():
-            _krylov_stats[key] += delta
+    for key, delta in deltas.items():
+        _KRYLOV_COUNTERS[key].inc(delta)
 
 
 def structure_signature(network: RCNetwork) -> tuple:
@@ -495,10 +503,15 @@ class _KrylovLinearSolver:
     def _factorize(self) -> spla.SuperLU:
         """Exact LU of *this* matrix; retained for future neighbors."""
         if self._lu is None:
-            try:
-                self._lu = spla.splu(self._matrix.tocsc())
-            except RuntimeError as exc:
-                raise SolverError(f"krylov factorization failed: {exc}") from exc
+            with _trace.span(
+                "factorize", kind="krylov", n_nodes=self._matrix.shape[0]
+            ):
+                try:
+                    self._lu = spla.splu(self._matrix.tocsc())
+                except RuntimeError as exc:
+                    raise SolverError(
+                        f"krylov factorization failed: {exc}"
+                    ) from exc
             _count_factorization()
             self._cache.retain(self.structure, self._params, self._lu)
         return self._lu
@@ -518,10 +531,12 @@ class _KrylovLinearSolver:
         def _count(_pr_norm: float) -> None:
             iterations[0] += 1
 
-        x, info = _gmres(
-            self._matrix, rhs, x0=x0, M=precond, rtol=self.tolerance,
-            restart=self.max_iterations, maxiter=1, callback=_count,
-        )
+        with _trace.span("gmres", n_nodes=n) as gmres_span:
+            x, info = _gmres(
+                self._matrix, rhs, x0=x0, M=precond, rtol=self.tolerance,
+                restart=self.max_iterations, maxiter=1, callback=_count,
+            )
+            gmres_span.set_attrs(iterations=iterations[0], info=int(info))
         _bump_krylov(gmres_solves=1, iterations=iterations[0])
         if info == 0 and np.all(np.isfinite(x)):
             # Trust but verify: the documented contract is the true
@@ -693,7 +708,10 @@ class KrylovSteadySolver:
             raise SolverError(
                 f"power vector has shape {power.shape}, expected ({self.network.n_nodes},)"
             )
-        temps = self._core.solve_linear(power + self.network.boundary, x0=self._last)
+        with _trace.span("steady", tier="krylov", n_nodes=self.network.n_nodes):
+            temps = self._core.solve_linear(
+                power + self.network.boundary, x0=self._last
+            )
         if not np.all(np.isfinite(temps)):
             raise SolverError("steady-state solve produced non-finite temperatures")
         self._last = temps
@@ -710,9 +728,13 @@ class KrylovSteadySolver:
         x0 = self._last_block
         if x0 is not None and x0.shape != powers.shape:
             x0 = None
-        temps = self._core.solve_linear_many(
-            powers + self.network.boundary[:, None], x0=x0
-        )
+        with _trace.span(
+            "steady", tier="krylov",
+            n_nodes=self.network.n_nodes, n_rhs=powers.shape[1],
+        ):
+            temps = self._core.solve_linear_many(
+                powers + self.network.boundary[:, None], x0=x0
+            )
         if not np.all(np.isfinite(temps)):
             raise SolverError("steady-state solve produced non-finite temperatures")
         self._last_block = temps
