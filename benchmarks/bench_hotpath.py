@@ -42,6 +42,13 @@ module-global reads) and adds a ``timing_breakdown`` section: the
 ``span.*`` timer histograms of a traced cold cohort sweep, reporting
 where the wall clock goes (assembly, factorization, steady solves,
 transient steps) as absolute totals and shares.
+
+PR 10 (schema v5) adds a ``facility`` section: the warm 32x32 run
+repeated with the closed-loop facility co-simulation enabled, so the
+trajectory tracks the per-interval coupling overhead (the facility
+advances through a pure RHS update — no refactorization — so the
+overhead should stay in the low single-digit percent), plus the
+closed-loop convergence residual as the algorithmic sanity value.
 """
 
 from __future__ import annotations
@@ -80,7 +87,7 @@ from repro.thermal.solver import (  # noqa: E402
 
 FLOW = units.ml_per_minute(400.0)
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 
 def _median_time(fn, repeats: int) -> float:
@@ -287,6 +294,55 @@ def collect_timing_breakdown() -> dict:
     }
 
 
+def collect_facility_metrics(repeats: int = 5) -> dict:
+    """Facility co-simulation overhead and convergence (PR 10 / v5).
+
+    Times the warm 1-simulated-second 32x32 run with and without the
+    closed-loop facility. The coupling is a per-interval RHS update
+    plus the plant energy balance — no extra factorizations — so the
+    overhead is the honest price of closing the loop. The convergence
+    residual (final inlet vs the supply setpoint after a 5 s pull-down
+    with a small tank) is the algorithmic sanity value: it is a
+    property of the control law, not the machine.
+    """
+    base_kwargs = dict(
+        benchmark_name="gzip",
+        policy=PolicyKind.TALB,
+        cooling=CoolingMode.LIQUID_VARIABLE,
+        duration=1.0,
+        nx=32,
+        ny=32,
+    )
+    fixed_config = SimulationConfig(**base_kwargs)
+    loop_config = SimulationConfig(**base_kwargs, facility="closed-loop")
+    cache = CharacterizationCache()
+    Simulator(fixed_config, cache=cache).run()  # warm
+    Simulator(loop_config, cache=cache).run()
+    n = max(3, repeats // 2)
+    fixed_s = _median_time(lambda: Simulator(fixed_config, cache=cache).run(), n)
+    loop_s = _median_time(lambda: Simulator(loop_config, cache=cache).run(), n)
+
+    setpoint = 55.0
+    pulldown = SimulationConfig(
+        **{**base_kwargs, "duration": 5.0},
+        facility="closed-loop",
+        facility_params={"supply_setpoint_c": setpoint, "loop_volume_l": 0.1},
+    )
+    result = Simulator(pulldown, cache=cache).run()
+    final_inlet = float(result.facility_inlet[-1])
+
+    return {
+        "sweep": "warm 1 s simulated at 32x32, fixed inlet vs closed loop",
+        "fixed_inlet_s": fixed_s,
+        "closed_loop_s": loop_s,
+        "coupling_overhead_pct": 100.0 * (loop_s - fixed_s) / fixed_s,
+        "setpoint_c": setpoint,
+        "converged_inlet_c": final_inlet,
+        "inlet_error_K": abs(final_inlet - setpoint),
+        "pue": result.pue(),
+    }
+
+
 def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
     """Run the hot-path measurements and return the JSON payload."""
     results: dict[str, float] = {}
@@ -373,6 +429,7 @@ def collect_timings(repeats: int = 5, include_107: bool = True) -> dict:
             repeats=max(1, repeats // 2)
         ),
         "timing_breakdown": collect_timing_breakdown(),
+        "facility": collect_facility_metrics(repeats=repeats),
     }
 
 
@@ -418,6 +475,13 @@ def test_hotpath_baseline(tmp_path):
     for stats in breakdown["spans"].values():
         assert stats["count"] > 0
         assert 0.0 <= stats["share_of_wall"]
+    facility = loaded["facility"]
+    assert facility["fixed_inlet_s"] > 0.0
+    assert facility["closed_loop_s"] > 0.0
+    # The convergence residual is algorithmic, not machine-dependent:
+    # the 5 s pull-down must land the inlet on the setpoint.
+    assert facility["inlet_error_K"] < 0.5
+    assert facility["pue"] > 1.0
 
 
 def main(argv=None) -> int:
@@ -481,6 +545,18 @@ def main(argv=None) -> int:
             f"  total {stats['total_s'] * 1e3:9.1f} ms"
             f"  {stats['share_of_wall']:6.1%} of wall"
         )
+    facility = payload["facility"]
+    print(f"\nfacility co-simulation: {facility['sweep']}")
+    print(
+        f"  fixed inlet {facility['fixed_inlet_s'] * 1e3:.1f} ms"
+        f"  closed loop {facility['closed_loop_s'] * 1e3:.1f} ms"
+        f"  (+{facility['coupling_overhead_pct']:.1f}%)"
+    )
+    print(
+        f"  pull-down convergence: inlet {facility['converged_inlet_c']:.2f} degC"
+        f" vs setpoint {facility['setpoint_c']:.1f}"
+        f" (|err| {facility['inlet_error_K']:.3f} K, PUE {facility['pue']:.3f})"
+    )
     print(f"\nwrote {args.out}")
     return 0
 

@@ -20,8 +20,8 @@ Two kinds of checks, deliberately different in severity:
 
 Schema changes are tolerated in both directions: benchmarks present on
 only one side are reported as "new" / "not measured" instead of
-failing, and a missing ``cross_network`` (pre-v3) or
-``timing_breakdown`` (pre-v4) section is a note, not an error.
+failing, and a missing ``cross_network`` (pre-v3), ``timing_breakdown``
+(pre-v4), or ``facility`` (pre-v5) section is a note, not an error.
 """
 
 from __future__ import annotations
@@ -61,6 +61,37 @@ def _compare_cross_network(cur: dict | None, base: dict | None) -> int:
         if c < b * (1.0 - REGRESSION_THRESHOLD):
             warnings += 1
             _warn(f"{key}: {c:.2f} vs baseline {b:.2f}")
+    return warnings
+
+
+def _compare_facility(cur: dict | None, base: dict | None) -> int:
+    """Non-gating facility coupling comparison; returns warning count.
+
+    Either side may lack the section (pre-v5 payloads). The coupling
+    overhead is a ratio of two timings on the same machine, so unlike
+    absolute wall-clock it is comparable across runners — but it still
+    only warns. The convergence residual is asserted by the bench's own
+    pytest entry, not here.
+    """
+    if not cur:
+        print("(facility: not measured this run)")
+        return 0
+    if not base:
+        print("(facility: new this run, no baseline yet)")
+        return 0
+    warnings = 0
+    b = base.get("coupling_overhead_pct")
+    c = cur.get("coupling_overhead_pct")
+    if b is not None and c is not None:
+        print(f"{'facility_coupling_overhead':32s} {b:8.1f}%  {c:8.1f}%")
+        # Warn when closing the loop got meaningfully more expensive:
+        # beyond the relative threshold AND more than one absolute
+        # point, so jitter around a near-zero baseline stays quiet.
+        if c > b * (1.0 + REGRESSION_THRESHOLD) and c > b + 1.0:
+            warnings += 1
+            _warn(
+                f"facility coupling overhead: {c:.1f}% vs baseline {b:.1f}%"
+            )
     return warnings
 
 
@@ -137,6 +168,9 @@ def compare(current: dict, baseline: dict) -> int:
 
     warnings += _compare_cross_network(
         current.get("cross_network"), baseline.get("cross_network")
+    )
+    warnings += _compare_facility(
+        current.get("facility"), baseline.get("facility")
     )
     _compare_timing_breakdown(
         current.get("timing_breakdown"), baseline.get("timing_breakdown")

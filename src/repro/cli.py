@@ -10,8 +10,8 @@ be driven without writing Python:
 * ``sweep run | resume | status`` — declarative checkpointed campaigns
   through :class:`repro.sweep.SweepRunner`: ``--spec`` names a built-in
   declaration (``fig6``, ``fig7``, ``fig8``, ``fourlayer``,
-  ``headline``, ``ablations``, ``hysteresis``, ``workloads``) or a
-  JSON/YAML spec
+  ``headline``, ``ablations``, ``hysteresis``, ``workloads``,
+  ``facility``) or a JSON/YAML spec
   file, progress streams (rate-limited) as runs fold, and an
   interrupted campaign resumes from its checkpoint with bit-identical
   aggregates and exports;
@@ -25,14 +25,16 @@ be driven without writing Python:
   ``--trace`` flags (on ``simulate``, ``sweep run|resume``, and ``dist
   work``) export: per-span timing breakdowns, the final metrics
   snapshot, and schema validation for CI gating;
-* ``list policies | controllers | forecasters | workloads`` — the
-  registered component keys (:mod:`repro.registry`), each with its
-  aliases and declared parameter schema; any key shown here is a valid
-  ``--policy``/``--controller``/``--forecaster``/``--workload`` value
-  and a valid sweep-spec axis value, and its parameters are settable
-  via ``--policy-param NAME=VALUE`` (repeatable) or the dotted
-  ``policy_params.<name>`` / ``controller_params.<name>`` /
-  ``workload_params.<name>`` sweep axes;
+* ``list policies | controllers | forecasters | workloads |
+  facilities`` — the registered component keys
+  (:mod:`repro.registry`), each with its aliases and declared
+  parameter schema; any key shown here is a valid
+  ``--policy``/``--controller``/``--forecaster``/``--workload``/
+  ``--facility`` value and a valid sweep-spec axis value, and its
+  parameters are settable via ``--policy-param NAME=VALUE``
+  (repeatable) or the dotted ``policy_params.<name>`` /
+  ``controller_params.<name>`` / ``workload_params.<name>`` /
+  ``facility_params.<name>`` sweep axes;
 * ``fig3 | fig5 | fig6 | fig7 | fig8 | table2 | headline | ablations``
   — regenerate a table/figure and print its rows (the multi-run
   figures accept ``--workers`` for process fan-out);
@@ -68,6 +70,7 @@ from repro.io.serialize import result_summary, save_result, write_timeseries_csv
 from repro.registry import (
     Registry,
     controller_registry,
+    facility_registry,
     forecaster_registry,
     policy_registry,
     workload_registry,
@@ -88,6 +91,7 @@ BUILTIN_SPECS = {
     "hysteresis": experiment_sweeps.hysteresis_spec,
     "controllers": experiment_sweeps.controller_family_spec,
     "workloads": experiment_sweeps.workload_family_spec,
+    "facility": experiment_sweeps.facility_headline_spec,
 }
 
 
@@ -167,6 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="set one declared workload-model parameter (repeatable), "
         "e.g. --workload-param path=trace.csv for trace-replay",
+    )
+    sim.add_argument(
+        "--facility",
+        default="none",
+        choices=_registry_choices(facility_registry()),
+        help="facility cooling plant co-simulated with the chip "
+        "(registry key; see 'repro list facilities'); 'none' keeps "
+        "the classic fixed-inlet boundary",
+    )
+    sim.add_argument(
+        "--facility-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="set one declared facility parameter (repeatable), "
+        "e.g. --facility-param wet_bulb_c=14",
     )
     sim.add_argument("--layers", type=int, default=2, choices=(2, 4))
     sim.add_argument(
@@ -519,19 +539,21 @@ def build_parser() -> argparse.ArgumentParser:
     lister = sub.add_parser(
         "list",
         help="list registered components "
-        "(policies/controllers/forecasters/workloads)",
+        "(policies/controllers/forecasters/workloads/facilities)",
         description="Show the component registry: every key in the chosen "
         "role with its aliases, capability traits, and declared parameter "
         "schema. Any key listed here works as a config value, a CLI "
-        "--policy/--controller/--forecaster/--workload choice, and a "
-        "sweep-spec axis value; parameters flow through "
-        "--policy-param/--controller-param/--workload-param and the dotted "
+        "--policy/--controller/--forecaster/--workload/--facility choice, "
+        "and a sweep-spec axis value; parameters flow through "
+        "--policy-param/--controller-param/--workload-param/"
+        "--facility-param and the dotted "
         "policy_params.<name>/controller_params.<name>/"
-        "workload_params.<name> axes.",
+        "workload_params.<name>/facility_params.<name> axes.",
     )
     lister.add_argument(
         "what",
-        choices=("policies", "controllers", "forecasters", "workloads", "all"),
+        choices=("policies", "controllers", "forecasters", "workloads",
+                 "facilities", "all"),
         nargs="?",
         default="all",
         help="which registry to list (default: all)",
@@ -603,6 +625,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             workload=args.workload,
             workload_params=_parse_cli_params(
                 args.workload_param, "--workload-param"
+            ),
+            facility=args.facility,
+            facility_params=_parse_cli_params(
+                args.facility_param, "--facility-param"
             ),
             n_layers=args.layers,
             duration=duration,
@@ -1142,6 +1168,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "controllers": controller_registry(),
         "forecasters": forecaster_registry(),
         "workloads": workload_registry(),
+        "facilities": facility_registry(),
     }
     chosen = roles if args.what == "all" else {args.what: roles[args.what]}
     first = True

@@ -115,6 +115,44 @@ def workload_family_spec(
     )
 
 
+def facility_headline_spec(
+    workload: str = "Web-med",
+    duration: float = 15.0,
+    seed: int = 0,
+) -> SweepSpec:
+    """The production-scale facility campaign: 2,250 racks x 400 kW.
+
+    One chip is co-simulated against its share of a closed CDU ->
+    chiller -> cooling-tower plant and the plant flows are scaled to a
+    2,250-rack room at 400 kW per rack (the aggregation is exact
+    because every chip share sees the same boundary conditions, and
+    PUE/WUE are scale-invariant). The campaign crosses climate
+    (wet-bulb temperature) with the supply setpoint — the paper's
+    hot-water-cooling argument as a sweep: a 60 degC setpoint holds
+    the economizer active across every climate, while chilled-water
+    setpoints buy nothing but chiller energy. Built in as ``facility``
+    for ``repro sweep run`` / ``repro dist plan``; the dotted
+    ``facility_params.*`` axes shard byte-identically like any other.
+    """
+    return SweepSpec(
+        base=SimulationConfig(
+            benchmark_name=workload,
+            policy=PolicyKind.TALB,
+            cooling=CoolingMode.LIQUID_VARIABLE,
+            duration=duration,
+            seed=seed,
+            facility="closed-loop",
+            # ~29 W per 2-layer chip -> ~13,800 chips per 400 kW rack.
+            facility_params={"racks": 2250, "chips_per_rack": 13800},
+        ),
+        grid={
+            "facility_params.wet_bulb_c": [10.0, 18.0, 26.0],
+            "facility_params.supply_setpoint_c": [20.0, 45.0, 60.0],
+        },
+        name="facility",
+    )
+
+
 def hysteresis_spec(
     values: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0),
     workload: str = "Database",

@@ -1,0 +1,198 @@
+"""Facility cooling-plant component models.
+
+Each component is a small frozen dataclass with textbook physics: the
+CDU liquid-to-liquid plate heat exchanger (effectiveness-NTU,
+counterflow), a vapor-compression chiller (fraction-of-Carnot COP), an
+evaporative cooling tower (approach to ambient wet-bulb, fan power,
+evaporation + blowdown water use), and a centrifugal pump with a
+quadratic head/flow curve. :mod:`repro.facility.loop` composes them
+into the registered closed-loop facility; they carry no state of their
+own so the loop's advance step stays the single integration point.
+
+All temperatures are degC, heat rates W, capacity rates W/K, flows
+m^3/s unless a name says otherwise. Quantities are *per chip share* —
+the loop scales to rack/room aggregates only when emitting results, so
+the physics is identical for 1 chip and for 2,250 racks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Latent heat of vaporization of water near tower conditions, J/kg.
+LATENT_HEAT_VAPORIZATION = 2.45e6
+
+#: Standard gravity, m/s^2 (pump head -> pressure).
+GRAVITY = 9.80665
+
+
+@dataclass(frozen=True)
+class CduHeatExchanger:
+    """Counterflow plate heat exchanger coupling the chip (secondary)
+    loop to the facility (primary) water — the CDU's core.
+
+    ``ua`` is the overall conductance UA in W/K. Effectiveness follows
+    the standard counterflow e-NTU relation; the ``capacity_ratio = 1``
+    limit is handled explicitly.
+    """
+
+    ua: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.ua) or self.ua <= 0.0:
+            raise ModelError(f"CDU ua must be positive and finite, got {self.ua}")
+
+    def effectiveness(self, c_hot: float, c_cold: float) -> float:
+        """Counterflow effectiveness for capacity rates in W/K."""
+        c_min = min(c_hot, c_cold)
+        c_max = max(c_hot, c_cold)
+        if c_min <= 0.0:
+            raise ModelError(
+                f"heat-exchanger capacity rates must be positive, "
+                f"got ({c_hot}, {c_cold}) W/K"
+            )
+        ntu = self.ua / c_min
+        ratio = c_min / c_max
+        if ratio > 0.999999:
+            return ntu / (1.0 + ntu)
+        expo = math.exp(-ntu * (1.0 - ratio))
+        return (1.0 - expo) / (1.0 - ratio * expo)
+
+    def max_heat_transfer(
+        self, t_hot_in: float, t_cold_in: float, c_hot: float, c_cold: float
+    ) -> float:
+        """Heat moved hot -> cold with both inlets fixed, W (>= 0).
+
+        This is the exchanger's capacity at the current operating
+        point; a control valve can throttle below it but never exceed
+        it.
+        """
+        eps = self.effectiveness(c_hot, c_cold)
+        return max(0.0, eps * min(c_hot, c_cold) * (t_hot_in - t_cold_in))
+
+
+@dataclass(frozen=True)
+class Chiller:
+    """Vapor-compression chiller as a fraction of the Carnot COP.
+
+    COP = ``carnot_fraction * T_evap / (T_cond - T_evap)`` with the
+    evaporator held ``evaporator_approach`` below the chilled-water
+    supply and the condenser ``condenser_approach`` above the entering
+    condenser water — the usual screening-level model.
+    """
+
+    carnot_fraction: float = 0.5
+    evaporator_approach: float = 3.0
+    condenser_approach: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.carnot_fraction <= 1.0:
+            raise ModelError(
+                f"chiller carnot_fraction must be in (0, 1], "
+                f"got {self.carnot_fraction}"
+            )
+
+    def cop(self, t_supply: float, t_condenser_water: float) -> float:
+        """COP delivering chilled water at ``t_supply`` degC against
+        condenser water entering at ``t_condenser_water`` degC."""
+        t_evap = t_supply - self.evaporator_approach + 273.15
+        t_cond = t_condenser_water + self.condenser_approach + 273.15
+        lift = t_cond - t_evap
+        if lift <= 0.0:
+            # Condenser water colder than the evaporator: no lift to
+            # pump against. The loop switches to free cooling long
+            # before this; cap rather than return an infinite COP.
+            return 1e6
+        return self.carnot_fraction * t_evap / lift
+
+    def power(self, q_evaporator: float, t_supply: float, t_condenser_water: float) -> float:
+        """Compressor electrical power for ``q_evaporator`` W, W."""
+        if q_evaporator <= 0.0:
+            return 0.0
+        return q_evaporator / self.cop(t_supply, t_condenser_water)
+
+
+@dataclass(frozen=True)
+class CoolingTower:
+    """Evaporative tower rejecting the plant's heat to ambient.
+
+    Supplies water at ``wet_bulb + approach``; draws fan power as a
+    fixed fraction of the rejected heat (design kW-per-kW) and
+    consumes water by evaporation plus blowdown at the configured
+    cycles of concentration.
+    """
+
+    approach: float = 4.0
+    fan_power_fraction: float = 0.015
+    evaporated_fraction: float = 0.8
+    cycles_of_concentration: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_of_concentration <= 1.0:
+            raise ModelError(
+                "cooling tower cycles_of_concentration must exceed 1 "
+                f"(blowdown would be infinite), got {self.cycles_of_concentration}"
+            )
+
+    def supply_temperature(self, wet_bulb: float) -> float:
+        """Tower water supply temperature for an ambient wet-bulb, degC."""
+        return wet_bulb + self.approach
+
+    def fan_power(self, q_reject: float) -> float:
+        """Fan electrical power while rejecting ``q_reject`` W, W."""
+        return self.fan_power_fraction * max(0.0, q_reject)
+
+    def water_use(self, q_reject: float) -> float:
+        """Make-up water rate (evaporation + blowdown), kg/s."""
+        evaporation = (
+            self.evaporated_fraction * max(0.0, q_reject) / LATENT_HEAT_VAPORIZATION
+        )
+        blowdown = evaporation / (self.cycles_of_concentration - 1.0)
+        return evaporation + blowdown
+
+
+@dataclass(frozen=True)
+class PumpCurve:
+    """Centrifugal pump on a quadratic head/flow curve.
+
+    ``head(q) = shutoff_head * (1 - (q / max_flow)^2)`` with the design
+    point at ``design_flow``/``design_head``; electrical power is the
+    hydraulic power ``rho g q H`` over the wire-to-water efficiency.
+    """
+
+    design_flow: float
+    design_head: float
+    efficiency: float = 0.65
+
+    def __post_init__(self) -> None:
+        if self.design_flow <= 0.0 or self.design_head <= 0.0:
+            raise ModelError(
+                f"pump design point must be positive, got flow="
+                f"{self.design_flow} m^3/s head={self.design_head} m"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ModelError(
+                f"pump efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    def head(self, flow: float) -> float:
+        """Delivered head at ``flow`` m^3/s, m of water column.
+
+        The curve is anchored so the design point sits at 80% of the
+        shutoff head (a typical centrifugal shape); past ``max_flow``
+        the pump delivers nothing.
+        """
+        shutoff = self.design_head / 0.8
+        max_flow = self.design_flow / math.sqrt(1.0 - 0.8)
+        fraction = min(1.0, (flow / max_flow) ** 2)
+        return shutoff * (1.0 - fraction)
+
+    def electrical_power(self, flow: float, density: float = 998.0) -> float:
+        """Wire power moving ``flow`` m^3/s of water, W."""
+        if flow <= 0.0:
+            return 0.0
+        hydraulic = density * GRAVITY * flow * self.head(flow)
+        return hydraulic / self.efficiency

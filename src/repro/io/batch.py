@@ -54,6 +54,8 @@ def config_descriptor(config: SimulationConfig) -> dict:
         "controller_params": _params_cell(config.controller_params),
         "workload": config.workload,
         "workload_params": _params_cell(config.workload_params),
+        "facility": config.facility,
+        "facility_params": _params_cell(config.facility_params),
         "n_layers": config.n_layers,
         "duration": config.duration,
         "seed": config.seed,

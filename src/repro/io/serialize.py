@@ -45,12 +45,28 @@ def result_summary(result: SimulationResult) -> dict:
         "mean_sojourn_s": _nan_to_none(result.mean_sojourn_time()),
         "mean_flow_setting": _nan_to_none(result.mean_flow_setting()),
         "arma_retrains": result.retrain_count,
+        # Facility co-simulation metrics: None for fixed-inlet runs
+        # (facility="none"), where no plant is modeled.
+        "pue": _nan_to_none(result.pue()),
+        "wue_l_per_kwh": _nan_to_none(result.wue()),
+        "total_cooling_power_w": _nan_to_none(result.total_cooling_power()),
+        "cooling_energy_j": _nan_to_none(result.cooling_energy()),
+        "mean_inlet_temperature": _nan_to_none(result.mean_inlet_temperature()),
+        "free_cooling_pct": _nan_to_none(
+            100.0 * result.free_cooling_fraction()
+        ),
     }
 
 
 def result_payload(result: SimulationResult) -> dict:
-    """The full JSON-serializable payload (summary + time series)."""
-    return {
+    """The full JSON-serializable payload (summary + time series).
+
+    Still format version 1: facility runs add an *optional*
+    ``facility`` block (and non-None facility summary keys) that
+    pre-facility readers never look at, and fixed-inlet payloads omit
+    it, so old files load unchanged.
+    """
+    payload = {
         "format_version": _FORMAT_VERSION,
         "summary": result_summary(result),
         "core_names": result.core_names,
@@ -72,6 +88,15 @@ def result_payload(result: SimulationResult) -> dict:
             "migrations": result.migrations.tolist(),
         },
     }
+    if result.has_facility:
+        payload["facility"] = {
+            "scale": result.facility_scale,
+            "inlet": result.facility_inlet.tolist(),
+            "cooling_power": result.facility_cooling_power.tolist(),
+            "water_use": result.facility_water_use.tolist(),
+            "free_cooling": [bool(v) for v in result.facility_free_cooling],
+        }
+    return payload
 
 
 def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
@@ -109,16 +134,44 @@ def result_from_payload(payload: dict) -> SimulationResult:
         retrain_count=int(payload["retrain_count"]),
         sojourn_sum=float(payload.get("sojourn_sum", 0.0)),
         sojourn_count=int(payload.get("sojourn_count", 0)),
+        **_facility_kwargs(payload.get("facility")),
     )
 
 
+def _facility_kwargs(block: Union[dict, None]) -> dict:
+    """Constructor kwargs for the optional facility block."""
+    if block is None:
+        return {}
+    return {
+        "facility_scale": float(block["scale"]),
+        "facility_inlet": np.asarray(block["inlet"], dtype=float),
+        "facility_cooling_power": np.asarray(
+            block["cooling_power"], dtype=float
+        ),
+        "facility_water_use": np.asarray(block["water_use"], dtype=float),
+        "facility_free_cooling": np.asarray(block["free_cooling"], dtype=bool),
+    }
+
+
 def write_timeseries_csv(result: SimulationResult, path: Union[str, Path]) -> None:
-    """Write the per-interval series as CSV (one row per interval)."""
+    """Write the per-interval series as CSV (one row per interval).
+
+    Facility runs append the co-simulated columns (inlet temperature,
+    plant cooling power, water use, free-cooling flag); fixed-inlet
+    CSVs keep the classic column set.
+    """
     header = (
         ["time_s", "tmax", "tmax_cell", "chip_power_w", "pump_power_w",
          "flow_setting", "completed", "forecast_tmax", "migrations"]
         + [f"T[{name}]" for name in result.core_names]
     )
+    if result.has_facility:
+        header += [
+            "facility_inlet_c",
+            "facility_cooling_power_w",
+            "facility_water_kg_s",
+            "free_cooling",
+        ]
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
@@ -136,6 +189,13 @@ def write_timeseries_csv(result: SimulationResult, path: Union[str, Path]) -> No
                 int(result.migrations[k]),
             ]
             row += [f"{t:.4f}" for t in result.core_temperatures[k]]
+            if result.has_facility:
+                row += [
+                    f"{result.facility_inlet[k]:.4f}",
+                    f"{result.facility_cooling_power[k]:.4f}",
+                    f"{result.facility_water_use[k]:.6g}",
+                    int(bool(result.facility_free_cooling[k])),
+                ]
             writer.writerow(row)
 
 

@@ -20,7 +20,13 @@ Four registries, one per pluggable role:
 * **workloads** (:func:`register_workload`) — thread-trace models
   (:class:`repro.workload.models.WorkloadModel`) that build the load a
   run executes, from the Table II synthetic generator to replayed
-  mpstat logs.
+  mpstat logs;
+* **facilities** (:func:`register_facility`) — facility cooling loops
+  (:class:`repro.facility.loop.FacilityModel`) co-simulated with the
+  chip engine per control interval, turning the coolant inlet
+  temperature into an output of a CDU/chiller/cooling-tower energy
+  balance (``"none"`` — the default fixed-inlet behaviour — is itself
+  a registered entry).
 
 A registration binds a string key to a *factory* plus a declared
 parameter schema (:class:`ParamSpec`) and capability *traits*::
@@ -71,14 +77,17 @@ __all__ = [
     "ControllerContext",
     "ForecasterContext",
     "WorkloadContext",
+    "FacilityContext",
     "policy_registry",
     "controller_registry",
     "forecaster_registry",
     "workload_registry",
+    "facility_registry",
     "register_policy",
     "register_controller",
     "register_forecaster",
     "register_workload",
+    "register_facility",
 ]
 
 #: Scalar types a declared parameter may take (JSON-representable, so
@@ -483,12 +492,29 @@ class WorkloadContext:
     config: Any = None
 
 
-# --- the four global registries --------------------------------------------
+@dataclass(frozen=True)
+class FacilityContext:
+    """Build-time context handed to facility-loop factories.
+
+    ``initial_inlet_temperature`` seeds the closed loop at the config's
+    fixed-inlet operating point, so the co-simulation starts from the
+    same state a fixed-inlet run would hold forever; ``system`` is the
+    :class:`~repro.sim.system.ThermalSystem` (for coolant properties
+    and flow settings).
+    """
+
+    config: Any
+    initial_inlet_temperature: float = 60.0
+    system: Any = None
+
+
+# --- the five global registries --------------------------------------------
 
 _POLICIES = Registry("policy")
 _CONTROLLERS = Registry("flow controller")
 _FORECASTERS = Registry("forecaster")
 _WORKLOADS = Registry("workload")
+_FACILITIES = Registry("facility")
 
 _builtins_loaded = False
 
@@ -505,6 +531,7 @@ def _ensure_builtins() -> None:
         return
     _builtins_loaded = True
     import repro.control  # noqa: F401  (registers controllers + forecasters)
+    import repro.facility  # noqa: F401  (registers facility loops)
     import repro.sched  # noqa: F401  (registers policies)
     import repro.workload.models  # noqa: F401  (registers workload models)
 
@@ -531,6 +558,12 @@ def workload_registry() -> Registry:
     """The workload-model registry."""
     _ensure_builtins()
     return _WORKLOADS
+
+
+def facility_registry() -> Registry:
+    """The facility cooling-loop registry."""
+    _ensure_builtins()
+    return _FACILITIES
 
 
 def _decorator(registry: Registry):
@@ -567,3 +600,5 @@ register_controller = _decorator(_CONTROLLERS)
 register_forecaster = _decorator(_FORECASTERS)
 #: Decorator registering a workload-model factory.
 register_workload = _decorator(_WORKLOADS)
+#: Decorator registering a facility cooling-loop factory.
+register_facility = _decorator(_FACILITIES)

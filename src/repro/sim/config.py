@@ -1,11 +1,11 @@
 """Simulation configuration (the experiment matrix of Section V).
 
-``policy``, ``controller``, ``forecaster``, and ``workload`` are
-**registry keys** (:mod:`repro.registry`): strings naming a registered
-component, with optional frozen parameter mappings (``policy_params``,
-``controller_params``, ``forecaster_params``, ``workload_params``)
-validated against the component's declared schema at construction
-time. The historical enums
+``policy``, ``controller``, ``forecaster``, ``workload``, and
+``facility`` are **registry keys** (:mod:`repro.registry`): strings
+naming a registered component, with optional frozen parameter mappings
+(``policy_params``, ``controller_params``, ``forecaster_params``,
+``workload_params``, ``facility_params``) validated against the
+component's declared schema at construction time. The historical enums
 (:class:`PolicyKind`, :class:`ControllerKind`) remain accepted aliases
 — ``SimulationConfig(policy=PolicyKind.TALB)`` and
 ``SimulationConfig(policy="talb")`` normalize to the same canonical
@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError
 from repro.registry import (
     FrozenParams,
     controller_registry,
+    facility_registry,
     forecaster_registry,
     policy_registry,
     workload_registry,
@@ -140,6 +141,18 @@ class SimulationConfig:
     factorizations across ``thermal_params`` sweeps; agrees with exact
     within :data:`repro.thermal.solver.KRYLOV_TEMPERATURE_TOLERANCE`).
     Sweepable like any other field."""
+    facility: str = "none"
+    """Registry key of the facility cooling loop co-simulated with the
+    chip (``repro list facilities``). The default ``"none"`` is the
+    classic fixed-inlet run — byte-identical results, and the field is
+    omitted from ``config_signature`` at its default so pre-facility
+    fingerprints, checkpoints, and ledgers stay valid. ``"closed-loop"``
+    computes the inlet temperature from a CDU -> chiller/economizer ->
+    cooling tower energy balance and adds PUE/WUE/total-cooling-power
+    to the results."""
+    facility_params: Mapping[str, Any] = field(default_factory=FrozenParams)
+    """Parameters for the facility loop (e.g. ``{"racks": 2250,
+    "wet_bulb_c": 18.0}`` for ``closed-loop``)."""
 
     def __post_init__(self) -> None:
         if self.n_layers not in (2, 4):
@@ -179,6 +192,7 @@ class SimulationConfig:
         self._normalize("controller", "controller_params", controller_registry())
         self._normalize("forecaster", "forecaster_params", forecaster_registry())
         self._normalize("workload", "workload_params", workload_registry())
+        self._normalize("facility", "facility_params", facility_registry())
         benchmark(self.benchmark_name)  # Validates the name early.
 
     def _normalize(self, key_field: str, params_field: str, registry) -> None:

@@ -49,9 +49,11 @@ from repro.power.dpm import DpmPolicy
 from repro.pump.laing_ddc import PumpState
 from repro.registry import (
     ControllerContext,
+    FacilityContext,
     ForecasterContext,
     PolicyContext,
     controller_registry,
+    facility_registry,
     forecaster_registry,
     policy_registry,
 )
@@ -146,6 +148,12 @@ class IntervalState:
         Threads that finished during this interval.
     migrations:
         Cumulative running-thread migrations so far.
+    facility_inlet_temperature:
+        Coolant inlet temperature the interval's solve used, degC (NaN
+        when no facility loop is co-simulated — the fixed-inlet run).
+    facility_cooling_power:
+        Facility cooling power (chiller + tower fans + facility pumps)
+        this interval at aggregate scale, W (NaN without a facility).
     """
 
     index: int
@@ -160,6 +168,8 @@ class IntervalState:
     flow_setting: int
     completed_threads: int
     migrations: int
+    facility_inlet_temperature: float = float("nan")
+    facility_cooling_power: float = float("nan")
 
     @property
     def done(self) -> bool:
@@ -196,6 +206,10 @@ class PendingInterval:
         Per-unit power map (recorded by ``step_finish``), W.
     completed_threads:
         Threads that finished during the interval's quanta.
+    inlet_temperature:
+        Coolant inlet temperature folded into ``node_power`` for this
+        interval's solve (NaN for fixed-inlet runs, where the inlet
+        lives in the network's assembled boundary vector).
     """
 
     index: int
@@ -205,6 +219,7 @@ class PendingInterval:
     node_power: np.ndarray
     unit_powers: np.ndarray
     completed_threads: int
+    inlet_temperature: float = float("nan")
 
 
 @runtime_checkable
@@ -232,6 +247,7 @@ class _RunState:
         "rec_times", "rec_tmax", "rec_tmax_cell", "rec_core_t", "rec_unit_t",
         "rec_chip_p", "rec_pump_p", "rec_setting", "rec_completed",
         "rec_forecast", "rec_migrations",
+        "rec_fac_inlet", "rec_fac_cooling", "rec_fac_water", "rec_fac_free",
     )
 
 
@@ -305,6 +321,21 @@ class Simulator:
                         cache=self.cache,
                     ),
                 )
+        self._facility = facility_registry().create(
+            config.facility,
+            config.facility_params,
+            FacilityContext(
+                config=config,
+                initial_inlet_temperature=config.thermal_params.inlet_temperature,
+                system=self.system,
+            ),
+        )
+        if self._facility is not None and not config.cooling.is_liquid:
+            raise ConfigurationError(
+                f"facility {config.facility!r} co-simulates the liquid "
+                "cooling loop; air-cooled runs reject no coolant heat "
+                "(use facility='none')"
+            )
         self._state: Optional[_RunState] = None
         self._initial_temperatures: Optional[np.ndarray] = None
         self._pending = False
@@ -433,6 +464,16 @@ class Simulator:
         st.rec_completed = np.zeros(n, dtype=int)
         st.rec_forecast = np.full(n, np.nan)
         st.rec_migrations = np.zeros(n, dtype=int)
+        if self._facility is not None:
+            st.rec_fac_inlet = np.zeros(n)
+            st.rec_fac_cooling = np.zeros(n)
+            st.rec_fac_water = np.zeros(n)
+            st.rec_fac_free = np.zeros(n, dtype=bool)
+        else:
+            st.rec_fac_inlet = None
+            st.rec_fac_cooling = None
+            st.rec_fac_water = None
+            st.rec_fac_free = None
         self._state = st
         return st
 
@@ -532,15 +573,32 @@ class Simulator:
             and self._cooling_kind is CoolingKind.LIQUID
             else -1
         )
+        node_power = grid.power_vector_from_array(unit_powers)
+        inlet_temperature = float("nan")
+        if self._facility is not None:
+            # Closed-loop coupling: the facility's current loop
+            # temperature is this interval's coolant inlet. The inlet
+            # enters the ODE only through the (linear) boundary term,
+            # so the change is folded into the right-hand side here —
+            # the memoized network and its factorization are reused
+            # untouched, on the fused, cohort-batched, and krylov solve
+            # paths alike.
+            inlet_temperature = self._facility.inlet_temperature
+            delta = self.system.network(setting).inlet_boundary_delta(
+                inlet_temperature
+            )
+            if delta is not None:
+                node_power = node_power + delta
         self._pending = True
         return PendingInterval(
             index=k,
             t_end=t_end,
             setting=setting,
             temperatures=st.temperatures,
-            node_power=grid.power_vector_from_array(unit_powers),
+            node_power=node_power,
             unit_powers=unit_powers,
             completed_threads=completed_in_interval,
+            inlet_temperature=inlet_temperature,
         )
 
     def step_finish(
@@ -618,6 +676,30 @@ class Simulator:
         st.rec_completed[k] = completed_in_interval
         st.rec_forecast[k] = prediction
         st.rec_migrations[k] = self._policy.migration_count
+
+        fac_inlet = float("nan")
+        fac_cooling = float("nan")
+        if self._facility is not None:
+            # Close the loop: the heat the coolant carried out this
+            # interval (sensible-heat balance over the channel rows)
+            # drives the facility energy balance, whose new loop
+            # temperature becomes the next interval's inlet.
+            network = self.system.network(pending.setting)
+            q_chip = network.coolant_heat_rejected(
+                st.temperatures, pending.inlet_temperature
+            )
+            fac_state = self._facility.advance(
+                config.sampling_interval,
+                q_chip,
+                float(st.rec_chip_p[k]),
+                float(st.rec_pump_p[k]),
+            )
+            st.rec_fac_inlet[k] = pending.inlet_temperature
+            st.rec_fac_cooling[k] = fac_state.cooling_power
+            st.rec_fac_water[k] = fac_state.water_use
+            st.rec_fac_free[k] = fac_state.free_cooling
+            fac_inlet = pending.inlet_temperature
+            fac_cooling = fac_state.cooling_power
         st.k = k + 1
 
         return IntervalState(
@@ -633,6 +715,8 @@ class Simulator:
             flow_setting=int(st.rec_setting[k]),
             completed_threads=completed_in_interval,
             migrations=int(st.rec_migrations[k]),
+            facility_inlet_temperature=fac_inlet,
+            facility_cooling_power=fac_cooling,
         )
 
     def step(self) -> IntervalState:
@@ -672,6 +756,23 @@ class Simulator:
             retrain_count=st.forecaster.retrain_count,
             sojourn_sum=st.sojourn_sum,
             sojourn_count=st.sojourn_count,
+            facility_inlet=(
+                st.rec_fac_inlet[:k].copy() if st.rec_fac_inlet is not None else None
+            ),
+            facility_cooling_power=(
+                st.rec_fac_cooling[:k].copy()
+                if st.rec_fac_cooling is not None
+                else None
+            ),
+            facility_water_use=(
+                st.rec_fac_water[:k].copy() if st.rec_fac_water is not None else None
+            ),
+            facility_free_cooling=(
+                st.rec_fac_free[:k].copy() if st.rec_fac_free is not None else None
+            ),
+            facility_scale=(
+                float(self._facility.scale) if self._facility is not None else 1.0
+            ),
         )
 
     def run(self) -> SimulationResult:

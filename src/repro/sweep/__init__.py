@@ -19,10 +19,12 @@ from repro.sweep.aggregate import (
     Aggregator,
     CellAggregator,
     HistogramAggregator,
+    MomentsAggregator,
     P2Quantile,
     QuantileAggregator,
     RunningStats,
     ScalarAggregator,
+    WelfordMoments,
     aggregate_tables,
     aggregator_from_spec,
     default_aggregators,
@@ -48,8 +50,10 @@ __all__ = [
     "CellAggregator",
     "HistogramAggregator",
     "QuantileAggregator",
+    "MomentsAggregator",
     "P2Quantile",
     "RunningStats",
+    "WelfordMoments",
     "METRICS",
     "DEFAULT_METRICS",
     "aggregate_tables",

@@ -16,7 +16,11 @@ streams out of the process pool and keep only O(aggregate) state:
   metric per group (integer counts merge exactly across shards);
 * :class:`QuantileAggregator` — P² streaming quantile estimates
   (Jain & Chlamtac 1985) of one metric per group, at O(1) memory per
-  quantile however long the campaign runs.
+  quantile however long the campaign runs;
+* :class:`MomentsAggregator` — Welford mean/variance (second central
+  moment) of named metrics per group: the numerically stable online
+  recurrence, replay/merge-exact in run-index order like every other
+  reducer here.
 
 Folding is strictly in run-index order (the sweep runner guarantees
 this), and every aggregator's state round-trips losslessly through
@@ -68,6 +72,14 @@ METRICS: dict[str, Callable[[SimulationResult], float]] = {
     "migrations": lambda r: float(r.migrations[-1]) if len(r.migrations) else 0.0,
     "mean_flow_setting": lambda r: r.mean_flow_setting(),
     "mean_sojourn_s": lambda r: r.mean_sojourn_time(),
+    # Facility co-simulation metrics: NaN (skipped by every reducer)
+    # for fixed-inlet runs, so mixed sweeps aggregate cleanly.
+    "pue": lambda r: r.pue(),
+    "wue_l_per_kwh": lambda r: r.wue(),
+    "total_cooling_power_w": lambda r: r.total_cooling_power(),
+    "cooling_energy_j": lambda r: r.cooling_energy(),
+    "mean_inlet_temperature": lambda r: r.mean_inlet_temperature(),
+    "free_cooling_pct": lambda r: 100.0 * r.free_cooling_fraction(),
 }
 
 #: The default scalar set (the quantities the paper's figures compare).
@@ -195,6 +207,11 @@ def _group_columns(group_by: Sequence[str], key: str) -> dict:
     if group_by:
         return dict(zip(group_by, key.split("|")))
     return {"group": key}
+
+
+def _none_if_nan(value: float):
+    """NaN rendered as None: JSON-clean and equal across replays."""
+    return None if math.isnan(value) else value
 
 
 class ScalarAggregator(Aggregator):
@@ -860,11 +877,150 @@ class QuantileAggregator(Aggregator):
         return rows
 
 
+class WelfordMoments:
+    """Welford's online mean/variance of a scalar stream.
+
+    The numerically stable recurrence (count, mean, M2 = sum of
+    squared deviations); NaN values are skipped, matching
+    :class:`RunningStats`. All arithmetic is in Python floats applied
+    in arrival order, so folding the same ordered stream twice — or
+    restoring from JSON state mid-stream — is bit-identical.
+    """
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1; NaN below two observations)."""
+        if self.count < 2:
+            return float("nan")
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else variance
+
+    def state_dict(self) -> list:
+        return [self.count, self.mean, self.m2]
+
+    @classmethod
+    def from_state(cls, state: Sequence) -> "WelfordMoments":
+        moments = cls()
+        moments.count = int(state[0])
+        moments.mean = float(state[1])
+        moments.m2 = float(state[2])
+        return moments
+
+
+class MomentsAggregator(Aggregator):
+    """Grouped Welford mean/variance over named scalar metrics.
+
+    The spread companion to :class:`ScalarAggregator`'s min/mean/max:
+    per group, every metric gets a numerically stable streaming mean,
+    sample variance, and standard deviation. Like every built-in
+    reducer the update is split into a pure :meth:`fold_payload` and a
+    mutating :meth:`update_payload`, so distributed campaigns replay
+    journaled payloads in run-index order and merge bit-identically to
+    a single-host fold.
+    """
+
+    kind = "moments"
+
+    def __init__(
+        self,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        group_by: Sequence[str] = ("label",),
+    ) -> None:
+        unknown = [m for m in metrics if m not in METRICS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown metrics {', '.join(unknown)}; "
+                f"choose from {', '.join(METRICS)}"
+            )
+        self.metrics = tuple(metrics)
+        self.group_by = tuple(group_by)
+        # group key -> metric name -> WelfordMoments, insertion-ordered.
+        self._groups: dict[str, dict[str, WelfordMoments]] = {}
+
+    def spec(self) -> dict:
+        return {
+            "kind": self.kind,
+            "metrics": list(self.metrics),
+            "group_by": list(self.group_by),
+        }
+
+    def fold_payload(self, config: SimulationConfig, result: SimulationResult) -> dict:
+        return {
+            "group": group_key(config, self.group_by),
+            "values": [METRICS[metric](result) for metric in self.metrics],
+        }
+
+    def update_payload(self, payload: Mapping) -> None:
+        group = self._groups.setdefault(
+            payload["group"], {m: WelfordMoments() for m in self.metrics}
+        )
+        for metric, value in zip(self.metrics, payload["values"]):
+            group[metric].add(value)
+
+    def state_dict(self) -> dict:
+        return {
+            key: {m: moments.state_dict() for m, moments in group.items()}
+            for key, group in self._groups.items()
+        }
+
+    def load_state(self, state: Mapping) -> None:
+        self._groups = {
+            key: {
+                m: WelfordMoments.from_state(s) for m, s in group.items()
+            }
+            for key, group in state.items()
+        }
+
+    def rows(self) -> list[dict]:
+        """One row per group: identity columns, then mean/var/std.
+
+        Undefined moments (no observations; variance below two) render
+        as ``None`` rather than NaN so rows stay JSON-clean and compare
+        equal across replays (NaN never equals itself).
+        """
+        rows = []
+        for key, group in self._groups.items():
+            row: dict = dict(_group_columns(self.group_by, key))
+            first = next(iter(group.values()), None)
+            row["runs"] = first.count if first is not None else 0
+            for metric in self.metrics:
+                moments = group[metric]
+                row[f"{metric}_mean"] = (
+                    moments.mean if moments.count else None
+                )
+                row[f"{metric}_var"] = _none_if_nan(moments.variance)
+                row[f"{metric}_std"] = _none_if_nan(moments.std)
+            rows.append(row)
+        return rows
+
+
 _AGGREGATOR_KINDS = {
     "scalar": ScalarAggregator,
     "cells": CellAggregator,
     "histogram": HistogramAggregator,
     "quantile": QuantileAggregator,
+    "moments": MomentsAggregator,
 }
 
 
@@ -894,6 +1050,11 @@ def aggregator_from_spec(spec: Mapping) -> Aggregator:
             quantiles=spec.get("quantiles", (0.5, 0.95)),
             group_by=spec.get("group_by", ("label",)),
         )
+    if kind == "moments":
+        return MomentsAggregator(
+            metrics=spec.get("metrics", DEFAULT_METRICS),
+            group_by=spec.get("group_by", ("label",)),
+        )
     raise ConfigurationError(
         f"unknown aggregator kind {kind!r}; "
         f"choose from {', '.join(_AGGREGATOR_KINDS)}"
@@ -917,13 +1078,15 @@ def aggregate_tables(aggregators: Sequence[Aggregator]) -> dict[str, list[dict]]
 
 def default_aggregators() -> list[Aggregator]:
     """The standard reduction set: per-label scalars, the cell map,
-    the peak-temperature distribution sketches, and a data-driven
-    energy histogram (energy scales with duration and layer count, so
-    its range must come from the campaign itself)."""
+    the peak-temperature distribution sketches, Welford mean/variance
+    moments, and a data-driven energy histogram (energy scales with
+    duration and layer count, so its range must come from the campaign
+    itself)."""
     return [
         ScalarAggregator(),
         CellAggregator(),
         HistogramAggregator(),
         QuantileAggregator(),
+        MomentsAggregator(),
         HistogramAggregator(metric="total_energy_j", lo=None, hi=None),
     ]

@@ -54,6 +54,7 @@ from repro.errors import ConfigurationError
 from repro.registry import (
     FrozenParams,
     controller_registry,
+    facility_registry,
     forecaster_registry,
     policy_registry,
     workload_registry,
@@ -82,6 +83,7 @@ _REGISTRY_FIELDS = {
     "controller": controller_registry,
     "forecaster": forecaster_registry,
     "workload": workload_registry,
+    "facility": facility_registry,
 }
 
 #: Component-parameter mappings sweepable via dotted axes. Parameter
@@ -92,6 +94,7 @@ _PARAMS_FIELDS = (
     "controller_params",
     "forecaster_params",
     "workload_params",
+    "facility_params",
 )
 
 _CONFIG_FIELDS = {f.name for f in dataclass_fields(SimulationConfig)}
@@ -109,6 +112,8 @@ _SIGNATURE_DEFAULTS: dict[str, Any] = {
     "workload": "table2",
     "workload_params": FrozenParams(),
     "solver": "exact",
+    "facility": "none",
+    "facility_params": FrozenParams(),
 }
 
 
@@ -137,7 +142,8 @@ def canonical_field(name: str) -> str:
             f"{', '.join(sorted(_CONFIG_FIELDS | set(FIELD_ALIASES)))} "
             "or a dotted thermal_params.<field> / "
             "policy_params.<name> / controller_params.<name> / "
-            "forecaster_params.<name> / workload_params.<name>"
+            "forecaster_params.<name> / workload_params.<name> / "
+            "facility_params.<name>"
         )
     return resolved
 

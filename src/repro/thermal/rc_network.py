@@ -23,6 +23,7 @@ the absorbed heat, i.e. Eq. 4/5 generalized to non-uniform power.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -60,6 +61,12 @@ DEFAULT_RESISTANCE_SCALE = 4.5
 #: repro.sim.calibration.
 DEFAULT_AIR_RESISTANCE_SCALE = 2.9
 
+#: Admissible coolant inlet temperatures, degC. The band covers glycol
+#: mixes below freezing through pressurized hot-water loops; the paper
+#: itself operates at 20-70 degC (Section IV-B / Fig. 7).
+MIN_INLET_TEMPERATURE = -20.0
+MAX_INLET_TEMPERATURE = 150.0
+
 
 @dataclass(frozen=True)
 class ThermalParams:
@@ -84,6 +91,14 @@ class ThermalParams:
             raise ConfigurationError("conductivities must be positive")
         if self.resistance_scale <= 0.0 or self.air_resistance_scale <= 0.0:
             raise ConfigurationError("resistance scales must be positive")
+        if not math.isfinite(self.inlet_temperature) or not (
+            MIN_INLET_TEMPERATURE <= self.inlet_temperature <= MAX_INLET_TEMPERATURE
+        ):
+            raise ConfigurationError(
+                "inlet_temperature must be a finite coolant temperature in "
+                f"[{MIN_INLET_TEMPERATURE:g}, {MAX_INLET_TEMPERATURE:g}] degC "
+                f"(the paper operates at 20-70 degC), got {self.inlet_temperature}"
+            )
 
 
 @dataclass(eq=False)
@@ -107,6 +122,16 @@ class RCNetwork:
         The node layout this network was assembled for.
     cavity_flows:
         Per-cavity flows (m^3/s) used during assembly (empty for air).
+    advection_inlets / advection_outlets / advection_conductances:
+        Per-cavity coolant bookkeeping for the facility coupling: the
+        inlet-column and outlet-column node indices of each cavity's
+        channel rows, and the per-row advective conductance
+        ``m_dot * c_p`` (W/K). Empty for air-cooled networks (and for
+        the naive reference assembly, which never co-simulates).
+    inlet_temperature:
+        The coolant inlet temperature (degC) baked into ``boundary``
+        at assembly time; reference point for
+        :meth:`inlet_boundary_delta`.
     """
 
     conductance: sp.csr_matrix
@@ -114,11 +139,57 @@ class RCNetwork:
     boundary: np.ndarray
     grid: ThermalGrid
     cavity_flows: tuple[float, ...]
+    advection_inlets: tuple[np.ndarray, ...] = ()
+    advection_outlets: tuple[np.ndarray, ...] = ()
+    advection_conductances: tuple[float, ...] = ()
+    inlet_temperature: float = 0.0
 
     @property
     def n_nodes(self) -> int:
         """Number of temperature nodes."""
         return self.grid.n_nodes
+
+    def inlet_boundary_delta(self, t_inlet: float) -> Optional[np.ndarray]:
+        """Source-vector correction for running this network at a
+        coolant inlet of ``t_inlet`` degC instead of the assembled one.
+
+        The inlet enters the network ODE only through the boundary
+        term ``b[inlet] += g * t_inlet`` (see ``add_advection_rows``),
+        which is linear in ``t_inlet`` — so changing the inlet per
+        interval is a pure right-hand-side update: add the returned
+        vector to the node power and reuse the memoized factorization
+        (G and C are untouched, nothing refactorizes). Returns ``None``
+        when the network has no coolant rows or the requested inlet
+        equals the assembled one (the fixed-inlet fast path).
+        """
+        if not self.advection_inlets or t_inlet == self.inlet_temperature:
+            return None
+        delta = np.zeros(self.n_nodes)
+        shift = t_inlet - self.inlet_temperature
+        for nodes, g in zip(self.advection_inlets, self.advection_conductances):
+            delta[nodes] += g * shift
+        return delta
+
+    def coolant_heat_rejected(
+        self, temperatures: np.ndarray, t_inlet: Optional[float] = None
+    ) -> float:
+        """Heat carried out of the stack by the coolant, W.
+
+        Sensible-heat balance summed over every channel row of every
+        cavity: ``sum g * (T_outlet - T_inlet)`` — the generalized
+        Eq. 4/5 accounting (see :mod:`repro.thermal.validation`).
+        ``t_inlet`` defaults to the assembled inlet temperature; pass
+        the interval's actual inlet when co-simulating a facility.
+        Returns 0 for air-cooled networks.
+        """
+        if not self.advection_outlets:
+            return 0.0
+        if t_inlet is None:
+            t_inlet = self.inlet_temperature
+        total = 0.0
+        for nodes, g in zip(self.advection_outlets, self.advection_conductances):
+            total += g * float(np.sum(temperatures[nodes] - t_inlet))
+        return total
 
 
 class _Assembler:
@@ -416,6 +487,9 @@ def _build_liquid(
 ) -> RCNetwork:
     asm = _Assembler(grid.n_nodes)
     capacitance = np.zeros(grid.n_nodes)
+    adv_inlets: list[np.ndarray] = []
+    adv_outlets: list[np.ndarray] = []
+    adv_conductances: list[float] = []
     stack = grid.stack
     scale = params.resistance_scale
     coolant = model.coolant
@@ -468,6 +542,10 @@ def _build_liquid(
 
         fluid_nodes = grid.slab_nodes(slab_idx)
         asm.add_advection_rows(fluid_nodes, g_adv_row, params.inlet_temperature)
+        if g_adv_row > 0.0:
+            adv_inlets.append(fluid_nodes[:, 0].copy())
+            adv_outlets.append(fluid_nodes[:, -1].copy())
+            adv_conductances.append(g_adv_row)
 
         if die_below is not None:
             below_nodes = grid.slab_nodes(grid.die_slab_index(die_below))
@@ -510,6 +588,10 @@ def _build_liquid(
         boundary=asm.boundary,
         grid=grid,
         cavity_flows=flows,
+        advection_inlets=tuple(adv_inlets),
+        advection_outlets=tuple(adv_outlets),
+        advection_conductances=tuple(adv_conductances),
+        inlet_temperature=params.inlet_temperature,
     )
 
 

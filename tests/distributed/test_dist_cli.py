@@ -100,7 +100,8 @@ class TestWorkMerge:
         payload = json.loads(json_path.read_text())
         assert payload["n_runs"] == 4
         assert set(payload["aggregates"]) == {
-            "scalar", "cells", "histogram", "quantile", "histogram_4"
+            "scalar", "cells", "histogram", "quantile", "moments",
+            "histogram_5",
         }
         assert csv_path.read_text().startswith("run,key,")
 

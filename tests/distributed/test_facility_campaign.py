@@ -1,0 +1,97 @@
+"""Facility-axis campaigns through the dist pipeline.
+
+Tentpole acceptance: a sweep over the facility key and dotted
+``facility_params`` axes plans, shards, and merges byte-identically to
+a single-host run — including under two concurrent workers — and the
+merged rows carry the PUE/cooling-power columns.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.dist import merge_campaign, plan_campaign, read_ledger, run_worker
+from repro.dist.plan import ledger_spec
+from repro.sim.config import SimulationConfig
+from repro.sweep import SweepRunner, SweepSpec
+
+
+def facility_spec(name="facility-campaign"):
+    """Fixed-inlet vs closed-loop, plus a dotted climate axis."""
+    return SweepSpec(
+        base=SimulationConfig(benchmark_name="Web-med", duration=1.0),
+        points=[
+            {"facility": "none"},
+            {"facility": "closed-loop"},
+            {"facility": "closed-loop",
+             "facility_params": {"wet_bulb_c": 14.0,
+                                 "supply_setpoint_c": 45.0}},
+        ],
+        name=name,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    root = tmp_path_factory.mktemp("facility-ref")
+    result = SweepRunner(facility_spec(), csv_path=root / "ref.csv").run()
+    result.save_json(root / "ref.json")
+    return {
+        "rows": result.rows,
+        "json": (root / "ref.json").read_bytes(),
+        "csv": (root / "ref.csv").read_bytes(),
+    }
+
+
+class TestLedgerRoundTrip:
+    def test_ledger_payload_reconstructs_the_exact_spec(self, tmp_path):
+        spec = facility_spec()
+        plan_campaign(spec, tmp_path / "camp", chunk_size=2)
+        ledger = read_ledger(tmp_path / "camp")
+        clone = ledger_spec(ledger)  # Verifies fingerprint en route.
+        assert clone.fingerprint() == spec.fingerprint()
+        assert [p.config.facility for p in clone.iter_points()] == [
+            "none", "closed-loop", "closed-loop"
+        ]
+        assert [dict(p.config.facility_params) for p in clone.iter_points()] == [
+            {}, {}, {"supply_setpoint_c": 45.0, "wet_bulb_c": 14.0}
+        ]
+
+
+class TestShardedExecution:
+    def test_two_concurrent_workers_merge_byte_identical(
+        self, tmp_path, reference
+    ):
+        camp = tmp_path / "camp"
+        plan_campaign(facility_spec(), camp, chunk_size=1)
+        threads = [
+            threading.Thread(
+                target=run_worker, args=(camp,),
+                kwargs={"worker_id": f"w{i}"},
+            )
+            for i in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = merge_campaign(camp)
+        assert merged.complete
+        assert merged.rows == reference["rows"]
+        merged.save_json(tmp_path / "dist.json")
+        merged.save_csv(tmp_path / "dist.csv")
+        assert (tmp_path / "dist.json").read_bytes() == reference["json"]
+        assert (tmp_path / "dist.csv").read_bytes() == reference["csv"]
+
+    def test_rows_carry_facility_metric_columns(self, reference):
+        rows = reference["rows"]
+        assert [row["facility"] for row in rows] == [
+            "none", "closed-loop", "closed-loop"
+        ]
+        assert rows[0]["pue"] is None  # Fixed inlet: no plant.
+        assert rows[1]["pue"] > 1.0
+        assert rows[2]["total_cooling_power_w"] > 0.0
+        assert json.loads(rows[2]["facility_params"]) == {
+            "supply_setpoint_c": 45.0, "wet_bulb_c": 14.0
+        }

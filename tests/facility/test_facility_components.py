@@ -1,0 +1,111 @@
+"""Facility component physics: CDU, chiller, tower, pumps, coolant."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.facility import (
+    CduHeatExchanger,
+    Chiller,
+    CoolingTower,
+    PumpCurve,
+    water_density,
+    water_heat_capacity,
+)
+
+
+class TestCoolantProperties:
+    def test_heat_capacity_near_handbook_values(self):
+        # ~4183 J/(kg K) at 60 degC, rising toward both ends of the band.
+        assert water_heat_capacity(60.0) == pytest.approx(4183.0, abs=5.0)
+        assert water_heat_capacity(20.0) == pytest.approx(4182.0, abs=5.0)
+
+    def test_density_decreases_with_temperature(self):
+        assert water_density(20.0) > water_density(60.0) > water_density(90.0)
+        assert water_density(20.0) == pytest.approx(998.0, abs=2.0)
+
+    def test_out_of_band_temperature_rejected(self):
+        with pytest.raises(ModelError, match="liquid water"):
+            water_heat_capacity(120.0)
+        with pytest.raises(ModelError, match="liquid water"):
+            water_density(-5.0)
+
+
+class TestCduHeatExchanger:
+    def test_effectiveness_in_unit_interval_and_monotone_in_ua(self):
+        c_hot, c_cold = 70.0, 140.0
+        small = CduHeatExchanger(ua=5.0).effectiveness(c_hot, c_cold)
+        large = CduHeatExchanger(ua=500.0).effectiveness(c_hot, c_cold)
+        assert 0.0 < small < large < 1.0
+
+    def test_balanced_stream_limit(self):
+        # Counterflow e-NTU degenerates to ntu/(1+ntu) when Cr -> 1.
+        ua, c = 25.0, 70.0
+        ntu = ua / c
+        eff = CduHeatExchanger(ua=ua).effectiveness(c, c)
+        assert eff == pytest.approx(ntu / (1.0 + ntu))
+
+    def test_max_heat_transfer_never_negative(self):
+        cdu = CduHeatExchanger(ua=25.0)
+        # Cold side hotter than hot side: no reverse transfer.
+        assert cdu.max_heat_transfer(20.0, 60.0, 70.0, 140.0) == 0.0
+        assert cdu.max_heat_transfer(60.0, 20.0, 70.0, 140.0) > 0.0
+
+    def test_invalid_ua_rejected(self):
+        with pytest.raises(ModelError):
+            CduHeatExchanger(ua=0.0)
+
+
+class TestChiller:
+    def test_cop_is_a_carnot_fraction(self):
+        chiller = Chiller(carnot_fraction=0.5)
+        cop = chiller.cop(18.0, 26.0)
+        t_evap = 273.15 + 18.0 - chiller.evaporator_approach
+        t_cond = 273.15 + 26.0 + chiller.condenser_approach
+        assert cop == pytest.approx(0.5 * t_evap / (t_cond - t_evap))
+
+    def test_power_scales_inversely_with_cop(self):
+        chiller = Chiller(carnot_fraction=0.5)
+        q = 1000.0
+        assert chiller.power(q, 18.0, 26.0) == pytest.approx(
+            q / chiller.cop(18.0, 26.0)
+        )
+
+    def test_free_lift_costs_nothing(self):
+        # Condenser colder than evaporator: COP caps out, power ~ 0.
+        chiller = Chiller(carnot_fraction=0.5)
+        assert chiller.power(1000.0, 60.0, 10.0) == pytest.approx(0.0, abs=1e-2)
+
+
+class TestCoolingTower:
+    def test_supply_approaches_wet_bulb(self):
+        tower = CoolingTower(approach=4.0)
+        assert tower.supply_temperature(22.0) == pytest.approx(26.0)
+
+    def test_water_use_includes_blowdown(self):
+        evap_only = CoolingTower(cycles_of_concentration=1e9).water_use(1e5)
+        with_blowdown = CoolingTower(cycles_of_concentration=4.0).water_use(1e5)
+        assert with_blowdown > evap_only > 0.0
+
+    def test_fan_power_is_a_fraction_of_rejected_heat(self):
+        tower = CoolingTower(fan_power_fraction=0.015)
+        assert tower.fan_power(1000.0) == pytest.approx(15.0)
+
+
+class TestPumpCurve:
+    def test_design_point_power(self):
+        flow, head, eta = 1.0 / 60000.0, 10.0, 0.7
+        pump = PumpCurve(design_flow=flow, design_head=head, efficiency=eta)
+        power = pump.electrical_power(flow, density=998.0)
+        expected = 998.0 * 9.80665 * flow * pump.head(flow) / eta
+        assert power == pytest.approx(expected)
+        assert math.isfinite(power) and power > 0.0
+
+    def test_zero_flow_draws_nothing(self):
+        pump = PumpCurve(design_flow=1e-5, design_head=10.0)
+        assert pump.electrical_power(0.0) == 0.0
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ModelError):
+            PumpCurve(design_flow=1e-5, design_head=10.0, efficiency=0.0)

@@ -1,0 +1,164 @@
+"""Closed-loop facility: conservation, convergence, registry schema.
+
+The two property tests are the satellite acceptance criteria: per
+interval, the heat the chip loop rejects equals the CDU transfer plus
+the loop's storage term (exactly, by construction of the tank
+balance), and under constant chip power the closed loop converges to
+a fixed-point inlet temperature.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ModelError
+from repro.facility import ClosedLoopFacility, FacilityModel, FacilityState
+from repro.registry import FacilityContext, facility_registry
+
+loop_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_loop(**params):
+    """A per-chip closed loop via the registry (defaults unless swept)."""
+    ctx = FacilityContext(config=None, initial_inlet_temperature=60.0)
+    return facility_registry().create("closed-loop", params, ctx)
+
+
+class TestRegistry:
+    def test_none_key_builds_no_facility(self):
+        ctx = FacilityContext(config=None, initial_inlet_temperature=60.0)
+        assert facility_registry().create("none", {}, ctx) is None
+        assert facility_registry().create("fixed-inlet", {}, ctx) is None
+
+    def test_closed_loop_satisfies_the_protocol(self):
+        loop = build_loop()
+        assert isinstance(loop, FacilityModel)
+        assert loop.scale == 1.0
+        assert loop.inlet_temperature == 60.0
+
+    def test_rack_aggregation_sets_the_scale(self):
+        loop = build_loop(racks=2250, chips_per_rack=4)
+        assert loop.scale == 9000.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            build_loop(nonsense=1.0)
+
+    def test_out_of_range_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_loop(wet_bulb_c=80.0)
+
+
+class TestAdvance:
+    def test_returns_a_state_with_consistent_totals(self):
+        loop = build_loop(racks=3)
+        state = loop.advance(0.1, chip_heat=25.0, chip_power=29.0,
+                             chip_pump_power=2.0)
+        assert isinstance(state, FacilityState)
+        assert state.chip_heat == pytest.approx(75.0)  # 25 W x scale 3
+        assert state.cooling_power == pytest.approx(
+            state.chiller_power + state.tower_fan_power + state.pump_power
+        )
+        assert state.inlet_temperature == loop.inlet_temperature
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            build_loop().advance(0.0, 25.0, 29.0, 2.0)
+
+    def test_hot_water_setpoint_free_cools_chilled_does_not(self):
+        # Tower supply = 22 + 4 = 26 degC: undercut by the 60 degC
+        # hot-water setpoint, useless against an 18 degC one.
+        hot = build_loop(supply_setpoint_c=60.0, wet_bulb_c=22.0)
+        chilled = build_loop(supply_setpoint_c=18.0, wet_bulb_c=22.0)
+        hot_state = hot.advance(0.1, 25.0, 29.0, 2.0)
+        chilled_state = chilled.advance(0.1, 25.0, 29.0, 2.0)
+        assert hot_state.free_cooling
+        assert hot_state.chiller_power == 0.0
+        assert not chilled_state.free_cooling
+        assert chilled_state.chiller_power > 0.0
+
+
+class TestConservationProperty:
+    @loop_settings
+    @given(
+        chip_heat=st.floats(min_value=0.0, max_value=200.0),
+        dt=st.floats(min_value=0.01, max_value=1.0),
+        setpoint=st.floats(min_value=30.0, max_value=70.0),
+        volume=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_chip_heat_equals_cdu_heat_plus_loop_storage(
+        self, chip_heat, dt, setpoint, volume
+    ):
+        """Q_chip * dt == Q_cdu * dt + C_loop * dT_loop per interval.
+
+        Parameters stay well inside the loop's [2, 98] degC clamp so
+        the tank balance is the exact update that produced the state.
+        """
+        loop = build_loop(supply_setpoint_c=setpoint, loop_volume_l=volume)
+        for _ in range(5):
+            t_before = loop.inlet_temperature
+            c_loop = loop.loop_heat_capacity()
+            state = loop.advance(dt, chip_heat, 29.0, 2.0)
+            storage = c_loop * (state.loop_temperature - t_before)
+            assert chip_heat * dt == pytest.approx(
+                state.cdu_heat * dt + storage, rel=1e-9, abs=1e-9
+            )
+
+    @loop_settings
+    @given(racks=st.integers(min_value=1, max_value=2250))
+    def test_intensive_quantities_are_scale_invariant(self, racks):
+        """Temperatures (and hence PUE inputs) do not depend on scale."""
+        one = build_loop(racks=1)
+        many = build_loop(racks=racks)
+        for _ in range(10):
+            s1 = one.advance(0.1, 25.0, 29.0, 2.0)
+            sn = many.advance(0.1, 25.0, 29.0, 2.0)
+            assert sn.inlet_temperature == s1.inlet_temperature
+            assert sn.cooling_power == pytest.approx(
+                racks * s1.cooling_power
+            )
+            assert sn.free_cooling == s1.free_cooling
+
+
+class TestConvergenceProperty:
+    @loop_settings
+    @given(
+        chip_heat=st.floats(min_value=1.0, max_value=60.0),
+        setpoint=st.floats(min_value=35.0, max_value=70.0),
+        overshoot=st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_constant_power_converges_to_a_fixed_point(
+        self, chip_heat, setpoint, overshoot
+    ):
+        """Under constant chip power the loop temperature settles: the
+        inlet reaches a fixed point (the setpoint whenever the CDU has
+        the capacity to serve it) and stops moving. The loop starts at
+        or above the setpoint — pulling the tank *down* is the CDU's
+        job; warming it up from below is rate-limited by the chip heat
+        itself and takes unbounded simulated time.
+        """
+        ctx = FacilityContext(
+            config=None, initial_inlet_temperature=setpoint + overshoot
+        )
+        loop = facility_registry().create(
+            "closed-loop", {"supply_setpoint_c": setpoint}, ctx
+        )
+        for _ in range(600):
+            state = loop.advance(0.5, chip_heat, 29.0, 2.0)
+        settled = state.inlet_temperature
+        state = loop.advance(0.5, chip_heat, 29.0, 2.0)
+        assert state.inlet_temperature == pytest.approx(settled, abs=1e-5)
+        # The valve steers to the setpoint whenever it can; it may
+        # float above when the exchanger is capacity-limited, but
+        # never settles below the setpoint.
+        assert state.inlet_temperature >= setpoint - 1e-6
+
+    def test_default_loop_settles_on_the_paper_setpoint(self):
+        loop = build_loop()  # 60 degC setpoint, 60 degC start
+        for _ in range(100):
+            state = loop.advance(0.1, 25.0, 29.0, 2.0)
+        assert state.inlet_temperature == pytest.approx(60.0, abs=0.5)

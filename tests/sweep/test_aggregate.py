@@ -10,8 +10,10 @@ from repro.sim.config import CoolingMode, PolicyKind, SimulationConfig
 from repro.sim.engine import simulate
 from repro.sweep import (
     CellAggregator,
+    MomentsAggregator,
     RunningStats,
     ScalarAggregator,
+    WelfordMoments,
     aggregator_from_spec,
     default_aggregators,
 )
@@ -133,10 +135,108 @@ class TestCellAggregator:
         assert clone.rows() == agg.rows()
 
 
+class TestWelfordMoments:
+    def test_matches_numpy_mean_and_sample_variance(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        moments = WelfordMoments()
+        for v in values:
+            moments.add(v)
+        assert moments.count == len(values)
+        assert moments.mean == pytest.approx(np.mean(values))
+        assert moments.variance == pytest.approx(np.var(values, ddof=1))
+        assert moments.std == pytest.approx(np.std(values, ddof=1))
+
+    def test_nan_values_are_skipped(self):
+        moments = WelfordMoments()
+        moments.add(float("nan"))
+        moments.add(3.0)
+        assert moments.count == 1
+        assert moments.mean == 3.0
+
+    def test_variance_undefined_below_two_observations(self):
+        moments = WelfordMoments()
+        assert np.isnan(moments.variance)
+        moments.add(1.0)
+        assert np.isnan(moments.variance)
+        moments.add(2.0)
+        assert moments.variance == pytest.approx(0.5)
+
+    def test_state_round_trip_is_exact(self):
+        moments = WelfordMoments()
+        for v in (0.1, 0.2, 0.30000000000000004, 7.7):
+            moments.add(v)
+        restored = WelfordMoments.from_state(
+            json.loads(json.dumps(moments.state_dict()))
+        )
+        assert restored.count == moments.count
+        assert restored.mean == moments.mean  # bit-equal, not approx
+        assert restored.m2 == moments.m2
+
+
+class TestMomentsAggregator:
+    def test_groups_by_label_and_matches_numpy(self, runs):
+        agg = MomentsAggregator(metrics=("peak_temperature",))
+        for config, result in runs:
+            agg.update(config, result)
+        rows = {row["label"]: row for row in agg.rows()}
+        assert set(rows) == {"TALB (Var)", "LB (Air)"}
+        talb = [r.peak_temperature() for c, r in runs if c.policy == "TALB"]
+        assert rows["TALB (Var)"]["runs"] == 2
+        assert rows["TALB (Var)"]["peak_temperature_mean"] == pytest.approx(
+            np.mean(talb)
+        )
+        assert rows["TALB (Var)"]["peak_temperature_var"] == pytest.approx(
+            np.var(talb, ddof=1)
+        )
+
+    def test_single_run_groups_render_none_not_nan(self, runs):
+        agg = MomentsAggregator(metrics=("chip_energy_j",))
+        agg.update(*runs[2])  # The lone LB (Air) run.
+        (row,) = agg.rows()
+        assert row["runs"] == 1
+        assert row["chip_energy_j_var"] is None
+        assert row["chip_energy_j_std"] is None
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown metrics"):
+            MomentsAggregator(metrics=("nope",))
+
+    def test_mid_stream_restore_matches_uninterrupted(self, runs):
+        """The checkpoint/resume contract: journal state mid-stream,
+        restore, finish folding — bit-equal rows."""
+        full = MomentsAggregator()
+        for config, result in runs:
+            full.update(config, result)
+        half = MomentsAggregator()
+        half.update(*runs[0])
+        restored = aggregator_from_spec(half.spec())
+        restored.load_state(json.loads(json.dumps(half.state_dict())))
+        for config, result in runs[1:]:
+            restored.update(config, result)
+        assert restored.rows() == full.rows()
+
+    def test_fold_update_split_replays_exactly(self, runs):
+        """Distributed merge replays journaled fold payloads in run
+        order; the result must equal direct folding bit-for-bit."""
+        direct = MomentsAggregator()
+        journal = []
+        for config, result in runs:
+            payload = direct.fold_payload(config, result)
+            direct.update_payload(payload)
+            journal.append(json.loads(json.dumps(payload)))
+        replayed = MomentsAggregator()
+        for payload in journal:
+            replayed.update_payload(payload)
+        assert replayed.rows() == direct.rows()
+        assert replayed.state_dict() == direct.state_dict()
+
+
 class TestFactory:
     def test_default_set(self):
         kinds = [agg.kind for agg in default_aggregators()]
-        assert kinds == ["scalar", "cells", "histogram", "quantile", "histogram"]
+        assert kinds == [
+            "scalar", "cells", "histogram", "quantile", "moments", "histogram",
+        ]
         # The second histogram is the data-driven energy sketch.
         energy = default_aggregators()[-1]
         assert energy.metric == "total_energy_j"

@@ -208,3 +208,63 @@ class TestTsvRegion:
         rise_with = grid.unit_temperature(t_with, 1, "xbar") - 60.0
         rise_without = grid.unit_temperature(t_without, 1, "xbar") - 60.0
         assert rise_with > rise_without
+
+
+class TestInletTemperatureValidation:
+    def test_accepts_the_operating_band(self):
+        for inlet in (20.0, 60.0, 70.0, 120.0):
+            assert ThermalParams(inlet_temperature=inlet).inlet_temperature == inlet
+
+    def test_rejects_non_finite_values(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError, match="inlet_temperature"):
+                ThermalParams(inlet_temperature=bad)
+
+    def test_rejects_out_of_range_values_with_a_clear_message(self):
+        with pytest.raises(ConfigurationError, match="20-70 degC"):
+            ThermalParams(inlet_temperature=-40.0)
+        with pytest.raises(ConfigurationError, match="20-70 degC"):
+            ThermalParams(inlet_temperature=500.0)
+
+
+class TestInletBoundaryCoupling:
+    def test_delta_is_none_at_the_assembled_inlet(self, liquid_net):
+        assert liquid_net.inlet_boundary_delta(60.0) is None
+
+    def test_air_network_has_no_advection_rows(self, air_net):
+        assert air_net.inlet_boundary_delta(55.0) is None
+        assert air_net.coolant_heat_rejected(
+            np.full(air_net.n_nodes, 70.0)
+        ) == 0.0
+
+    def test_delta_shifts_the_steady_state_by_the_inlet_change(self):
+        """Solving with the delta'd RHS equals re-assembling the
+        network at the new inlet: the coupling is a pure boundary
+        update, no refactorization required."""
+        grid = ThermalGrid(build_stack(2), nx=8, ny=8)
+        base = build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+        moved = build_network(
+            grid, ThermalParams(inlet_temperature=55.0), cavity_flows=[FLOW]
+        )
+        p = grid.power_vector({(0, "core0"): 2.0})
+        delta = base.inlet_boundary_delta(55.0)
+        assert delta is not None
+        t_patched = SteadyStateSolver(base).solve(p + delta)
+        t_rebuilt = SteadyStateSolver(moved).solve(p)
+        np.testing.assert_allclose(t_patched, t_rebuilt, atol=1e-8)
+
+    def test_heat_rejected_matches_sensible_heat_balance(self):
+        """At steady state the coolant picks up exactly the injected
+        power (energy conservation through the advection rows)."""
+        grid = ThermalGrid(build_stack(2), nx=8, ny=8)
+        net = build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+        p = grid.power_vector({(0, "core0"): 2.0, (1, "l2_1"): 1.0})
+        temps = SteadyStateSolver(net).solve(p)
+        assert net.coolant_heat_rejected(temps) == pytest.approx(3.0, rel=1e-6)
+
+    def test_heat_rejected_against_explicit_inlet(self):
+        grid = ThermalGrid(build_stack(2), nx=8, ny=8)
+        net = build_network(grid, ThermalParams(), cavity_flows=[FLOW])
+        temps = np.full(net.n_nodes, 60.0)
+        assert net.coolant_heat_rejected(temps) == 0.0
+        assert net.coolant_heat_rejected(temps, t_inlet=59.0) > 0.0
